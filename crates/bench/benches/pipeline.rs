@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the compiler pipeline itself: the
+//! dataflow analyzer, the full search, and the functional interpreter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flashfuser_comm::ClusterShape;
+use flashfuser_core::{
+    BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams, SearchConfig, SearchEngine,
+};
+use flashfuser_graph::{ChainSpec, Dim};
+use flashfuser_sim::{execute_fused, SimProfiler, TrafficCounters};
+use flashfuser_tensor::Activation;
+use std::hint::black_box;
+
+fn bench_analyzer(c: &mut Criterion) {
+    let chain = ChainSpec::standard_ffn(128, 8192, 2048, 2048, Activation::Relu);
+    let schedule = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
+    let cluster = ClusterShape::new(1, 4, 2, 8).unwrap();
+    let tile = BlockTile::new(128, 128, 64, 128);
+    let analyzer = DataflowAnalyzer::new(MachineParams::h100_sxm());
+    c.bench_function("dataflow_analyzer/opt1.3b", |b| {
+        b.iter(|| {
+            black_box(
+                analyzer
+                    .analyze(black_box(&chain), &schedule, cluster, tile)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let params = MachineParams::h100_sxm();
+    let engine = SearchEngine::new(params.clone());
+    let mut group = c.benchmark_group("search_engine");
+    group.sample_size(10);
+    for (name, n, k) in [("small", 512usize, 256usize), ("g8", 8192, 2048)] {
+        let chain = ChainSpec::standard_ffn(128, n, k, k, Activation::Relu);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &chain, |b, chain| {
+            b.iter(|| {
+                let mut profiler = SimProfiler::new(params.clone());
+                black_box(
+                    engine
+                        .search_with_profiler(chain, &SearchConfig::default(), &mut profiler)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let chain = ChainSpec::standard_ffn(32, 128, 64, 128, Activation::Relu);
+    let schedule = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
+    let cluster = ClusterShape::new(1, 4, 2, 4).unwrap();
+    let tile = BlockTile::new(16, 16, 16, 16);
+    let plan = DataflowAnalyzer::new(MachineParams::h100_sxm())
+        .analyze(&chain, &schedule, cluster, tile)
+        .unwrap()
+        .plan()
+        .clone();
+    let inputs = chain.make_inputs(1);
+    c.bench_function("functional_interpreter/32x128x64x128", |b| {
+        b.iter(|| {
+            let mut counters = TrafficCounters::new();
+            black_box(execute_fused(&plan, &inputs, &mut counters).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_analyzer, bench_search, bench_interpreter);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Extension study: how much does each cluster-size limit buy?
+//!
+//! Sweeps the hardware cluster limit from 1 (no DSM, pre-Hopper) to 16
+//! (H100) and reports the best fused kernel the search finds for the
+//! large-intermediate workloads — the sensitivity study behind the
+//! paper's Rule 2 discussion.
+
+use flashfuser_bench::h100;
+use flashfuser_core::{MemLevel, PruneConfig, SearchConfig, SearchEngine};
+use flashfuser_sim::SimProfiler;
+use flashfuser_workloads::{gated_ffn_chains, gemm_chains};
+
+fn main() {
+    let params = h100();
+    let engine = SearchEngine::new(params.clone());
+    println!("== Extension: best fused time (us) vs cluster-size limit ==");
+    print!("{:<6}", "id");
+    for limit in [1usize, 2, 4, 8, 16] {
+        print!("{:>10}", format!("cls<={limit}"));
+    }
+    println!();
+    let workloads: Vec<_> = gemm_chains()
+        .into_iter()
+        .chain(gated_ffn_chains())
+        .filter(|w| ["G5", "G8", "S3", "S8"].contains(&w.id))
+        .collect();
+    for w in &workloads {
+        print!("{:<6}", w.id);
+        for limit in [1usize, 2, 4, 8, 16] {
+            let config = SearchConfig {
+                top_k: 11,
+                prune: PruneConfig {
+                    max_cluster: limit,
+                    lowest_spill: if limit == 1 { MemLevel::Smem } else { MemLevel::Dsm },
+                    allow_inter_cluster_reduce: true,
+                },
+            };
+            let mut profiler = SimProfiler::new(params.clone());
+            match engine.search_with_profiler(&w.chain, &config, &mut profiler) {
+                Ok(r) => print!("{:>10.2}", r.best().measured.unwrap().seconds * 1e6),
+                Err(_) => print!("{:>10}", "-"),
+            }
+        }
+        println!();
+    }
+}

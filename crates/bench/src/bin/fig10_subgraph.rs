@@ -1,0 +1,29 @@
+//! Fig. 10: subgraph performance — (a) GEMM chains, (b) conv chains,
+//! (c) gated FFNs — every system normalised to PyTorch.
+
+use flashfuser_baselines::suite;
+use flashfuser_bench::{h100, print_speedup_table, run_matrix};
+use flashfuser_workloads::{conv_chains, gated_ffn_chains, gemm_chains};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let params = h100();
+    let systems = suite(&params);
+    let names: Vec<&str> = systems.iter().map(|s| s.name()).collect();
+    let torch_idx = names.iter().position(|n| *n == "PyTorch").unwrap();
+    let mut groups = vec![];
+    if which == "gemm" || which == "all" {
+        groups.push(("Fig. 10(a): GEMM chains", gemm_chains()));
+    }
+    if which == "conv" || which == "all" {
+        groups.push(("Fig. 10(b): conv chains", conv_chains()));
+    }
+    if which == "gated" || which == "all" {
+        groups.push(("Fig. 10(c): gated FFNs", gated_ffn_chains()));
+    }
+    for (title, workloads) in groups {
+        let results = run_matrix(&workloads, &systems);
+        print_speedup_table(title, &workloads, &names, &results, torch_idx);
+        println!();
+    }
+}

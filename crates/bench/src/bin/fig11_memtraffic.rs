@@ -1,0 +1,30 @@
+//! Fig. 11: global-memory traffic, FlashFuser vs no-fusion (PyTorch),
+//! per workload — the paper reports PyTorch moving 2.4x more on average.
+
+use flashfuser_baselines::{Baseline, FlashFuserPolicy, PyTorchPolicy};
+use flashfuser_bench::{geomean, h100};
+use flashfuser_workloads::{conv_chains, gemm_chains};
+
+fn main() {
+    let params = h100();
+    let ff = FlashFuserPolicy::new(params.clone());
+    let torch = PyTorchPolicy::new(params.clone());
+    println!("== Fig. 11: global memory traffic (PyTorch / FlashFuser) ==");
+    println!("{:<6}{:>14}{:>14}{:>10}", "id", "torch MB", "ff MB", "ratio");
+    let mut ratios = vec![];
+    let mut workloads = gemm_chains();
+    workloads.extend(conv_chains());
+    for w in &workloads {
+        let t = torch.run(&w.chain);
+        let f = ff.run(&w.chain);
+        let ratio = t.global_bytes as f64 / f.global_bytes as f64;
+        ratios.push(ratio);
+        println!(
+            "{:<6}{:>14.2}{:>14.2}{ratio:>10.2}",
+            w.id,
+            t.global_bytes as f64 / 1e6,
+            f.global_bytes as f64 / 1e6
+        );
+    }
+    println!("geomean ratio: {:.2} (paper avg: 2.4)", geomean(ratios));
+}

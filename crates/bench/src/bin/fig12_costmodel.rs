@@ -1,0 +1,79 @@
+//! Fig. 12: (a) cost-model validation on C3, C4, G4 — does the model's
+//! pick land on the measured optimum? (b) top-K prediction accuracy.
+
+use flashfuser_bench::h100;
+use flashfuser_core::{SearchConfig, SearchEngine};
+use flashfuser_sim::SimProfiler;
+use flashfuser_workloads::{conv_chains, gemm_chains, Workload};
+
+fn main() {
+    let params = h100();
+    let engine = SearchEngine::new(params.clone());
+
+    println!("== Fig. 12(a): cost model picks vs measured TFLOPS ==");
+    let named: Vec<Workload> = conv_chains()
+        .into_iter()
+        .chain(gemm_chains())
+        .filter(|w| ["C3", "C4", "G4"].contains(&w.id))
+        .collect();
+    for w in &named {
+        let config = SearchConfig {
+            top_k: 15,
+            ..SearchConfig::default()
+        };
+        let Ok(result) = engine.search(&w.chain, &config) else {
+            println!("{}: no feasible plan (skipped)", w.id);
+            continue;
+        };
+        let mut profiler = SimProfiler::new(params.clone());
+        let flops = w.chain.total_flops();
+        print!("{}: measured TFLOPS by est-rank:", w.id);
+        let mut best = (0usize, 0.0f64);
+        for (i, p) in result.top_k().iter().enumerate() {
+            let t = flops as f64 / profiler.measure(p.analysis.plan()).seconds / 1e12;
+            if t > best.1 {
+                best = (i, t);
+            }
+            print!(" {t:.0}");
+        }
+        println!("  <- model pick = rank 0, true best = rank {}", best.0);
+    }
+
+    println!("\n== Fig. 12(b): top-N prediction accuracy (Tables V + VII) ==");
+    let workloads: Vec<Workload> = conv_chains().into_iter().chain(gemm_chains()).collect();
+    let mut per_workload: Vec<Vec<f64>> = vec![];
+    for w in &workloads {
+        let config = SearchConfig {
+            top_k: 15,
+            ..SearchConfig::default()
+        };
+        let Ok(result) = engine.search(&w.chain, &config) else {
+            continue;
+        };
+        let mut profiler = SimProfiler::new(params.clone());
+        let times: Vec<f64> = result
+            .top_k()
+            .iter()
+            .map(|p| profiler.measure(p.analysis.plan()).seconds)
+            .collect();
+        let best = times.iter().copied().fold(f64::INFINITY, f64::min);
+        // accuracy(K) = best-within-top-K relative to best-within-top-15.
+        let acc: Vec<f64> = (1..=15)
+            .map(|k| {
+                let topk = times[..k.min(times.len())]
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min);
+                best / topk
+            })
+            .collect();
+        per_workload.push(acc);
+    }
+    println!("{:<6}{:>12}", "K", "accuracy %");
+    for k in 1..=15 {
+        let avg: f64 = per_workload.iter().map(|a| a[k - 1]).sum::<f64>()
+            / per_workload.len() as f64;
+        println!("{k:<6}{:>11.2}%", 100.0 * avg);
+    }
+    println!("paper: accuracy reaches ~100% at K = 11 (the chosen top-K).");
+}

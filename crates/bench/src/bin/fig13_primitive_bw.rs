@@ -1,0 +1,24 @@
+//! Fig. 13: dsm_comm primitive bandwidth and utilisation vs cluster size.
+
+use flashfuser_bench::h100;
+use flashfuser_sim::microbench::{primitive_bandwidth, PrimitiveKind};
+
+fn main() {
+    let params = h100();
+    println!("== Fig. 13: dsm_comm primitive bandwidth (32768^2 tensor, 128^2 tiles, 1000 iters) ==");
+    println!(
+        "{:<10}{:>10}{:>16}{:>14}",
+        "primitive", "cluster", "achieved GB/s", "utilisation"
+    );
+    for kind in [PrimitiveKind::Shuffle, PrimitiveKind::Reduce, PrimitiveKind::Mul] {
+        for cls in [2usize, 4, 8, 16] {
+            let m = primitive_bandwidth(&params, kind, cls, 1000);
+            println!(
+                "{:<10}{cls:>10}{:>16.0}{:>13.1}%",
+                kind.name(),
+                m.achieved / 1e9,
+                100.0 * m.utilization
+            );
+        }
+    }
+}

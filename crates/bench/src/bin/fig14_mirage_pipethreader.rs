@@ -1,0 +1,29 @@
+//! Fig. 14: FlashFuser vs Mirage and vs PipeThreader on S1-S8.
+
+use flashfuser_baselines::{Baseline, FlashFuserPolicy, MiragePolicy, PipeThreaderPolicy};
+use flashfuser_bench::{geomean, h100};
+use flashfuser_workloads::gated_ffn_chains;
+
+fn main() {
+    let params = h100();
+    let ff = FlashFuserPolicy::new(params.clone());
+    let mirage = MiragePolicy::new(params.clone());
+    let pipe = PipeThreaderPolicy::new(params.clone());
+    println!("== Fig. 14: FlashFuser vs Mirage / PipeThreader (S1-S8) ==");
+    println!("{:<6}{:>16}{:>20}", "id", "vs Mirage", "vs PipeThreader");
+    let (mut vs_m, mut vs_p) = (vec![], vec![]);
+    for w in gated_ffn_chains() {
+        let f = ff.run(&w.chain).seconds;
+        let m = mirage.run(&w.chain).seconds / f;
+        let p = pipe.run(&w.chain).seconds / f;
+        vs_m.push(m);
+        vs_p.push(p);
+        println!("{:<6}{m:>16.2}{p:>20.2}", w.id);
+    }
+    println!(
+        "{:<6}{:>16.2}{:>20.2}",
+        "geo",
+        geomean(vs_m),
+        geomean(vs_p)
+    );
+}

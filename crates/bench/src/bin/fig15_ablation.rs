@@ -1,0 +1,34 @@
+//! Fig. 15: ablation of dsm_comm (DC), dataflow analyzer (DA) and the
+//! search engine, averaged over C1-C8 and G1-G10.
+
+use flashfuser_baselines::{run_ablation, AblationVariant};
+use flashfuser_bench::{geomean, h100};
+use flashfuser_workloads::{conv_chains, gemm_chains};
+
+fn main() {
+    let params = h100();
+    let mut workloads = conv_chains();
+    workloads.extend(gemm_chains());
+    println!("== Fig. 15: ablation (speedup vs No Fusion) ==");
+    print!("{:<6}", "id");
+    for v in AblationVariant::ALL {
+        print!("{:>12}", v.label());
+    }
+    println!();
+    let mut per_variant: Vec<Vec<f64>> = vec![vec![]; AblationVariant::ALL.len()];
+    for w in &workloads {
+        let base = run_ablation(AblationVariant::NoFusion, &w.chain, &params).seconds;
+        print!("{:<6}", w.id);
+        for (i, v) in AblationVariant::ALL.iter().enumerate() {
+            let s = base / run_ablation(*v, &w.chain, &params).seconds;
+            per_variant[i].push(s);
+            print!("{s:>12.2}");
+        }
+        println!();
+    }
+    print!("{:<6}", "geo");
+    for v in &per_variant {
+        print!("{:>12.2}", geomean(v.iter().copied()));
+    }
+    println!("\npaper averages: 1.00 / 1.52 / 2.11 / 3.29");
+}

@@ -1,0 +1,41 @@
+//! Fig. 16: (a) roofline of the large-model FFNs; (b) end-to-end speedup
+//! as M grows (seq 256, batch 1..32).
+
+use flashfuser_bench::h100;
+use flashfuser_workloads::models::large_model_zoo;
+use flashfuser_workloads::roofline::roofline_point;
+use flashfuser_workloads::e2e_speedup;
+
+fn main() {
+    let params = h100();
+    println!("== Fig. 16(a): roofline (machine balance {:.0} FLOP/B) ==", params.machine_balance());
+    println!("{:<14}{:>8}{:>14}{:>16}{:>10}", "model", "M", "intensity", "attainable TF", "bound");
+    for model in large_model_zoo() {
+        for m in [256usize, 512, 1024, 2048, 4096, 8192] {
+            let p = roofline_point(&model, m, &params);
+            println!(
+                "{:<14}{m:>8}{:>14.1}{:>16.0}{:>10}",
+                model.name,
+                p.intensity,
+                p.attainable_tflops,
+                if p.compute_bound { "compute" } else { "memory" }
+            );
+        }
+    }
+    println!("\n== Fig. 16(b): E2E speedup vs M (seq 256) ==");
+    println!("{:<14}{:>8}{:>14}{:>12}", "model", "M", "ffn speedup", "E2E");
+    let mut all = vec![];
+    for model in large_model_zoo() {
+        for batch in [1usize, 2, 4, 8, 16, 32] {
+            let m = 256 * batch;
+            let r = e2e_speedup(&model, m, &params);
+            all.push(r.speedup);
+            println!(
+                "{:<14}{m:>8}{:>14.2}{:>12.3}",
+                model.name, r.ffn_speedup, r.speedup
+            );
+        }
+    }
+    let avg = all.iter().sum::<f64>() / all.len() as f64;
+    println!("average E2E speedup: {avg:.3} (paper: 1.16 for the large set)");
+}

@@ -1,0 +1,33 @@
+//! Fig. 17: end-to-end speedup vs the SGLang-class serving baseline on
+//! the source models of S1-S8 and G1-G10 (M = 128).
+
+use flashfuser_bench::h100;
+use flashfuser_workloads::models::ModelSpec;
+use flashfuser_workloads::{e2e_speedup, gated_ffn_chains, gemm_chains};
+
+fn main() {
+    let params = h100();
+    println!("== Fig. 17: E2E speedup vs serving baseline (M = 128) ==");
+    println!("{:<6}{:<16}{:>14}{:>10}", "id", "model", "ffn speedup", "E2E");
+    let mut all = vec![];
+    let workloads: Vec<_> = gated_ffn_chains()
+        .into_iter()
+        .chain(gemm_chains())
+        .collect();
+    for w in &workloads {
+        let d = w.chain.dims();
+        // Reconstruct the source model around the measured FFN subgraph.
+        let model = ModelSpec {
+            name: w.model,
+            layers: 1,
+            hidden: d.k,
+            ffn_hidden: d.n,
+            gated: w.chain.kind().is_gated(),
+        };
+        let r = e2e_speedup(&model, 128, &params);
+        all.push(r.speedup);
+        println!("{:<6}{:<16}{:>14.2}{:>10.3}", w.id, w.model, r.ffn_speedup, r.speedup);
+    }
+    let avg = all.iter().sum::<f64>() / all.len() as f64;
+    println!("average: {avg:.3} (paper: 1.32 on this suite; 1.24 overall)");
+}

@@ -1,0 +1,26 @@
+//! Fig. 4: DSM bandwidth and latency vs cluster size, with the
+//! global-memory reference.
+
+use flashfuser_bench::h100;
+use flashfuser_sim::microbench::dsm_curve;
+
+fn main() {
+    let params = h100();
+    let (points, global) = dsm_curve(&params);
+    println!("== Fig. 4: DSM bandwidth / latency vs cluster size ==");
+    println!("{:<10}{:>16}{:>18}", "cluster", "bandwidth TB/s", "latency cycles");
+    for p in &points {
+        println!(
+            "{:<10}{:>16.2}{:>18.0}",
+            p.cluster_size,
+            p.bandwidth / 1e12,
+            p.latency_cycles
+        );
+    }
+    println!(
+        "{:<10}{:>16.2}{:>18.0}   <- global memory reference",
+        "global",
+        global.bandwidth / 1e12,
+        global.latency_cycles
+    );
+}

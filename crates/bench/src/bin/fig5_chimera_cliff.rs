@@ -1,0 +1,38 @@
+//! Fig. 5: Chimera relative performance vs PyTorch, and the 227 KB SMEM
+//! capacity cliff.
+
+use flashfuser_baselines::{Baseline, ChimeraPolicy, PyTorchPolicy};
+use flashfuser_bench::h100;
+use flashfuser_graph::ChainSpec;
+use flashfuser_tensor::Activation;
+
+fn main() {
+    let params = h100();
+    let chimera = ChimeraPolicy::new(params.clone());
+    let torch = PyTorchPolicy::new(params.clone());
+    // The paper's five two-GEMM workloads (M = 128).
+    let rows = [
+        ("ViT-Base/14", 128usize, 256usize, 64usize, 64usize),
+        ("Mixer-Small", 128, 256, 64, 64),
+        ("Bert-Small", 128, 512, 64, 64),
+        ("OPT1_3B", 128, 8192, 2048, 2048),
+        ("GPT6_7B", 128, 16384, 4096, 4096),
+    ];
+    println!("== Fig. 5: Chimera vs torch and the SMEM capacity cliff ==");
+    println!(
+        "{:<14}{:>14}{:>16}{:>12}",
+        "workload", "rel. perf", "intermediate KB", "status"
+    );
+    println!("{:<14}{:>14}{:>16}{:>12}", "", "(torch=1)", "(limit 227)", "");
+    for (name, m, n, k, l) in rows {
+        let chain = ChainSpec::standard_ffn(m, n, k, l, Activation::Relu).named(name);
+        let c = chimera.run(&chain);
+        let t = torch.run(&chain);
+        println!(
+            "{name:<14}{:>14.2}{:>16}{:>12}",
+            t.seconds / c.seconds,
+            chain.dims().intermediate_bytes_f16() / 1024,
+            if c.fused { "fused" } else { "FAIL" }
+        );
+    }
+}

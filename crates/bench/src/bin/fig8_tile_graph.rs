@@ -1,0 +1,20 @@
+//! Fig. 8: tile graphs of standard and gated FFN under one cluster.
+
+use flashfuser_graph::chain::ChainKind;
+use flashfuser_graph::TileGraph;
+use flashfuser_tensor::Activation;
+
+fn main() {
+    println!("== Fig. 8(a): standard FFN, cls (m,n,k,l) = (1,2,2,2) ==");
+    let std = TileGraph::expand(
+        ChainKind::StandardFfn { activation: Activation::Relu },
+        1, 2, 2, 2,
+    );
+    println!("{std}");
+    println!("== Fig. 8(b): gated FFN, same cluster ==");
+    let gated = TileGraph::expand(
+        ChainKind::GatedFfn { activation: Activation::Silu },
+        1, 2, 2, 2,
+    );
+    println!("{gated}");
+}

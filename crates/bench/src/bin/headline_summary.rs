@@ -1,0 +1,62 @@
+//! The paper's headline numbers: memory-access reduction, kernel
+//! speedups vs the best library and best compiler, and E2E speedup.
+
+use flashfuser_baselines::suite;
+use flashfuser_bench::{geomean, h100, run_matrix};
+use flashfuser_workloads::models::ModelSpec;
+use flashfuser_workloads::{all_workloads, e2e_speedup};
+
+fn main() {
+    let params = h100();
+    let systems = suite(&params);
+    let names: Vec<&str> = systems.iter().map(|s| s.name()).collect();
+    let ff = names.iter().position(|n| *n == "FlashFuser").unwrap();
+    let workloads = all_workloads();
+    let results = run_matrix(&workloads, &systems);
+
+    let mut mem_reduction = vec![];
+    let mut vs_best_library = vec![];
+    let mut vs_best_compiler = vec![];
+    let libraries = ["PyTorch", "TensorRT"];
+    let compilers = ["Relay", "TASO", "BOLT", "Chimera", "MCFuser"];
+    for row in &results {
+        let f = &row[ff];
+        let torch = row.iter().find(|r| r.name == "PyTorch").unwrap();
+        mem_reduction.push(1.0 - f.global_bytes as f64 / torch.global_bytes as f64);
+        let best = |set: &[&str]| {
+            row.iter()
+                .filter(|r| set.contains(&r.name))
+                .map(|r| r.seconds)
+                .fold(f64::INFINITY, f64::min)
+        };
+        vs_best_library.push(best(&libraries) / f.seconds);
+        vs_best_compiler.push(best(&compilers) / f.seconds);
+    }
+    let avg_mem = 100.0 * mem_reduction.iter().sum::<f64>() / mem_reduction.len() as f64;
+    println!("== Headline summary (26 subgraphs) ==");
+    println!("memory-access reduction vs PyTorch: {avg_mem:.0}% (paper: 58%)");
+    println!(
+        "kernel speedup vs best library:     {:.2}x (paper: 3.3x)",
+        geomean(vs_best_library)
+    );
+    println!(
+        "kernel speedup vs best compiler:    {:.2}x (paper: 4.1x)",
+        geomean(vs_best_compiler)
+    );
+    let mut e2e = vec![];
+    for w in &workloads {
+        let d = w.chain.dims();
+        let model = ModelSpec {
+            name: w.model,
+            layers: 1,
+            hidden: d.k,
+            ffn_hidden: d.n,
+            gated: w.chain.kind().is_gated(),
+        };
+        e2e.push(e2e_speedup(&model, 128, &params).speedup);
+    }
+    println!(
+        "end-to-end speedup:                 {:.2}x (paper: 1.24x)",
+        e2e.iter().sum::<f64>() / e2e.len() as f64
+    );
+}

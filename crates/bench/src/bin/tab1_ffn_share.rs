@@ -1,0 +1,25 @@
+//! Table I: percentage of execution time spent in FFN layers (seq 512).
+
+use flashfuser_bench::h100;
+use flashfuser_workloads::{ffn_time_share, model_zoo};
+
+fn main() {
+    let params = h100();
+    println!("== Table I: FFN time share (seq = 512) ==");
+    println!("{:<12}{:>12}{:>12}", "Model", "measured %", "paper %");
+    let paper = [
+        ("GPT-6.7B", 61.28),
+        ("LLaMA-1B", 57.44),
+        ("OPT-1.3B", 53.08),
+        ("BERT", 47.03),
+        ("GPT-2", 41.64),
+    ];
+    for model in model_zoo() {
+        let share = 100.0 * ffn_time_share(&model, 512, &params);
+        let reference = paper
+            .iter()
+            .find(|(n, _)| *n == model.name)
+            .map_or(f64::NAN, |(_, v)| *v);
+        println!("{:<12}{share:>11.2}{reference:>12.2}", model.name);
+    }
+}

@@ -1,0 +1,19 @@
+//! Table IV: the 41 spatial/temporal partitions of four loop dims.
+
+use flashfuser_core::LoopSchedule;
+
+fn main() {
+    let all = LoopSchedule::enumerate_all();
+    println!("== Table IV: spatial/temporal partitions ==");
+    println!("{:<10}{:>12}{:>12}", "#spatial", "schedules", "paper");
+    let paper = [24, 12, 4, 1];
+    for n in 1..=4 {
+        let count = all.iter().filter(|s| s.spatial().len() == n).count();
+        println!("{n:<10}{count:>12}{:>12}", paper[n - 1]);
+    }
+    println!("total     {:>12}{:>12}", all.len(), 41);
+    println!("\nExamples:");
+    for s in all.iter().take(6) {
+        println!("  {}", s.name());
+    }
+}

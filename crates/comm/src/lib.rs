@@ -1,0 +1,47 @@
+//! The `dsm_comm` primitive layer (paper §IV-A).
+//!
+//! Distributed Shared Memory (DSM) lets thread blocks inside one cluster
+//! read each other's shared memory. FlashFuser abstracts the cluster-level
+//! data exchanges of a fused GEMM chain into four primitives:
+//!
+//! * [`DsmPrimitive::AllExchange`] — combine K-partitioned partial sums
+//!   (or multiply gated branches) so every block holds a complete
+//!   intermediate tile.
+//! * [`DsmPrimitive::Shuffle`] — ring-rotate complete intermediate tiles
+//!   within a *shuffle group* during the second GEMM.
+//! * [`DsmPrimitive::ReduceScatter`] — accumulate partial output tiles
+//!   across shuffle groups, each block storing its scatter slice.
+//! * [`DsmPrimitive::InterClusterReduce`] — TMA `cp.reduce.async.bulk`
+//!   atomic accumulation through global memory for partial sums that
+//!   cross cluster boundaries.
+//!
+//! This crate is purely analytical and structural: geometry
+//! ([`ClusterShape`]), byte-volume models ([`volume`]), step schedules
+//! ([`schedule`]) and barrier domains ([`sync`]). The functional execution
+//! of the primitives over simulated SMEM lives in `flashfuser-sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use flashfuser_comm::ClusterShape;
+//!
+//! // The paper's Fig. 7(a) geometry.
+//! let cls = ClusterShape::new(2, 4, 2, 4).unwrap();
+//! assert_eq!(cls.blocks(), 16);
+//! assert_eq!(cls.cls_shuffle(), 2);
+//! assert_eq!(cls.cls_reduce(), 2);
+//! ```
+
+pub mod geometry;
+pub mod primitives;
+pub mod schedule;
+pub mod sync;
+pub mod topology;
+pub mod volume;
+
+pub use geometry::{ClusterShape, GeometryError};
+pub use primitives::DsmPrimitive;
+pub use schedule::{ring_steps, scatter_slices, TransferStep};
+pub use sync::SyncDomain;
+pub use topology::Topology;
+pub use volume::CommVolume;

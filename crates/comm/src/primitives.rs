@@ -1,0 +1,123 @@
+//! The four `dsm_comm` primitives and their per-invocation structure.
+
+use crate::geometry::ClusterShape;
+use flashfuser_tensor::BinaryOp;
+use std::fmt;
+
+/// A cluster-level communication primitive (paper §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DsmPrimitive {
+    /// `dsm_all_exchange`: the `cls_k` blocks that hold partial sums of
+    /// one intermediate tile exchange and combine them with `op`
+    /// (`Add` for K-split partial sums, `Mul` for gated branches), leaving
+    /// every participant with the complete tile.
+    AllExchange(BinaryOp),
+    /// `dsm_shuffle`: the `cls_shuffle` blocks of one shuffle group rotate
+    /// their complete intermediate tiles in a ring so each block sees the
+    /// whole row of C during GEMM1.
+    Shuffle,
+    /// `dsm_reduce_scatter`: the `cls_reduce` shuffle groups accumulate
+    /// partial output tiles; each block writes back only its scatter
+    /// slice (no redundancy).
+    ReduceScatter,
+    /// `inter_cluster_reduce`: partial sums that cross cluster boundaries
+    /// are accumulated through global memory using the TMA's
+    /// `cp.reduce.async.bulk` atomic path.
+    InterClusterReduce,
+}
+
+impl DsmPrimitive {
+    /// Number of blocks participating in one invocation of the primitive
+    /// under `shape`.
+    pub fn group_size(self, shape: ClusterShape) -> usize {
+        match self {
+            DsmPrimitive::AllExchange(_) => shape.k(),
+            DsmPrimitive::Shuffle => shape.cls_shuffle(),
+            DsmPrimitive::ReduceScatter => shape.cls_reduce(),
+            // Inter-cluster reduction involves every cluster that holds a
+            // partial sum of the same output tile; group size is counted
+            // per-plan, not per-shape. One cluster contributes once.
+            DsmPrimitive::InterClusterReduce => 1,
+        }
+    }
+
+    /// `true` when the primitive moves data over the SM-to-SM NoC (DSM);
+    /// `false` when it goes through L2/global (inter-cluster reduce).
+    pub fn is_on_chip(self) -> bool {
+        !matches!(self, DsmPrimitive::InterClusterReduce)
+    }
+
+    /// `true` when the primitive performs arithmetic in addition to data
+    /// movement. The paper's Fig. 13 shows `Shuffle` achieving higher
+    /// bandwidth than `Reduce`/`Mul` precisely because the latter two pay
+    /// this compute overhead.
+    pub fn has_compute(self) -> bool {
+        match self {
+            DsmPrimitive::Shuffle => false,
+            DsmPrimitive::AllExchange(_)
+            | DsmPrimitive::ReduceScatter
+            | DsmPrimitive::InterClusterReduce => true,
+        }
+    }
+
+    /// Short mnemonic used in traces and reports.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            DsmPrimitive::AllExchange(BinaryOp::Add) => "all_exchange.add",
+            DsmPrimitive::AllExchange(BinaryOp::Mul) => "all_exchange.mul",
+            DsmPrimitive::AllExchange(BinaryOp::Max) => "all_exchange.max",
+            DsmPrimitive::Shuffle => "shuffle",
+            DsmPrimitive::ReduceScatter => "reduce_scatter",
+            DsmPrimitive::InterClusterReduce => "inter_cluster_reduce",
+        }
+    }
+}
+
+impl fmt::Display for DsmPrimitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_sizes_follow_geometry() {
+        let s = ClusterShape::new(2, 4, 2, 4).unwrap();
+        assert_eq!(DsmPrimitive::AllExchange(BinaryOp::Add).group_size(s), 2);
+        assert_eq!(DsmPrimitive::Shuffle.group_size(s), 2);
+        assert_eq!(DsmPrimitive::ReduceScatter.group_size(s), 2);
+    }
+
+    #[test]
+    fn on_chip_classification() {
+        assert!(DsmPrimitive::Shuffle.is_on_chip());
+        assert!(DsmPrimitive::AllExchange(BinaryOp::Mul).is_on_chip());
+        assert!(!DsmPrimitive::InterClusterReduce.is_on_chip());
+    }
+
+    #[test]
+    fn compute_overhead_classification() {
+        // Fig. 13: Shuffle is pure data movement; the others compute.
+        assert!(!DsmPrimitive::Shuffle.has_compute());
+        assert!(DsmPrimitive::AllExchange(BinaryOp::Add).has_compute());
+        assert!(DsmPrimitive::ReduceScatter.has_compute());
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let all = [
+            DsmPrimitive::AllExchange(BinaryOp::Add),
+            DsmPrimitive::AllExchange(BinaryOp::Mul),
+            DsmPrimitive::Shuffle,
+            DsmPrimitive::ReduceScatter,
+            DsmPrimitive::InterClusterReduce,
+        ];
+        let mut names: Vec<_> = all.iter().map(|p| p.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

@@ -1,0 +1,142 @@
+//! Step schedules for the `dsm_comm` primitives.
+//!
+//! The back-end (paper §V-B) lowers `dsm_shuffle` to a *ring* pattern and
+//! `dsm_reduce_scatter` to per-slice scatter assignments. The simulator
+//! executes exactly these step lists, so the functional interpreter and
+//! the volume models in [`crate::volume`] stay consistent by
+//! construction.
+
+/// One peer-to-peer tile transfer: block `src` sends (or exposes for
+/// remote read) a tile to block `dst`, both identified by their rank
+/// inside the communicating group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransferStep {
+    /// Source rank within the group.
+    pub src: usize,
+    /// Destination rank within the group.
+    pub dst: usize,
+    /// Ring round this transfer belongs to (0-based). All transfers of a
+    /// round proceed in parallel; rounds are separated by an `mbarrier`.
+    pub round: usize,
+}
+
+/// Generates the ring schedule for a group of `g` ranks: `g - 1` rounds,
+/// in round `r` every rank `b` receives the tile originally owned by rank
+/// `(b + r + 1) % g` from its current holder `(b + 1) % g`-style rotation.
+///
+/// The returned list contains `g * (g - 1)` transfers grouped by round.
+/// For `g <= 1` the list is empty.
+///
+/// # Example
+///
+/// ```
+/// use flashfuser_comm::ring_steps;
+///
+/// let steps = ring_steps(3);
+/// assert_eq!(steps.len(), 3 * 2);
+/// // Round 0: every rank forwards to its left neighbour.
+/// assert!(steps.iter().filter(|s| s.round == 0).count() == 3);
+/// ```
+pub fn ring_steps(g: usize) -> Vec<TransferStep> {
+    let mut steps = vec![];
+    if g <= 1 {
+        return steps;
+    }
+    for round in 0..g - 1 {
+        for dst in 0..g {
+            // In round r, rank `dst` pulls the tile held by its right
+            // neighbour; after g-1 rounds it has seen every peer tile.
+            let src = (dst + 1) % g;
+            steps.push(TransferStep { src, dst, round });
+        }
+    }
+    steps
+}
+
+/// The tile that rank `rank` *originally owned* and that rank `dst`
+/// receives in `round` of the ring: after `round + 1` rotations, `dst`
+/// holds the tile of `(dst + round + 1) % g`.
+pub fn ring_tile_owner(g: usize, dst: usize, round: usize) -> usize {
+    (dst + round + 1) % g
+}
+
+/// Scatter-slice assignment of `dsm_reduce_scatter`: output tile columns
+/// are split into `g` contiguous slices; rank `r` owns slice `r` and is
+/// the only writer of it (the "Scatter pattern is employed because each
+/// Block is only responsible for writing back a portion of the final
+/// result", §IV-A).
+///
+/// Returns `(start, len)` pairs over `total` columns for each rank.
+///
+/// # Panics
+///
+/// Panics if `g == 0` or `total % g != 0` (the search only produces
+/// divisible geometries; see pruning Rule 1).
+pub fn scatter_slices(total: usize, g: usize) -> Vec<(usize, usize)> {
+    assert!(g > 0, "scatter group must be non-empty");
+    assert!(
+        total % g == 0,
+        "scatter extent {total} not divisible by group {g}"
+    );
+    let slice = total / g;
+    (0..g).map(|r| (r * slice, slice)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ring_covers_all_peer_tiles() {
+        for g in 2..=16 {
+            let steps = ring_steps(g);
+            assert_eq!(steps.len(), g * (g - 1));
+            for dst in 0..g {
+                // Over all rounds, dst must see every other rank's tile
+                // exactly once.
+                let seen: HashSet<usize> = (0..g - 1)
+                    .map(|round| ring_tile_owner(g, dst, round))
+                    .collect();
+                assert_eq!(seen.len(), g - 1);
+                assert!(!seen.contains(&dst), "rank {dst} saw its own tile");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_rounds_are_one_to_one() {
+        // Within a round, each rank sends exactly once and receives
+        // exactly once (no NoC port conflicts).
+        for g in [2, 4, 8] {
+            let steps = ring_steps(g);
+            for round in 0..g - 1 {
+                let in_round: Vec<_> = steps.iter().filter(|s| s.round == round).collect();
+                let srcs: HashSet<_> = in_round.iter().map(|s| s.src).collect();
+                let dsts: HashSet<_> = in_round.iter().map(|s| s.dst).collect();
+                assert_eq!(srcs.len(), g);
+                assert_eq!(dsts.len(), g);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_trivial_group_is_empty() {
+        assert!(ring_steps(0).is_empty());
+        assert!(ring_steps(1).is_empty());
+    }
+
+    #[test]
+    fn scatter_slices_partition_the_extent() {
+        let slices = scatter_slices(128, 4);
+        assert_eq!(slices, vec![(0, 32), (32, 32), (64, 32), (96, 32)]);
+        let covered: usize = slices.iter().map(|&(_, l)| l).sum();
+        assert_eq!(covered, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn scatter_rejects_indivisible() {
+        scatter_slices(100, 3);
+    }
+}

@@ -1,0 +1,653 @@
+//! The dataflow analyzer (paper §IV-B, Algorithm 1).
+//!
+//! For a candidate `(schedule, cluster, tile)` the analyzer:
+//!
+//! 1. derives the plan geometry (grid / trips per dimension),
+//! 2. computes the per-block footprint of the *reused* tensor — the
+//!   `C` strip when L is iterated outside N (Fig. 9 "MLNK"), or the
+//!   partial-`E` strip when N is iterated outside L (Fig. 9 "MNLK"),
+//! 3. places that footprint greedily across the
+//!    register → SMEM → DSM → global hierarchy (Algorithm 1 lines
+//!    15–23), debiting what the streaming working set already consumes,
+//! 4. charges data-movement volume to every tier: global tile traffic
+//!    (with intra-cluster TMA multicast dedup), strip spill traffic per
+//!    reuse pass, and the `dsm_comm` volumes of
+//!    `flashfuser-comm::volume`.
+//!
+//! # Traffic model
+//!
+//! Whole-device global-memory bytes (f16) charged per tensor:
+//!
+//! * `A`: `clusters x trips_m*trips_n*trips_k x cls_m*cls_k x |A tile|`
+//!   (multicast across the `cls_n` blocks sharing a tile),
+//! * `B`: `... x cls_k*cls_n x |B tile|` (x2 branches when gated),
+//! * `D`: `clusters x trips_m*trips_n*trips_l x cls_n*cls_l x |D tile|`,
+//! * `E`: `S_m*S_l*2 x grid_n` (atomic contributions when N is spatial
+//!   across clusters — the `inter_cluster_reduce` path).
+//!
+//! Strip spill traffic: bytes placed at tier `l` are re-touched once per
+//! reuse pass (`trips_l` passes for a C strip, `2*trips_n - 1` for an
+//! accumulated E strip).
+
+use crate::machine::{MachineParams, MemLevel};
+use crate::mapping::{ResourceMapping, TensorMapping, TensorRole};
+use crate::plan::{FusedPlan, PlanError, PlanGeometry};
+use crate::schedule::LoopSchedule;
+use crate::tiling::BlockTile;
+use flashfuser_comm::volume::{
+    all_exchange_volume, reduce_scatter_volume, shuffle_volume, CommVolume,
+};
+use flashfuser_comm::ClusterShape;
+use flashfuser_graph::{ChainSpec, Dim};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Which reused-strip dataflow the schedule induces (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StripKind {
+    /// N iterated outside L (or N fully spatial): partial-E strip is
+    /// accumulated across N iterations.
+    EStrip,
+    /// L iterated outside N (both temporal): the C strip is materialised
+    /// once and re-read on every L iteration.
+    CStrip,
+}
+
+/// Why a candidate fails analysis (these are exactly the conditions
+/// pruning Rules 3–5 reject).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// Geometry (divisibility / cross-cluster) failure.
+    Plan(PlanError),
+    /// K is temporal but not the innermost temporal loop: the activation
+    /// would see partial sums (Rule 3).
+    KNotInnermost,
+    /// The GEMM0 or GEMM1 register accumulator tile exceeds the register
+    /// file.
+    AccumulatorTooLarge {
+        /// Required bytes (f32 accumulation).
+        required: u64,
+        /// Available register bytes.
+        available: u64,
+    },
+    /// The streaming working set (double-buffered input tiles plus the
+    /// intermediate tile pair) exceeds SMEM.
+    WorkingSetTooLarge {
+        /// Required bytes.
+        required: u64,
+        /// Available SMEM bytes.
+        available: u64,
+    },
+    /// The reused strip cannot be placed at or above the configured
+    /// lowest spill tier (Rule 5).
+    StripDoesNotFit {
+        /// Strip footprint in bytes.
+        footprint: u64,
+        /// The configured lowest spill tier.
+        lowest: MemLevel,
+    },
+    /// The plan needs `inter_cluster_reduce` (N spatial across clusters)
+    /// but the target does not implement the TMA atomic-reduce path —
+    /// the case for every pre-Hopper baseline.
+    InterClusterReduceUnavailable,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Plan(e) => write!(f, "{e}"),
+            AnalysisError::KNotInnermost => {
+                write!(f, "temporal K must be the innermost loop (activation needs complete sums)")
+            }
+            AnalysisError::AccumulatorTooLarge { required, available } => {
+                write!(f, "accumulator needs {required} B of {available} B registers")
+            }
+            AnalysisError::WorkingSetTooLarge { required, available } => {
+                write!(f, "working set needs {required} B of {available} B SMEM")
+            }
+            AnalysisError::StripDoesNotFit { footprint, lowest } => {
+                write!(f, "reused strip of {footprint} B does not fit at or above {lowest}")
+            }
+            AnalysisError::InterClusterReduceUnavailable => {
+                write!(f, "plan needs inter_cluster_reduce, unavailable on this target")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+impl From<PlanError> for AnalysisError {
+    fn from(e: PlanError) -> Self {
+        AnalysisError::Plan(e)
+    }
+}
+
+/// The result of Algorithm 1: the final plan plus per-tier data-movement
+/// volumes and latency-chain counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataflowAnalysis {
+    plan: FusedPlan,
+    volumes: BTreeMap<MemLevel, u64>,
+    strip_kind: StripKind,
+    strip_footprint: u64,
+    smem_working: u64,
+    dsm_steps: u64,
+    barriers: u64,
+}
+
+impl DataflowAnalysis {
+    /// The final plan (`p_final`).
+    pub fn plan(&self) -> &FusedPlan {
+        &self.plan
+    }
+
+    /// Data-movement volume charged to `level` (bytes, whole device).
+    pub fn volume(&self, level: MemLevel) -> u64 {
+        self.volumes.get(&level).copied().unwrap_or(0)
+    }
+
+    /// All per-tier volumes.
+    pub fn volumes(&self) -> &BTreeMap<MemLevel, u64> {
+        &self.volumes
+    }
+
+    /// Which strip dataflow the schedule induced.
+    pub fn strip_kind(&self) -> StripKind {
+        self.strip_kind
+    }
+
+    /// Per-block footprint of the reused strip in bytes.
+    pub fn strip_footprint(&self) -> u64 {
+        self.strip_footprint
+    }
+
+    /// Streaming working-set bytes per block (SMEM).
+    pub fn smem_working(&self) -> u64 {
+        self.smem_working
+    }
+
+    /// Serialised DSM communication steps on one block's critical path
+    /// (multiplied by the NoC hop latency in the timing model).
+    pub fn dsm_steps(&self) -> u64 {
+        self.dsm_steps
+    }
+
+    /// Barrier phases on one block's critical path.
+    pub fn barriers(&self) -> u64 {
+        self.barriers
+    }
+}
+
+/// The dataflow analyzer: machine parameters plus the lowest tier the
+/// reused strip may spill to.
+///
+/// FlashFuser runs with `lowest_spill = MemLevel::Dsm` ("with DSM, the
+/// lowest-level cache, selected by default", §V-A). SMEM-only baselines
+/// use `MemLevel::Smem` (reproducing the Chimera cliff), and the `DA`
+/// ablation of Fig. 15 uses `MemLevel::Global`.
+#[derive(Debug, Clone)]
+pub struct DataflowAnalyzer {
+    params: MachineParams,
+    lowest_spill: MemLevel,
+    allow_inter_cluster_reduce: bool,
+}
+
+impl DataflowAnalyzer {
+    /// Creates the analyzer with the FlashFuser default (spill up to DSM,
+    /// TMA atomic inter-cluster reduction available).
+    pub fn new(params: MachineParams) -> Self {
+        Self {
+            params,
+            lowest_spill: MemLevel::Dsm,
+            allow_inter_cluster_reduce: true,
+        }
+    }
+
+    /// Overrides the lowest spill tier (builder style).
+    pub fn with_lowest_spill(mut self, lowest: MemLevel) -> Self {
+        self.lowest_spill = lowest;
+        self
+    }
+
+    /// Enables/disables the `inter_cluster_reduce` path (builder style).
+    /// Pre-Hopper baselines (BOLT, Chimera, MCFuser) lack the TMA
+    /// `cp.reduce.async.bulk` instruction and must disable it.
+    pub fn with_inter_cluster_reduce(mut self, allow: bool) -> Self {
+        self.allow_inter_cluster_reduce = allow;
+        self
+    }
+
+    /// The configured lowest spill tier.
+    pub fn lowest_spill(&self) -> MemLevel {
+        self.lowest_spill
+    }
+
+    /// The machine parameters in use.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Runs Algorithm 1 on one candidate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] when the candidate is geometrically or
+    /// capacity-wise infeasible — the analyzer doubles as the oracle for
+    /// pruning Rules 3–5.
+    pub fn analyze(
+        &self,
+        chain: &ChainSpec,
+        schedule: &LoopSchedule,
+        cluster: ClusterShape,
+        tile: BlockTile,
+    ) -> Result<DataflowAnalysis, AnalysisError> {
+        let dims = chain.dims();
+        let geometry = PlanGeometry::derive(dims, schedule, cluster, tile)?;
+        if geometry.needs_inter_cluster_reduce() && !self.allow_inter_cluster_reduce {
+            return Err(AnalysisError::InterClusterReduceUnavailable);
+        }
+
+        // Rule 3 (temporal face): a temporal K must be innermost, else the
+        // activation between the GEMMs would consume partial sums.
+        if !schedule.is_spatial(Dim::K) && schedule.innermost_temporal() != Some(Dim::K) {
+            return Err(AnalysisError::KNotInnermost);
+        }
+
+        let gated = chain.kind().is_gated();
+        let branches: u64 = if gated { 2 } else { 1 };
+
+        // --- Register accumulators (f32). --------------------------------
+        let c_accum = (tile.m * tile.n) as u64 * 4;
+        let e_accum = (tile.m * tile.l) as u64 * 4;
+        let reg_needed = c_accum.max(e_accum);
+        if reg_needed > self.params.reg_bytes_per_sm {
+            return Err(AnalysisError::AccumulatorTooLarge {
+                required: reg_needed,
+                available: self.params.reg_bytes_per_sm,
+            });
+        }
+
+        // --- Streaming working set in SMEM (double-buffered stages). -----
+        let smem_working = 2 * (tile.a_tile_bytes() + branches * tile.b_tile_bytes()
+            + tile.d_tile_bytes())
+            + 2 * tile.c_tile_bytes();
+        if smem_working > self.params.smem_bytes_per_sm {
+            return Err(AnalysisError::WorkingSetTooLarge {
+                required: smem_working,
+                available: self.params.smem_bytes_per_sm,
+            });
+        }
+
+        // --- Reused strip footprint (Fig. 9). -----------------------------
+        let trips_n = geometry.trips(Dim::N) as u64;
+        let trips_l = geometry.trips(Dim::L) as u64;
+        let trips_m = geometry.trips(Dim::M) as u64;
+        let trips_k = geometry.trips(Dim::K) as u64;
+        let c_strip_order = !schedule.is_spatial(Dim::N)
+            && !schedule.is_spatial(Dim::L)
+            && schedule.is_outer(Dim::L, Dim::N);
+        let (strip_kind, strip_footprint, reuse_passes) = if c_strip_order {
+            // L outer: hold the C strip, re-read it on every L trip.
+            (StripKind::CStrip, trips_n * tile.c_tile_bytes(), trips_l)
+        } else {
+            // N outer (or spatial): accumulate the E strip across N trips.
+            let footprint = if trips_n > 1 {
+                trips_l * tile.e_tile_bytes()
+            } else {
+                tile.e_tile_bytes()
+            };
+            (StripKind::EStrip, footprint, 2 * trips_n - 1)
+        };
+
+        // --- Greedy placement (Algorithm 1 lines 15-23). ------------------
+        let free_smem = self.params.smem_bytes_per_sm - smem_working;
+        let free_reg = self.params.reg_bytes_per_sm - reg_needed;
+        let peer_blocks = cluster.blocks().saturating_sub(1) as u64;
+        let mut budget = BTreeMap::from([
+            (MemLevel::Reg, free_reg),
+            (MemLevel::Smem, free_smem),
+            // The DSM pool is the aggregated free SMEM of the peer blocks
+            // in the cluster. Strips of peer blocks are disjoint slices of
+            // the same logical tensor, so per-block accounting against the
+            // peer pool does not double-count (see DESIGN.md).
+            (MemLevel::Dsm, peer_blocks * free_smem),
+            (MemLevel::Global, u64::MAX),
+        ]);
+        let mut mapping = ResourceMapping::new();
+        mapping.insert(
+            TensorRole::A,
+            TensorMapping::single(MemLevel::Smem, 2 * tile.a_tile_bytes()),
+        );
+        mapping.insert(
+            TensorRole::B,
+            TensorMapping::single(MemLevel::Smem, 2 * tile.b_tile_bytes()),
+        );
+        if gated {
+            mapping.insert(
+                TensorRole::BGate,
+                TensorMapping::single(MemLevel::Smem, 2 * tile.b_tile_bytes()),
+            );
+        }
+        mapping.insert(
+            TensorRole::D,
+            TensorMapping::single(MemLevel::Smem, 2 * tile.d_tile_bytes()),
+        );
+        let strip_role = match strip_kind {
+            StripKind::CStrip => TensorRole::CStrip,
+            StripKind::EStrip => TensorRole::EStrip,
+        };
+        let strip_mapping = TensorMapping::greedy(strip_footprint, &mut budget, self.lowest_spill)
+            .ok_or(AnalysisError::StripDoesNotFit {
+                footprint: strip_footprint,
+                lowest: self.lowest_spill,
+            })?;
+        mapping.insert(strip_role, strip_mapping.clone());
+
+        // --- Global tile traffic (multicast-deduplicated). ----------------
+        let clusters = geometry.clusters_total();
+        let blocks = clusters * cluster.blocks() as u64;
+        let (cls_m, cls_n, cls_k, cls_l) = (
+            cluster.m() as u64,
+            cluster.n() as u64,
+            cluster.k() as u64,
+            cluster.l() as u64,
+        );
+        let a_raw =
+            clusters * trips_m * trips_n * trips_k * cls_m * cls_k * tile.a_tile_bytes();
+        let b_raw = clusters
+            * trips_m
+            * trips_n
+            * trips_k
+            * cls_k
+            * cls_n
+            * branches
+            * tile.b_tile_bytes();
+        let d_raw =
+            clusters * trips_m * trips_n * trips_l * cls_n * cls_l * tile.d_tile_bytes();
+        let grid_n = geometry.grid(Dim::N) as u64;
+        let e_bytes = dims.e_bytes_f16() * grid_n;
+        // L2 residency filter: re-loads of a tensor whose distinct bytes
+        // fit comfortably in L2 are served on-chip; only the first pass
+        // (the distinct bytes) reaches HBM. Tensors larger than half the
+        // L2 stream from HBM every time.
+        let l2_resident = |distinct: u64, raw: u64| -> u64 {
+            if distinct <= self.params.l2_bytes / 2 {
+                distinct.min(raw)
+            } else {
+                raw
+            }
+        };
+        let a_bytes = l2_resident(dims.a_bytes_f16(), a_raw);
+        let b_bytes = l2_resident(branches * dims.b_bytes_f16(), b_raw);
+        let d_bytes = l2_resident(dims.d_bytes_f16(), d_raw);
+        let l2_raw = a_raw + b_raw + d_raw + e_bytes;
+        let mut global = a_bytes + b_bytes + d_bytes + e_bytes;
+
+        // --- Strip spill traffic per tier. ---------------------------------
+        let mut volumes: BTreeMap<MemLevel, u64> = BTreeMap::new();
+        for &(level, alloc) in strip_mapping.allocations() {
+            let passes = reuse_passes.max(1);
+            let touched = blocks * trips_m * alloc * passes;
+            *volumes.entry(level).or_insert(0) += touched;
+        }
+        let strip_global_spill = volumes.get(&MemLevel::Global).copied().unwrap_or(0);
+        global += strip_global_spill;
+
+        // --- dsm_comm traffic. ---------------------------------------------
+        let mut dsm = CommVolume::default();
+        let mut dsm_steps = 0u64;
+        let mut barriers = 0u64;
+        let uses_exchange = cls_k > 1;
+        if uses_exchange {
+            // Gated chains exchange both branch accumulators.
+            let exchange_bytes = branches * tile.c_tile_bytes();
+            let invocations = clusters * trips_m * trips_n * cls_m * cls_n;
+            dsm = dsm.merge(
+                all_exchange_volume(cluster.k(), exchange_bytes).scaled(invocations),
+            );
+            let per_block = trips_m * trips_n * (cls_k - 1);
+            dsm_steps += per_block;
+            barriers += trips_m * trips_n;
+        }
+        let shuffle_group = cluster.cls_shuffle() as u64;
+        if shuffle_group > 1 {
+            // In the E-strip order a received C tile serves every L trip,
+            // so the ring runs once per (m, n) iteration; the C-strip
+            // order re-shuffles per (l, n) iteration.
+            let shuffle_repeats = if c_strip_order { trips_l } else { 1 };
+            let groups = cluster.blocks() as u64 / shuffle_group;
+            let invocations = clusters * trips_m * trips_n * shuffle_repeats * groups;
+            dsm = dsm.merge(
+                shuffle_volume(cluster.cls_shuffle(), tile.c_tile_bytes()).scaled(invocations),
+            );
+            dsm_steps += trips_m * trips_n * shuffle_repeats * (shuffle_group - 1);
+            barriers += trips_m * trips_n * shuffle_repeats * (shuffle_group - 1);
+        }
+        let reduce_group = cluster.cls_reduce() as u64;
+        if reduce_group > 1 {
+            let groups = cluster.blocks() as u64 / reduce_group;
+            let invocations = clusters * trips_m * trips_l * groups;
+            dsm = dsm.merge(
+                reduce_scatter_volume(cluster.cls_reduce(), tile.e_tile_bytes())
+                    .scaled(invocations),
+            );
+            dsm_steps += trips_m * trips_l * (reduce_group - 1);
+            barriers += trips_m * trips_l;
+        }
+        *volumes.entry(MemLevel::Dsm).or_insert(0) += dsm.dsm_bytes;
+        global += dsm.global_bytes;
+
+        // --- SMEM / register volume. ---------------------------------------
+        // Everything loaded from global lands in SMEM; DSM transfers read
+        // peer SMEM and write local SMEM; MMA operand reads come on top.
+        let mma_reads = blocks
+            * trips_m
+            * trips_n
+            * (trips_k * (tile.a_tile_bytes() + branches * tile.b_tile_bytes())
+                + trips_l * (tile.c_tile_bytes() + tile.d_tile_bytes()));
+        let smem_volume = l2_raw + strip_global_spill + 2 * dsm.dsm_bytes + mma_reads;
+        *volumes.entry(MemLevel::Smem).or_insert(0) += smem_volume;
+        // Tensor-core operand feed out of the register file: ~3 bytes per
+        // FLOP-pair (two f16 operands in, f32 accumulate forwarded).
+        let reg_volume = (chain.total_flops() as f64 * 1.5) as u64;
+        *volumes.entry(MemLevel::Reg).or_insert(0) += reg_volume;
+        *volumes.entry(MemLevel::Global).or_insert(0) = global;
+        // L2 sees every load, including the re-loads it filters from HBM.
+        *volumes.entry(MemLevel::L2).or_insert(0) += l2_raw + strip_global_spill;
+
+        let plan = FusedPlan {
+            chain: chain.clone(),
+            schedule: schedule.clone(),
+            cluster,
+            tile,
+            geometry,
+            mapping,
+        };
+        Ok(DataflowAnalysis {
+            plan,
+            volumes,
+            strip_kind,
+            strip_footprint,
+            smem_working,
+            dsm_steps,
+            barriers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashfuser_tensor::Activation;
+
+    fn chain() -> ChainSpec {
+        ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Relu)
+    }
+
+    fn analyzer() -> DataflowAnalyzer {
+        DataflowAnalyzer::new(MachineParams::h100_sxm())
+    }
+
+    fn sched(spatial: &[Dim], temporal: &[Dim]) -> LoopSchedule {
+        LoopSchedule::new(spatial.to_vec(), temporal.to_vec())
+    }
+
+    #[test]
+    fn k_not_innermost_rejected() {
+        let s = sched(&[Dim::M], &[Dim::K, Dim::N, Dim::L]);
+        let err = analyzer()
+            .analyze(
+                &chain(),
+                &s,
+                ClusterShape::single_block(),
+                BlockTile::new(64, 64, 32, 64),
+            )
+            .unwrap_err();
+        assert_eq!(err, AnalysisError::KNotInnermost);
+    }
+
+    #[test]
+    fn spatial_k_bypasses_innermost_rule() {
+        // K spatial within the cluster: the all_exchange completes sums.
+        let s = sched(&[Dim::M, Dim::K], &[Dim::N, Dim::L]);
+        let cluster = ClusterShape::new(1, 2, 2, 2).unwrap();
+        let tile = BlockTile::new(64, 64, 128, 64); // cls_k*blk_k = 256 = K
+        let a = analyzer().analyze(&chain(), &s, cluster, tile).unwrap();
+        assert!(a.volume(MemLevel::Dsm) > 0, "exchange traffic expected");
+    }
+
+    #[test]
+    fn strip_kind_follows_loop_order() {
+        let tile = BlockTile::new(64, 64, 32, 64);
+        let cluster = ClusterShape::single_block();
+        // N outer of L -> E strip.
+        let a = analyzer()
+            .analyze(&chain(), &sched(&[Dim::M], &[Dim::N, Dim::L, Dim::K]), cluster, tile)
+            .unwrap();
+        assert_eq!(a.strip_kind(), StripKind::EStrip);
+        assert_eq!(
+            a.strip_footprint(),
+            (256 / 64) as u64 * tile.e_tile_bytes()
+        );
+        // L outer of N -> C strip.
+        let b = analyzer()
+            .analyze(&chain(), &sched(&[Dim::M], &[Dim::L, Dim::N, Dim::K]), cluster, tile)
+            .unwrap();
+        assert_eq!(b.strip_kind(), StripKind::CStrip);
+        assert_eq!(
+            b.strip_footprint(),
+            (1024 / 64) as u64 * tile.c_tile_bytes()
+        );
+    }
+
+    #[test]
+    fn fused_global_traffic_beats_unfused() {
+        // A good fused plan must move (much) less global data than the
+        // unfused round-trip — the headline claim of the paper.
+        let c = chain();
+        let s = sched(&[Dim::M], &[Dim::N, Dim::L, Dim::K]);
+        let cluster = ClusterShape::new(1, 4, 1, 4).unwrap();
+        let tile = BlockTile::new(128, 128, 64, 64);
+        let a = analyzer().analyze(&c, &s, cluster, tile).unwrap();
+        assert!(
+            a.volume(MemLevel::Global) < c.unfused_global_bytes(),
+            "fused {} vs unfused {}",
+            a.volume(MemLevel::Global),
+            c.unfused_global_bytes()
+        );
+    }
+
+    #[test]
+    fn smem_only_spill_reproduces_capacity_cliff() {
+        // GPT-6.7B-sized intermediate: C strip = N/blk_n * c_tile far
+        // exceeds one SM's SMEM, so an SMEM-limited analyzer must fail
+        // while the DSM-enabled one succeeds.
+        let big = ChainSpec::standard_ffn(128, 16384, 4096, 4096, Activation::Relu);
+        let s = sched(&[Dim::M], &[Dim::L, Dim::N, Dim::K]);
+        let cluster_smem = ClusterShape::single_block();
+        let tile = BlockTile::new(128, 128, 64, 128);
+        let smem_only = analyzer().with_lowest_spill(MemLevel::Smem);
+        let err = smem_only
+            .analyze(&big, &s, cluster_smem, tile)
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::StripDoesNotFit { .. }));
+        // The same dataflow with a 16-block cluster fits in the DSM pool.
+        let cluster_dsm = ClusterShape::new(1, 8, 2, 16).unwrap();
+        let ok = analyzer().analyze(&big, &s, cluster_dsm, tile);
+        assert!(ok.is_ok(), "{ok:?}");
+        assert_eq!(
+            ok.unwrap().plan().deepest_reused_level(),
+            Some(MemLevel::Dsm)
+        );
+    }
+
+    #[test]
+    fn gated_chain_doubles_b_traffic() {
+        let std = chain();
+        let gated = ChainSpec::gated_ffn(128, 1024, 256, 256, Activation::Silu);
+        let s = sched(&[Dim::M], &[Dim::N, Dim::L, Dim::K]);
+        let cluster = ClusterShape::single_block();
+        let tile = BlockTile::new(128, 64, 32, 64);
+        let a_std = analyzer().analyze(&std, &s, cluster, tile).unwrap();
+        let a_gated = analyzer().analyze(&gated, &s, cluster, tile).unwrap();
+        let diff = a_gated.volume(MemLevel::Global) - a_std.volume(MemLevel::Global);
+        // The extra traffic is exactly one more pass over B.
+        let b_pass = (128u64 / 128) * (1024 / 64) * (256 / 32) * tile.b_tile_bytes();
+        assert_eq!(diff, b_pass);
+    }
+
+    #[test]
+    fn dsm_traffic_scales_with_shuffle_group() {
+        let c = chain();
+        let s = sched(&[Dim::M], &[Dim::N, Dim::L, Dim::K]);
+        let tile = BlockTile::new(64, 64, 32, 32);
+        let small = ClusterShape::new(1, 2, 1, 2).unwrap(); // shuffle = 2
+        let large = ClusterShape::new(1, 8, 1, 8).unwrap(); // shuffle = 8
+        let a_small = analyzer().analyze(&c, &s, small, tile).unwrap();
+        let a_large = analyzer().analyze(&c, &s, large, tile).unwrap();
+        assert!(a_large.volume(MemLevel::Dsm) > a_small.volume(MemLevel::Dsm));
+    }
+
+    #[test]
+    fn working_set_overflow_rejected() {
+        let tile = BlockTile::new(128, 512, 256, 128);
+        let err = analyzer()
+            .analyze(
+                &chain(),
+                &sched(&[Dim::M], &[Dim::N, Dim::L, Dim::K]),
+                ClusterShape::single_block(),
+                tile,
+            )
+            .unwrap_err();
+        // 2*(128*256 + 256*512 + 512*128)*2B + 2*128*512*2B = 1.15 MB > 227 KB
+        // ... but the register accumulator check fires first (128*512*4B =
+        // 256 KB > 128 KB), which is also a Rule 5 capacity rejection.
+        assert!(
+            matches!(
+                err,
+                AnalysisError::WorkingSetTooLarge { .. }
+                    | AnalysisError::AccumulatorTooLarge { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn volumes_present_for_all_levels() {
+        let a = analyzer()
+            .analyze(
+                &chain(),
+                &sched(&[Dim::M], &[Dim::N, Dim::L, Dim::K]),
+                ClusterShape::new(1, 2, 2, 2).unwrap(),
+                BlockTile::new(64, 64, 32, 64),
+            )
+            .unwrap();
+        for level in [MemLevel::Reg, MemLevel::Smem, MemLevel::Global, MemLevel::L2] {
+            assert!(a.volume(level) > 0, "no volume at {level}");
+        }
+        assert!(a.dsm_steps() > 0);
+        assert!(a.barriers() > 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The analytical cost model (paper §IV-C1, Eq. 1–3).
+//!
+//! Each memory tier `l` contributes `C_l = V_l / B_l`; the plan's
+//! estimated time is the *bottleneck* stage —
+//! `max(compute, max_l C_l)` — because a well-pipelined kernel overlaps
+//! compute with every transfer tier. The search engine minimises this
+//! minimax objective (Eq. 2) subject to the capacity constraints the
+//! analyzer already enforced (Eq. 3).
+//!
+//! The model deliberately ignores latency chains, barrier costs and wave
+//! quantisation — the second-order effects the simulator *does* model —
+//! which is exactly why the paper profiles the top-K candidates on
+//! hardware instead of trusting rank 1 (Fig. 12).
+
+use crate::analyzer::DataflowAnalysis;
+use crate::machine::{MachineParams, MemLevel};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Fraction of the serialised DSM-hop/barrier chain that survives
+/// software pipelining (double-buffered rings hide the rest). Shared
+/// with the simulator's timing model so both cost plans consistently.
+pub const LATENCY_AMORTIZATION: f64 = 0.15;
+
+/// Per-tier cost decomposition of one plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostBreakdown {
+    /// Tensor-core time, seconds.
+    pub compute_s: f64,
+    /// Transfer time per tier, seconds.
+    pub tier_s: BTreeMap<MemLevel, f64>,
+    /// Un-overlapped communication-latency chain, seconds.
+    pub latency_s: f64,
+    /// The bottleneck estimate: `max(compute, max_l tier) + latency`.
+    pub est_s: f64,
+    /// Which stage is the bottleneck (`None` = compute-bound).
+    pub bottleneck: Option<MemLevel>,
+}
+
+impl CostBreakdown {
+    /// Estimated TFLOP/s implied by the estimate.
+    pub fn tflops(&self, total_flops: u64) -> f64 {
+        total_flops as f64 / self.est_s / 1e12
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "est {:.3} us (compute {:.3} us", self.est_s * 1e6, self.compute_s * 1e6)?;
+        for (level, s) in &self.tier_s {
+            write!(f, ", {level} {:.3} us", s * 1e6)?;
+        }
+        match self.bottleneck {
+            Some(l) => write!(f, ") bottleneck={l}"),
+            None => write!(f, ") compute-bound"),
+        }
+    }
+}
+
+/// The minimax cost model over [`MachineParams`] bandwidths.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    params: MachineParams,
+}
+
+impl CostModel {
+    /// Creates the model.
+    pub fn new(params: MachineParams) -> Self {
+        Self { params }
+    }
+
+    /// The machine parameters in use.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Evaluates Eq. 1–2 for an analyzed plan, plus the amortized
+    /// DSM-latency chain (hops and barriers that pipelining cannot hide).
+    ///
+    /// Like Chimera's model (which this one extends, §IV-C1), the tier
+    /// costs account for parallelism: a grid with fewer resident blocks
+    /// than SMs can neither saturate the memory system nor fill the
+    /// tensor cores, so both are derated by the occupancy fraction.
+    pub fn evaluate(&self, analysis: &DataflowAnalysis) -> CostBreakdown {
+        let plan = analysis.plan();
+        let cluster_size = plan.cluster.blocks();
+        let blocks = plan.blocks_total();
+        let sms = self.params.num_sms as u64;
+        let waves = blocks.div_ceil(sms).max(1);
+        let wave_eff = blocks as f64 / (waves * sms) as f64;
+        let bw_util = (blocks as f64 / sms as f64).min(1.0).max(0.05);
+        let compute_s =
+            plan.chain.total_flops() as f64 / self.params.peak_flops / wave_eff;
+        let mut tier_s = BTreeMap::new();
+        let mut est_s = compute_s;
+        let mut bottleneck = None;
+        for level in MemLevel::ALL {
+            let v = analysis.volume(level);
+            if v == 0 {
+                continue;
+            }
+            let bw = self.params.bandwidth(level, cluster_size) * bw_util;
+            let t = v as f64 / bw;
+            tier_s.insert(level, t);
+            if t > est_s {
+                est_s = t;
+                bottleneck = Some(level);
+            }
+        }
+        let cycle = self.params.cycle_s();
+        let latency_s = LATENCY_AMORTIZATION
+            * (analysis.dsm_steps() as f64 * self.params.dsm_latency_cycles(cluster_size)
+                + analysis.barriers() as f64 * self.params.barrier_cycles)
+            * cycle;
+        CostBreakdown {
+            compute_s,
+            tier_s,
+            latency_s,
+            est_s: est_s + latency_s,
+            bottleneck,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::DataflowAnalyzer;
+    use crate::schedule::LoopSchedule;
+    use crate::tiling::BlockTile;
+    use flashfuser_comm::ClusterShape;
+    use flashfuser_graph::{ChainSpec, Dim};
+    use flashfuser_tensor::Activation;
+
+    fn analyzed(
+        chain: &ChainSpec,
+        cluster: ClusterShape,
+        tile: BlockTile,
+    ) -> DataflowAnalysis {
+        let s = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
+        DataflowAnalyzer::new(MachineParams::h100_sxm())
+            .analyze(chain, &s, cluster, tile)
+            .unwrap()
+    }
+
+    #[test]
+    fn estimate_is_max_of_stages() {
+        let chain = ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Relu);
+        let a = analyzed(
+            &chain,
+            ClusterShape::new(1, 2, 2, 2).unwrap(),
+            BlockTile::new(64, 64, 32, 64),
+        );
+        let cb = CostModel::new(MachineParams::h100_sxm()).evaluate(&a);
+        let max_tier = cb.tier_s.values().copied().fold(0.0, f64::max);
+        assert!((cb.est_s - cb.latency_s - cb.compute_s.max(max_tier)).abs() < 1e-15);
+        assert!(cb.est_s > 0.0);
+    }
+
+    #[test]
+    fn memory_bound_small_m_chain() {
+        // M=128 FFN chains are memory-bound (the paper's premise): the
+        // bottleneck must be a memory tier, not compute.
+        let chain = ChainSpec::standard_ffn(128, 8192, 2048, 2048, Activation::Relu);
+        let a = analyzed(
+            &chain,
+            ClusterShape::new(1, 4, 2, 8).unwrap(),
+            BlockTile::new(128, 128, 64, 128),
+        );
+        let cb = CostModel::new(MachineParams::h100_sxm()).evaluate(&a);
+        assert!(cb.bottleneck.is_some(), "expected memory-bound: {cb}");
+    }
+
+    #[test]
+    fn tflops_inverse_to_time() {
+        let chain = ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Relu);
+        let a = analyzed(
+            &chain,
+            ClusterShape::single_block(),
+            BlockTile::new(64, 64, 32, 64),
+        );
+        let cb = CostModel::new(MachineParams::h100_sxm()).evaluate(&a);
+        let t = cb.tflops(chain.total_flops());
+        assert!(t > 0.0);
+        assert!(t <= MachineParams::h100_sxm().peak_flops / 1e12 + 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_bottleneck() {
+        let chain = ChainSpec::standard_ffn(128, 4096, 1024, 1024, Activation::Relu);
+        let a = analyzed(
+            &chain,
+            ClusterShape::new(1, 2, 1, 2).unwrap(),
+            BlockTile::new(128, 64, 64, 64),
+        );
+        let cb = CostModel::new(MachineParams::h100_sxm()).evaluate(&a);
+        assert!(cb.to_string().contains("est"));
+    }
+}

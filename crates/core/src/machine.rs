@@ -1,0 +1,336 @@
+//! Machine parameters shared by the analyzer, the cost model and the
+//! simulator.
+//!
+//! All capacities, bandwidths and latencies of the modelled GPU live in
+//! one struct so that every layer of the stack — pruning Rule 5, the
+//! dataflow analyzer, the minimax cost model and the timing model in
+//! `flashfuser-sim` — reasons about the *same* hardware. The H100 SXM
+//! defaults are calibrated to the paper's own measurements (Fig. 4) and
+//! to published Hopper microbenchmarking work [Luo et al., IPDPS'24;
+//! Jin et al., MICRO'24].
+
+use std::fmt;
+
+/// One tier of the modelled memory hierarchy.
+///
+/// `Reg` is the paper's L0, `Smem` the L1, `Dsm` the "L1.5" created by
+/// the SM-to-SM interconnect, and `L2`/`Global` the off-core tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemLevel {
+    /// Per-thread register file (L0).
+    Reg,
+    /// Per-SM shared memory (L1).
+    Smem,
+    /// Distributed shared memory: peer-SM SMEM over the cluster NoC (L1.5).
+    Dsm,
+    /// Device-wide L2 cache.
+    L2,
+    /// HBM global memory.
+    Global,
+}
+
+impl MemLevel {
+    /// All tiers from fastest to slowest.
+    pub const ALL: [MemLevel; 5] = [
+        MemLevel::Reg,
+        MemLevel::Smem,
+        MemLevel::Dsm,
+        MemLevel::L2,
+        MemLevel::Global,
+    ];
+
+    /// The spill order of Algorithm 1: tiers an intermediate may be
+    /// *placed* in, fastest first. (L2 is a transparent cache, not a
+    /// placement target.)
+    pub const SPILL_ORDER: [MemLevel; 4] = [
+        MemLevel::Reg,
+        MemLevel::Smem,
+        MemLevel::Dsm,
+        MemLevel::Global,
+    ];
+
+    /// Index into per-level arrays.
+    pub fn index(self) -> usize {
+        match self {
+            MemLevel::Reg => 0,
+            MemLevel::Smem => 1,
+            MemLevel::Dsm => 2,
+            MemLevel::L2 => 3,
+            MemLevel::Global => 4,
+        }
+    }
+}
+
+impl fmt::Display for MemLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemLevel::Reg => "reg",
+            MemLevel::Smem => "smem",
+            MemLevel::Dsm => "dsm",
+            MemLevel::L2 => "l2",
+            MemLevel::Global => "global",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Capacities, bandwidths and latencies of the modelled GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineParams {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Peak dense FP16 tensor-core throughput, FLOP/s (whole device).
+    pub peak_flops: f64,
+    /// Register file bytes per SM usable for accumulators/tiles.
+    pub reg_bytes_per_sm: u64,
+    /// Usable shared-memory bytes per SM (227 KB on H100; the purple
+    /// dotted line of the paper's Fig. 5).
+    pub smem_bytes_per_sm: u64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// Maximum thread blocks per cluster.
+    pub max_cluster: usize,
+    /// Aggregate register-file bandwidth, bytes/s (effectively the tensor
+    /// core operand feed; very large).
+    pub reg_bw: f64,
+    /// Aggregate SMEM bandwidth, bytes/s (all SMs).
+    pub smem_bw: f64,
+    /// DSM (SM-to-SM NoC) aggregate bandwidth at cluster size 2, bytes/s.
+    /// Larger clusters derate it — see [`MachineParams::dsm_bw`].
+    pub dsm_bw_cls2: f64,
+    /// L2 bandwidth, bytes/s.
+    pub l2_bw: f64,
+    /// *Achievable* HBM bandwidth under kernel access patterns, bytes/s.
+    /// This is the "Global Memory" reference line of the paper's Fig. 4
+    /// (~2 TB/s measured), used by the cost and timing models.
+    pub hbm_bw: f64,
+    /// Peak (datasheet) HBM bandwidth, bytes/s — used for rooflines.
+    pub hbm_peak_bw: f64,
+    /// DSM remote-access latency at cluster size 2, in cycles (Fig. 4
+    /// left end of the latency curve).
+    pub dsm_latency_cls2_cycles: f64,
+    /// Additional DSM latency per doubling of cluster size, cycles.
+    pub dsm_latency_slope_cycles: f64,
+    /// Global-memory access latency, cycles.
+    pub global_latency_cycles: f64,
+    /// Cost of one group-scoped `mbarrier` phase, cycles.
+    pub barrier_cycles: f64,
+    /// Fixed kernel-launch overhead, seconds (per kernel; the paper's
+    /// unfused baselines pay this once per operator).
+    pub kernel_launch_s: f64,
+}
+
+impl MachineParams {
+    /// H100 SXM5 defaults.
+    ///
+    /// Sources: 989 TFLOPS dense FP16, 132 SMs, 3.35 TB/s HBM3,
+    /// 227 KB usable SMEM/SM, 50 MB L2 (NVIDIA Hopper whitepaper);
+    /// DSM bandwidth ≈ 3.27 TB/s at cluster 2 falling towards
+    /// ≈ 1.7 TB/s at cluster 16 and DSM latency ≈ 180–230 cycles
+    /// (paper Fig. 4; Luo et al. IPDPS'24; Jin et al. MICRO'24).
+    pub fn h100_sxm() -> Self {
+        Self {
+            name: "H100-SXM5 (simulated)",
+            num_sms: 132,
+            clock_hz: 1.83e9,
+            peak_flops: 989e12,
+            // 64K 32-bit registers per SM = 256 KB; roughly half is
+            // realistically available for accumulator tiles.
+            reg_bytes_per_sm: 128 * 1024,
+            smem_bytes_per_sm: 227 * 1024,
+            l2_bytes: 50 * 1024 * 1024,
+            max_cluster: 16,
+            reg_bw: 600e12,
+            // ~128 B/clk/SM x 132 SMs x 1.83 GHz ≈ 31 TB/s.
+            smem_bw: 31e12,
+            dsm_bw_cls2: 3.27e12,
+            l2_bw: 12e12,
+            hbm_bw: 2.0e12,
+            hbm_peak_bw: 3.35e12,
+            dsm_latency_cls2_cycles: 184.0,
+            dsm_latency_slope_cycles: 16.0,
+            global_latency_cycles: 478.0,
+            barrier_cycles: 60.0,
+            kernel_launch_s: 1.5e-6,
+        }
+    }
+
+    /// A100 SXM4 defaults — no DSM (cluster limit 1). Used by
+    /// sensitivity studies and as a pre-Hopper reference point.
+    pub fn a100_sxm() -> Self {
+        Self {
+            name: "A100-SXM4 (simulated)",
+            num_sms: 108,
+            clock_hz: 1.41e9,
+            peak_flops: 312e12,
+            reg_bytes_per_sm: 128 * 1024,
+            smem_bytes_per_sm: 164 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            max_cluster: 1,
+            reg_bw: 300e12,
+            smem_bw: 19e12,
+            dsm_bw_cls2: 0.0,
+            l2_bw: 7e12,
+            hbm_bw: 1.4e12,
+            hbm_peak_bw: 2.0e12,
+            dsm_latency_cls2_cycles: 0.0,
+            dsm_latency_slope_cycles: 0.0,
+            global_latency_cycles: 480.0,
+            barrier_cycles: 60.0,
+            kernel_launch_s: 1.5e-6,
+        }
+    }
+
+    /// DSM aggregate bandwidth (bytes/s) for a given cluster size.
+    ///
+    /// The paper's Fig. 4 shows bandwidth *decreasing* with cluster size
+    /// (more SMs share the same NoC paths and hop distance grows). We
+    /// model a smooth derate of ~18 % per doubling beyond 2, which
+    /// reproduces the measured ≈3.3 → ≈1.7 TB/s drop from cluster 2 to
+    /// 16. Returns the HBM bandwidth for cluster sizes < 2 (no DSM).
+    pub fn dsm_bw(&self, cluster_size: usize) -> f64 {
+        if cluster_size < 2 || self.dsm_bw_cls2 == 0.0 {
+            return self.hbm_bw;
+        }
+        let doublings = (cluster_size as f64 / 2.0).log2().max(0.0);
+        self.dsm_bw_cls2 * 0.82f64.powf(doublings)
+    }
+
+    /// DSM remote-access latency (cycles) for a given cluster size: grows
+    /// roughly linearly in hop distance (Fig. 4 latency curve).
+    pub fn dsm_latency_cycles(&self, cluster_size: usize) -> f64 {
+        if cluster_size < 2 {
+            return 0.0;
+        }
+        let doublings = (cluster_size as f64 / 2.0).log2().max(0.0);
+        self.dsm_latency_cls2_cycles + self.dsm_latency_slope_cycles * doublings
+    }
+
+    /// Seconds per cycle.
+    pub fn cycle_s(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+
+    /// Placement capacity (bytes) of a spill tier, per block.
+    ///
+    /// Register and SMEM capacity belong to one SM (one block in this
+    /// model); `Dsm` capacity is the *aggregated peer SMEM of the
+    /// cluster* minus the block's own (`(cluster_size - 1) x SMEM`);
+    /// `Global` is unbounded for placement purposes.
+    pub fn placement_capacity(&self, level: MemLevel, cluster_size: usize) -> u64 {
+        match level {
+            MemLevel::Reg => self.reg_bytes_per_sm,
+            MemLevel::Smem => self.smem_bytes_per_sm,
+            MemLevel::Dsm => {
+                (cluster_size.saturating_sub(1) as u64) * self.smem_bytes_per_sm
+            }
+            MemLevel::L2 => self.l2_bytes,
+            MemLevel::Global => u64::MAX,
+        }
+    }
+
+    /// Bandwidth (bytes/s) of a tier, given the cluster size in effect.
+    pub fn bandwidth(&self, level: MemLevel, cluster_size: usize) -> f64 {
+        match level {
+            MemLevel::Reg => self.reg_bw,
+            MemLevel::Smem => self.smem_bw,
+            MemLevel::Dsm => self.dsm_bw(cluster_size),
+            MemLevel::L2 => self.l2_bw,
+            MemLevel::Global => self.hbm_bw,
+        }
+    }
+
+    /// The compute/bandwidth machine balance (FLOP per HBM byte): the
+    /// roofline ridge point used in Fig. 16(a).
+    pub fn machine_balance(&self) -> f64 {
+        self.peak_flops / self.hbm_peak_bw
+    }
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        Self::h100_sxm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_headline_numbers() {
+        let p = MachineParams::h100_sxm();
+        assert_eq!(p.num_sms, 132);
+        assert_eq!(p.smem_bytes_per_sm, 227 * 1024);
+        assert_eq!(p.max_cluster, 16);
+        // FP16 compute-to-bandwidth ratio ~295 FLOP/byte.
+        assert!((250.0..350.0).contains(&p.machine_balance()));
+    }
+
+    #[test]
+    fn dsm_bandwidth_decreases_with_cluster_size() {
+        let p = MachineParams::h100_sxm();
+        let bw: Vec<f64> = [2, 4, 8, 16].iter().map(|&c| p.dsm_bw(c)).collect();
+        for w in bw.windows(2) {
+            assert!(w[0] > w[1], "bandwidth must fall with cluster size");
+        }
+        // Fig. 4 shape: all but the largest cluster beat global memory.
+        assert!(p.dsm_bw(2) > p.hbm_bw);
+        assert!(p.dsm_bw(4) > p.hbm_bw);
+        assert!(p.dsm_bw(8) > p.hbm_bw);
+        assert!(p.dsm_bw(16) < p.hbm_bw * 1.05);
+    }
+
+    #[test]
+    fn dsm_latency_increases_but_stays_below_global() {
+        let p = MachineParams::h100_sxm();
+        let lat: Vec<f64> = [2, 4, 8, 16]
+            .iter()
+            .map(|&c| p.dsm_latency_cycles(c))
+            .collect();
+        for w in lat.windows(2) {
+            assert!(w[0] < w[1], "latency must grow with cluster size");
+        }
+        // Fig. 4: DSM latency < global latency at every cluster size.
+        assert!(lat[3] < p.global_latency_cycles);
+    }
+
+    #[test]
+    fn placement_capacities() {
+        let p = MachineParams::h100_sxm();
+        assert_eq!(p.placement_capacity(MemLevel::Smem, 8), 227 * 1024);
+        assert_eq!(
+            p.placement_capacity(MemLevel::Dsm, 8),
+            7 * 227 * 1024,
+            "DSM pool = 7 peer SMEMs"
+        );
+        assert_eq!(p.placement_capacity(MemLevel::Dsm, 1), 0);
+        assert_eq!(p.placement_capacity(MemLevel::Global, 1), u64::MAX);
+    }
+
+    #[test]
+    fn a100_has_no_dsm() {
+        let p = MachineParams::a100_sxm();
+        assert_eq!(p.max_cluster, 1);
+        assert_eq!(p.placement_capacity(MemLevel::Dsm, 1), 0);
+        // dsm_bw falls back to HBM bandwidth.
+        assert_eq!(p.dsm_bw(4), p.hbm_bw);
+    }
+
+    #[test]
+    fn spill_order_excludes_l2() {
+        assert!(!MemLevel::SPILL_ORDER.contains(&MemLevel::L2));
+        assert_eq!(MemLevel::SPILL_ORDER[0], MemLevel::Reg);
+        assert_eq!(MemLevel::SPILL_ORDER[3], MemLevel::Global);
+    }
+
+    #[test]
+    fn level_display() {
+        assert_eq!(MemLevel::Dsm.to_string(), "dsm");
+        assert_eq!(MemLevel::Global.to_string(), "global");
+    }
+}

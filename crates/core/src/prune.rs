@@ -1,0 +1,306 @@
+//! Pruning rules 1–5 (paper §IV-C2, Table III).
+//!
+//! * **Rule 1 — divisible tile sizes** (from MCFuser): tiles are
+//!   hardware-aware multiples of one MMA that evenly divide the problem.
+//! * **Rule 2 — cluster size constraint**: `cls_m*cls_n*cls_k ≤ 16` with
+//!   integral shuffle/reduce groupings, and one shared cluster shape for
+//!   both GEMMs (guaranteed by construction here).
+//! * **Rule 3 — activation constraint**: a temporal K must be the
+//!   innermost loop so the activation sees complete sums.
+//! * **Rule 4 — dependency constraint**: L must not be grid-spatial —
+//!   spatially separated L tiles would all need the whole intermediate
+//!   with no communication path (intra-cluster L parallelism via `cls_l`
+//!   remains available).
+//! * **Rule 5 — memory capacity**: accumulators fit registers, the
+//!   streaming working set fits SMEM, and the reused strip fits at or
+//!   above the configured lowest spill tier. Enforced by running the
+//!   [`DataflowAnalyzer`] itself, so the count is exact.
+
+use crate::analyzer::{AnalysisError, DataflowAnalyzer};
+use crate::machine::{MachineParams, MemLevel};
+use crate::schedule::LoopSchedule;
+use crate::space;
+use crate::tiling::{hardware_aware_tiles, BlockTile};
+use flashfuser_comm::ClusterShape;
+use flashfuser_graph::{ChainSpec, Dim};
+use std::fmt;
+
+/// Configuration of the pruning cascade.
+#[derive(Debug, Clone)]
+pub struct PruneConfig {
+    /// Hardware cluster-size limit (Rule 2); 16 on H100, 1 disables DSM.
+    pub max_cluster: usize,
+    /// Lowest tier the reused strip may occupy (Rule 5);
+    /// [`MemLevel::Dsm`] for FlashFuser, [`MemLevel::Smem`] for
+    /// SMEM-only baselines, [`MemLevel::Global`] for the spill-anywhere
+    /// ablation.
+    pub lowest_spill: MemLevel,
+    /// Whether the target implements the TMA atomic `inter_cluster_reduce`
+    /// path (Hopper-only; `false` for pre-Hopper baseline policies).
+    pub allow_inter_cluster_reduce: bool,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        Self {
+            max_cluster: 16,
+            lowest_spill: MemLevel::Dsm,
+            allow_inter_cluster_reduce: true,
+        }
+    }
+}
+
+/// Candidate counts after each pruning step (one Table III column).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneStats {
+    /// Raw space (`41 x 5^4 x Π S_d/16`), reported not iterated.
+    pub initial: f64,
+    /// After Rule 1 (divisible tiles).
+    pub after_rule1: u64,
+    /// After Rule 2 (legal cluster shapes).
+    pub after_rule2: u64,
+    /// After Rule 3 (temporal K innermost).
+    pub after_rule3: u64,
+    /// After Rule 4 (no grid-spatial L).
+    pub after_rule4: u64,
+    /// After Rule 5 (capacity-feasible; exact, via the analyzer).
+    pub after_rule5: u64,
+}
+
+impl PruneStats {
+    /// Total reduction factor from the initial space to after Rule 5.
+    pub fn total_reduction(&self) -> f64 {
+        if self.after_rule5 == 0 {
+            return 1.0;
+        }
+        1.0 - self.after_rule5 as f64 / self.initial
+    }
+}
+
+impl fmt::Display for PruneStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Original space   {:>14.3e}", self.initial)?;
+        writeln!(f, "+ Rule 1         {:>14}", self.after_rule1)?;
+        writeln!(f, "+ Rule 2         {:>14}", self.after_rule2)?;
+        writeln!(f, "+ Rule 3         {:>14}", self.after_rule3)?;
+        writeln!(f, "+ Rule 4         {:>14}", self.after_rule4)?;
+        writeln!(f, "+ Rule 5         {:>14}", self.after_rule5)?;
+        write!(f, "Total reduction  {:>13.4}%", self.total_reduction() * 100.0)
+    }
+}
+
+/// Schedules surviving Rule 3: spatial K, or temporal K innermost.
+pub fn schedules_after_rule3(all: &[LoopSchedule]) -> Vec<&LoopSchedule> {
+    all.iter()
+        .filter(|s| s.is_spatial(Dim::K) || s.innermost_temporal() == Some(Dim::K))
+        .collect()
+}
+
+/// Schedules surviving Rules 3 *and* 4 (additionally: L not spatial).
+pub fn schedules_after_rule4(all: &[LoopSchedule]) -> Vec<&LoopSchedule> {
+    schedules_after_rule3(all)
+        .into_iter()
+        .filter(|s| !s.is_spatial(Dim::L))
+        .collect()
+}
+
+/// The candidate stream after Rules 1–4: every (schedule, cluster, tile)
+/// triple that survives the cheap structural rules. Rule 5 (and the
+/// residual geometry checks) happen in the analyzer.
+pub struct CandidateStream<'a> {
+    /// Surviving schedules (borrowed from the caller's full list).
+    pub schedules: Vec<&'a LoopSchedule>,
+    /// Legal cluster shapes under the configured limit.
+    pub clusters: Vec<ClusterShape>,
+    /// Divisible tile choices per dimension (M, N, K, L).
+    pub tiles: [Vec<usize>; 4],
+}
+
+impl<'a> CandidateStream<'a> {
+    /// Builds the stream for a chain under `config`.
+    pub fn build(chain: &ChainSpec, config: &PruneConfig, all: &'a [LoopSchedule]) -> Self {
+        let dims = chain.dims();
+        CandidateStream {
+            schedules: schedules_after_rule4(all),
+            clusters: ClusterShape::enumerate(config.max_cluster),
+            tiles: [
+                hardware_aware_tiles(dims.m),
+                hardware_aware_tiles(dims.n),
+                hardware_aware_tiles(dims.k),
+                hardware_aware_tiles(dims.l),
+            ],
+        }
+    }
+
+    /// Candidates in the stream (product of the component counts).
+    pub fn len(&self) -> u64 {
+        self.schedules.len() as u64
+            * self.clusters.len() as u64
+            * self.tiles.iter().map(|t| t.len() as u64).product::<u64>()
+    }
+
+    /// `true` when no candidate survives the structural rules.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits every candidate; the callback returns `true` to keep
+    /// iterating or `false` to stop early.
+    pub fn for_each(&self, mut f: impl FnMut(&LoopSchedule, ClusterShape, BlockTile) -> bool) {
+        for schedule in &self.schedules {
+            for &cluster in &self.clusters {
+                for &bm in &self.tiles[0] {
+                    for &bn in &self.tiles[1] {
+                        for &bk in &self.tiles[2] {
+                            for &bl in &self.tiles[3] {
+                                let tile = BlockTile::new(bm, bn, bk, bl);
+                                if !f(schedule, cluster, tile) {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Computes the full Table III cascade for one chain. Rule 5 runs the
+/// analyzer on every surviving candidate, so this is `O(|after_rule4|)`
+/// cheap arithmetic per candidate.
+pub fn count_cascade(chain: &ChainSpec, params: &MachineParams, config: &PruneConfig) -> PruneStats {
+    let dims = chain.dims();
+    let all = LoopSchedule::enumerate_all();
+    let tiles = space::tile_combinations(dims);
+    let clusters = ClusterShape::enumerate(config.max_cluster).len() as u64;
+    let r3 = schedules_after_rule3(&all).len() as u64;
+    let r4 = schedules_after_rule4(&all).len() as u64;
+
+    let stream = CandidateStream::build(chain, config, &all);
+    let analyzer = DataflowAnalyzer::new(params.clone())
+        .with_lowest_spill(config.lowest_spill)
+        .with_inter_cluster_reduce(config.allow_inter_cluster_reduce);
+    let mut feasible = 0u64;
+    stream.for_each(|schedule, cluster, tile| {
+        match analyzer.analyze(chain, schedule, cluster, tile) {
+            Ok(_) => feasible += 1,
+            Err(AnalysisError::Plan(_)) | Err(_) => {}
+        }
+        true
+    });
+
+    PruneStats {
+        initial: space::initial_space_size(dims),
+        after_rule1: space::space_after_rule1(dims),
+        after_rule2: space::NUM_SCHEDULES * clusters * tiles,
+        after_rule3: r3 * clusters * tiles,
+        after_rule4: r4 * clusters * tiles,
+        after_rule5: feasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashfuser_tensor::Activation;
+
+    #[test]
+    fn rule3_keeps_16_schedule_classes_before_rule4() {
+        let all = LoopSchedule::enumerate_all();
+        let r3 = schedules_after_rule3(&all);
+        // Spatial-K subsets: {K},{MK},{NK},{LK},{MNK},{MLK},{NLK},{MNKL}
+        // contribute 3!+2+2+2+1+1+1+1 = 16 ... plus temporal-K-innermost.
+        for s in &r3 {
+            assert!(
+                s.is_spatial(Dim::K) || s.innermost_temporal() == Some(Dim::K),
+                "{s} escaped rule 3"
+            );
+        }
+        assert!(r3.len() < all.len());
+    }
+
+    #[test]
+    fn rule4_removes_spatial_l() {
+        let all = LoopSchedule::enumerate_all();
+        for s in schedules_after_rule4(&all) {
+            assert!(!s.is_spatial(Dim::L));
+        }
+        assert!(schedules_after_rule4(&all).len() < schedules_after_rule3(&all).len());
+    }
+
+    #[test]
+    fn cascade_is_monotonically_decreasing() {
+        let chain = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu);
+        let stats = count_cascade(
+            &chain,
+            &MachineParams::h100_sxm(),
+            &PruneConfig::default(),
+        );
+        assert!(stats.initial >= stats.after_rule1 as f64);
+        assert!(stats.after_rule1 >= stats.after_rule2);
+        assert!(stats.after_rule2 >= stats.after_rule3);
+        assert!(stats.after_rule3 >= stats.after_rule4);
+        assert!(stats.after_rule4 >= stats.after_rule5);
+        assert!(stats.after_rule5 > 0, "some candidate must survive");
+        assert!(stats.total_reduction() > 0.99);
+    }
+
+    #[test]
+    fn smem_only_config_prunes_more() {
+        let chain = ChainSpec::standard_ffn(128, 4096, 1024, 1024, Activation::Relu);
+        let params = MachineParams::h100_sxm();
+        let dsm = count_cascade(&chain, &params, &PruneConfig::default());
+        let smem = count_cascade(
+            &chain,
+            &params,
+            &PruneConfig {
+                max_cluster: 1,
+                lowest_spill: MemLevel::Smem,
+                allow_inter_cluster_reduce: false,
+            },
+        );
+        assert!(smem.after_rule5 < dsm.after_rule5);
+    }
+
+    #[test]
+    fn stream_len_matches_iteration() {
+        let chain = ChainSpec::standard_ffn(64, 64, 64, 64, Activation::Relu);
+        let all = LoopSchedule::enumerate_all();
+        let stream = CandidateStream::build(&chain, &PruneConfig::default(), &all);
+        let mut n = 0u64;
+        stream.for_each(|_, _, _| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, stream.len());
+        assert!(!stream.is_empty());
+    }
+
+    #[test]
+    fn stream_early_exit() {
+        let chain = ChainSpec::standard_ffn(64, 64, 64, 64, Activation::Relu);
+        let all = LoopSchedule::enumerate_all();
+        let stream = CandidateStream::build(&chain, &PruneConfig::default(), &all);
+        let mut n = 0;
+        stream.for_each(|_, _, _| {
+            n += 1;
+            n < 5
+        });
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn display_has_all_rows() {
+        let chain = ChainSpec::standard_ffn(64, 64, 64, 64, Activation::Relu);
+        let stats = count_cascade(
+            &chain,
+            &MachineParams::h100_sxm(),
+            &PruneConfig::default(),
+        );
+        let s = stats.to_string();
+        for row in ["Rule 1", "Rule 5", "Total reduction"] {
+            assert!(s.contains(row));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Runtime kernel selection (paper §IV-C3).
+//!
+//! "This entire search is performed offline; at runtime, kernel
+//! selection is achieved by using binning and table look-ups for the
+//! varying M dimension to select from our pre-compiled kernels. This is
+//! efficient because in FFN/conv scenarios, only the M dimension varies
+//! dynamically while N, K, and L are fixed."
+//!
+//! [`KernelCache`] implements exactly that: the offline phase searches
+//! one plan per power-of-two M bin; the online phase rounds an incoming
+//! M up to its bin and returns the pre-compiled plan in O(log bins).
+
+use crate::machine::MachineParams;
+use crate::plan::FusedPlan;
+use crate::profiler::PlanProfiler;
+use crate::search::{SearchConfig, SearchEngine, SearchError};
+use flashfuser_graph::{ChainDims, ChainSpec};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The power-of-two M bins the offline phase pre-compiles
+/// (16 … 1024 covers single-token decode through large prefill chunks).
+pub const DEFAULT_M_BINS: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
+
+/// An offline-built table of fused plans keyed by M bin.
+///
+/// # Example
+///
+/// ```
+/// use flashfuser_core::runtime::KernelCache;
+/// use flashfuser_core::{MachineParams, SearchConfig, profiler::FakeProfiler};
+/// use flashfuser_graph::ChainSpec;
+/// use flashfuser_tensor::Activation;
+///
+/// let template = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu);
+/// let mut profiler = FakeProfiler::default();
+/// let cache = KernelCache::build(
+///     &template,
+///     &[64, 128],
+///     &MachineParams::h100_sxm(),
+///     &SearchConfig::default(),
+///     &mut profiler,
+/// ).unwrap();
+/// // m = 70 rounds up to the 128 bin.
+/// assert_eq!(cache.lookup(70).unwrap().chain.dims().m, 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelCache {
+    /// Fixed chain dimensions (N, K, L) this cache was built for.
+    template: ChainDims,
+    plans: BTreeMap<usize, FusedPlan>,
+}
+
+impl KernelCache {
+    /// Offline phase: searches one plan per M bin. Bins whose search
+    /// finds no feasible plan are skipped (the runtime then falls back
+    /// to the next larger bin, or reports a miss).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::NoFeasiblePlan`] if *no* bin admits a
+    /// fused plan.
+    pub fn build(
+        template: &ChainSpec,
+        m_bins: &[usize],
+        params: &MachineParams,
+        config: &SearchConfig,
+        profiler: &mut dyn PlanProfiler,
+    ) -> Result<KernelCache, SearchError> {
+        let engine = SearchEngine::new(params.clone());
+        let d = template.dims();
+        let mut plans = BTreeMap::new();
+        for &m in m_bins {
+            let chain = match template.kind() {
+                k if k.is_gated() => {
+                    ChainSpec::gated_ffn(m, d.n, d.k, d.l, k.activation())
+                }
+                k => ChainSpec::standard_ffn(m, d.n, d.k, d.l, k.activation()),
+            }
+            .named(template.name());
+            if let Ok(result) = engine.search_with_profiler(&chain, config, profiler) {
+                plans.insert(m, result.best().analysis.plan().clone());
+            }
+        }
+        if plans.is_empty() {
+            return Err(SearchError::NoFeasiblePlan);
+        }
+        Ok(KernelCache { template: d, plans })
+    }
+
+    /// Online phase: returns the pre-compiled plan for the smallest bin
+    /// `>= m`, or `None` when `m` exceeds every bin (the caller then
+    /// splits the batch or re-searches).
+    pub fn lookup(&self, m: usize) -> Option<&FusedPlan> {
+        self.plans.range(m..).next().map(|(_, plan)| plan)
+    }
+
+    /// The bins that were successfully compiled.
+    pub fn bins(&self) -> Vec<usize> {
+        self.plans.keys().copied().collect()
+    }
+
+    /// The fixed (N, K, L) dimensions of the cached chain family.
+    pub fn template_dims(&self) -> ChainDims {
+        self.template
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+impl fmt::Display for KernelCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel cache [N={} K={} L={}]:", self.template.n, self.template.k, self.template.l)?;
+        for (m, plan) in &self.plans {
+            write!(f, "\n  M<={m}: {}", plan.summary())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::FakeProfiler;
+    use flashfuser_tensor::Activation;
+
+    fn cache() -> KernelCache {
+        let template = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu);
+        let mut profiler = FakeProfiler::default();
+        KernelCache::build(
+            &template,
+            &[32, 128, 512],
+            &MachineParams::h100_sxm(),
+            &SearchConfig::default(),
+            &mut profiler,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_rounds_up_to_bin() {
+        let c = cache();
+        assert_eq!(c.bins(), vec![32, 128, 512]);
+        assert_eq!(c.lookup(1).unwrap().chain.dims().m, 32);
+        assert_eq!(c.lookup(32).unwrap().chain.dims().m, 32);
+        assert_eq!(c.lookup(33).unwrap().chain.dims().m, 128);
+        assert_eq!(c.lookup(512).unwrap().chain.dims().m, 512);
+        assert!(c.lookup(513).is_none());
+    }
+
+    #[test]
+    fn bins_preserve_fixed_dims() {
+        let c = cache();
+        for m in [10, 100, 400] {
+            let d = c.lookup(m).unwrap().chain.dims();
+            assert_eq!((d.n, d.k, d.l), (512, 256, 256));
+        }
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn gated_templates_stay_gated() {
+        let template = ChainSpec::gated_ffn(128, 512, 256, 256, Activation::Silu);
+        let mut profiler = FakeProfiler::default();
+        let c = KernelCache::build(
+            &template,
+            &[64, 128],
+            &MachineParams::h100_sxm(),
+            &SearchConfig::default(),
+            &mut profiler,
+        )
+        .unwrap();
+        assert!(c.lookup(64).unwrap().chain.kind().is_gated());
+    }
+
+    #[test]
+    fn display_lists_bins() {
+        let s = cache().to_string();
+        assert!(s.contains("M<=32"));
+        assert!(s.contains("M<=512"));
+    }
+}

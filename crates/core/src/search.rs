@@ -1,0 +1,403 @@
+//! The fusion search engine (paper §IV-C3, Algorithm 2).
+//!
+//! `EnumerateAllCandidates -> PruneCandidates -> DataflowAnalyzer ->
+//! CalculateCost -> UpdateTopKList -> ProfileBestFromList`.
+//!
+//! The engine ranks every candidate surviving Rules 1–4 with the
+//! analytical cost model, keeps the best `K` (the paper selects `K = 11`
+//! from Fig. 12b), and then asks a [`PlanProfiler`] — the simulator — to
+//! measure those finalists and pick the winner.
+
+use crate::analyzer::{DataflowAnalysis, DataflowAnalyzer};
+use crate::cost::{CostBreakdown, CostModel};
+use crate::machine::{MachineParams, MemLevel};
+use crate::profiler::{PlanProfiler, ProfileOutcome};
+use crate::prune::{CandidateStream, PruneConfig};
+use crate::schedule::LoopSchedule;
+use flashfuser_graph::ChainSpec;
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Search-engine configuration.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Top-K candidates forwarded to profiling. The paper uses 11.
+    pub top_k: usize,
+    /// Pruning configuration (cluster limit, lowest spill tier).
+    pub prune: PruneConfig,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            top_k: 11,
+            prune: PruneConfig::default(),
+        }
+    }
+}
+
+impl SearchConfig {
+    /// A configuration restricted to a single SM's resources (no DSM) —
+    /// how SMEM-only baselines search.
+    pub fn smem_only() -> Self {
+        Self {
+            top_k: 11,
+            prune: PruneConfig {
+                max_cluster: 1,
+                lowest_spill: MemLevel::Smem,
+                allow_inter_cluster_reduce: false,
+            },
+        }
+    }
+}
+
+/// One ranked candidate: analysis, analytical cost, and (if profiled)
+/// the measured outcome.
+#[derive(Debug, Clone)]
+pub struct RankedPlan {
+    /// The analyzed plan.
+    pub analysis: DataflowAnalysis,
+    /// Cost-model breakdown.
+    pub cost: CostBreakdown,
+    /// Analytical estimate in seconds (`cost.est_s`, denormalised for
+    /// sorting).
+    pub est_seconds: f64,
+    /// Measured outcome after profiling, if any.
+    pub measured: Option<ProfileOutcome>,
+}
+
+/// Search statistics (feeds Tables III and VIII).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    /// Candidates that reached the analyzer (survived Rules 1–4).
+    pub considered: u64,
+    /// Candidates that analyzed successfully (survived Rule 5).
+    pub feasible: u64,
+    /// Wall-clock seconds spent in enumeration + analysis + ranking.
+    pub analysis_seconds: f64,
+    /// Wall-clock seconds spent profiling the top-K.
+    pub profiling_seconds: f64,
+}
+
+/// Search failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// No candidate survived pruning and analysis.
+    NoFeasiblePlan,
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::NoFeasiblePlan => write!(f, "no feasible fusion plan found"),
+        }
+    }
+}
+
+impl Error for SearchError {}
+
+/// The result of a search: top-K plans ordered by analytical cost, plus
+/// the index of the winner (by measurement when profiled, else rank 0).
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    top_k: Vec<RankedPlan>,
+    best_idx: usize,
+    stats: SearchStats,
+}
+
+impl SearchResult {
+    /// The winning plan.
+    pub fn best(&self) -> &RankedPlan {
+        &self.top_k[self.best_idx]
+    }
+
+    /// All finalists, best analytical estimate first.
+    pub fn top_k(&self) -> &[RankedPlan] {
+        &self.top_k
+    }
+
+    /// Index of the winner within [`SearchResult::top_k`].
+    pub fn best_index(&self) -> usize {
+        self.best_idx
+    }
+
+    /// Statistics of the run.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+}
+
+/// The fusion search engine.
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    params: MachineParams,
+}
+
+impl SearchEngine {
+    /// Creates an engine for the given machine.
+    pub fn new(params: MachineParams) -> Self {
+        Self { params }
+    }
+
+    /// The machine parameters in use.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Analytical search: enumerate, prune, analyze, rank. The winner is
+    /// the cost-model rank-1 plan (no profiling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::NoFeasiblePlan`] when nothing survives.
+    pub fn search(
+        &self,
+        chain: &ChainSpec,
+        config: &SearchConfig,
+    ) -> Result<SearchResult, SearchError> {
+        let (top_k, stats) = self.rank_candidates(chain, config);
+        if top_k.is_empty() {
+            return Err(SearchError::NoFeasiblePlan);
+        }
+        Ok(SearchResult {
+            top_k,
+            best_idx: 0,
+            stats,
+        })
+    }
+
+    /// Full Algorithm 2: rank candidates, then profile the top-K and
+    /// select the measured-fastest (`ProfileBestFromList`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::NoFeasiblePlan`] when nothing survives.
+    pub fn search_with_profiler(
+        &self,
+        chain: &ChainSpec,
+        config: &SearchConfig,
+        profiler: &mut dyn PlanProfiler,
+    ) -> Result<SearchResult, SearchError> {
+        let (mut top_k, mut stats) = self.rank_candidates(chain, config);
+        if top_k.is_empty() {
+            return Err(SearchError::NoFeasiblePlan);
+        }
+        let t0 = Instant::now();
+        let mut best_idx = 0;
+        let mut best_time = f64::INFINITY;
+        for (i, ranked) in top_k.iter_mut().enumerate() {
+            let outcome = profiler.profile(ranked.analysis.plan());
+            if outcome.seconds < best_time {
+                best_time = outcome.seconds;
+                best_idx = i;
+            }
+            ranked.measured = Some(outcome);
+        }
+        stats.profiling_seconds = t0.elapsed().as_secs_f64();
+        Ok(SearchResult {
+            top_k,
+            best_idx,
+            stats,
+        })
+    }
+
+    /// Brute force for Table VIII: profile *every* feasible candidate on
+    /// the device and return the true optimum. Returns the winner, its
+    /// outcome and the number of candidates profiled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::NoFeasiblePlan`] when nothing survives.
+    pub fn brute_force(
+        &self,
+        chain: &ChainSpec,
+        config: &SearchConfig,
+        profiler: &mut dyn PlanProfiler,
+    ) -> Result<(RankedPlan, u64), SearchError> {
+        let all = LoopSchedule::enumerate_all();
+        let stream = CandidateStream::build(chain, &config.prune, &all);
+        let analyzer = DataflowAnalyzer::new(self.params.clone())
+            .with_lowest_spill(config.prune.lowest_spill)
+            .with_inter_cluster_reduce(config.prune.allow_inter_cluster_reduce);
+        let cost_model = CostModel::new(self.params.clone());
+        let mut best: Option<RankedPlan> = None;
+        let mut profiled = 0u64;
+        stream.for_each(|schedule, cluster, tile| {
+            if let Ok(analysis) = analyzer.analyze(chain, schedule, cluster, tile) {
+                let outcome = profiler.profile(analysis.plan());
+                profiled += 1;
+                let better = best
+                    .as_ref()
+                    .and_then(|b| b.measured)
+                    .is_none_or(|m| outcome.seconds < m.seconds);
+                if better {
+                    let cost = cost_model.evaluate(&analysis);
+                    best = Some(RankedPlan {
+                        est_seconds: cost.est_s,
+                        cost,
+                        analysis,
+                        measured: Some(outcome),
+                    });
+                }
+            }
+            true
+        });
+        best.map(|b| (b, profiled)).ok_or(SearchError::NoFeasiblePlan)
+    }
+
+    fn rank_candidates(
+        &self,
+        chain: &ChainSpec,
+        config: &SearchConfig,
+    ) -> (Vec<RankedPlan>, SearchStats) {
+        let t0 = Instant::now();
+        let all = LoopSchedule::enumerate_all();
+        let stream = CandidateStream::build(chain, &config.prune, &all);
+        let analyzer = DataflowAnalyzer::new(self.params.clone())
+            .with_lowest_spill(config.prune.lowest_spill)
+            .with_inter_cluster_reduce(config.prune.allow_inter_cluster_reduce);
+        let cost_model = CostModel::new(self.params.clone());
+        let k = config.top_k.max(1);
+        let mut top_k: Vec<RankedPlan> = Vec::with_capacity(k + 1);
+        let mut stats = SearchStats::default();
+        stream.for_each(|schedule, cluster, tile| {
+            stats.considered += 1;
+            if let Ok(analysis) = analyzer.analyze(chain, schedule, cluster, tile) {
+                stats.feasible += 1;
+                let cost = cost_model.evaluate(&analysis);
+                let est = cost.est_s;
+                let worst = top_k.last().map_or(f64::INFINITY, |p| p.est_seconds);
+                if top_k.len() < k || est < worst {
+                    let pos = top_k
+                        .partition_point(|p| p.est_seconds <= est);
+                    top_k.insert(
+                        pos,
+                        RankedPlan {
+                            est_seconds: est,
+                            cost,
+                            analysis,
+                            measured: None,
+                        },
+                    );
+                    top_k.truncate(k);
+                }
+            }
+            true
+        });
+        stats.analysis_seconds = t0.elapsed().as_secs_f64();
+        (top_k, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::FakeProfiler;
+    use flashfuser_tensor::Activation;
+
+    fn small_chain() -> ChainSpec {
+        ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu)
+    }
+
+    fn engine() -> SearchEngine {
+        SearchEngine::new(MachineParams::h100_sxm())
+    }
+
+    #[test]
+    fn search_returns_sorted_top_k() {
+        let result = engine()
+            .search(&small_chain(), &SearchConfig::default())
+            .unwrap();
+        let costs: Vec<f64> = result.top_k().iter().map(|p| p.est_seconds).collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
+        assert!(result.top_k().len() <= 11);
+        assert_eq!(result.best_index(), 0);
+        assert!(result.stats().feasible > 0);
+        assert!(result.stats().considered >= result.stats().feasible);
+    }
+
+    #[test]
+    fn profiled_search_may_pick_non_rank1() {
+        let mut profiler = FakeProfiler::default();
+        let result = engine()
+            .search_with_profiler(&small_chain(), &SearchConfig::default(), &mut profiler)
+            .unwrap();
+        assert_eq!(profiler.calls, result.top_k().len());
+        // Every finalist was measured; the winner minimises measured time.
+        let best = result.best().measured.unwrap().seconds;
+        for p in result.top_k() {
+            assert!(best <= p.measured.unwrap().seconds + 1e-18);
+        }
+    }
+
+    #[test]
+    fn smem_only_config_still_finds_small_plans() {
+        // A small chain fits SMEM-only fusion — the Chimera regime.
+        let result = engine()
+            .search(&small_chain(), &SearchConfig::smem_only())
+            .unwrap();
+        assert!(result.best().analysis.plan().cluster.blocks() == 1);
+    }
+
+    #[test]
+    fn smem_only_fusion_unprofitable_on_large_intermediates() {
+        // OPT-1.3B-sized chain: without DSM the only surviving "fused"
+        // plans re-stream inputs so heavily that they move *more* global
+        // data than the unfused round trip — fusion fails in the
+        // profitable sense of Fig. 5 — while the DSM search finds a plan
+        // that moves less.
+        let big = ChainSpec::standard_ffn(128, 8192, 2048, 2048, Activation::Relu);
+        let smem = engine().search(&big, &SearchConfig::smem_only()).unwrap();
+        let smem_traffic = smem.best().analysis.volume(MemLevel::Global);
+        assert!(
+            smem_traffic > big.unfused_global_bytes(),
+            "smem-only fused {} should exceed unfused {}",
+            smem_traffic,
+            big.unfused_global_bytes()
+        );
+        let dsm = engine().search(&big, &SearchConfig::default()).unwrap();
+        let dsm_traffic = dsm.best().analysis.volume(MemLevel::Global);
+        assert!(
+            dsm_traffic < big.unfused_global_bytes(),
+            "dsm fused {} should beat unfused {}",
+            dsm_traffic,
+            big.unfused_global_bytes()
+        );
+        assert!(dsm_traffic < smem_traffic);
+    }
+
+    #[test]
+    fn best_dsm_plan_actually_uses_dsm_for_big_chains() {
+        let big = ChainSpec::standard_ffn(128, 8192, 2048, 2048, Activation::Relu);
+        let result = engine().search(&big, &SearchConfig::default()).unwrap();
+        assert!(result.best().analysis.plan().cluster.blocks() > 1);
+    }
+
+    #[test]
+    fn brute_force_at_least_matches_topk_choice() {
+        let chain = small_chain();
+        let config = SearchConfig::default();
+        let mut p1 = FakeProfiler::default();
+        let guided = engine()
+            .search_with_profiler(&chain, &config, &mut p1)
+            .unwrap();
+        let mut p2 = FakeProfiler::default();
+        let (brute, profiled) = engine().brute_force(&chain, &config, &mut p2).unwrap();
+        assert!(profiled >= guided.top_k().len() as u64);
+        assert!(
+            brute.measured.unwrap().seconds
+                <= guided.best().measured.unwrap().seconds + 1e-18
+        );
+    }
+
+    #[test]
+    fn top_k_of_one_works() {
+        let config = SearchConfig {
+            top_k: 1,
+            ..SearchConfig::default()
+        };
+        let result = engine().search(&small_chain(), &config).unwrap();
+        assert_eq!(result.top_k().len(), 1);
+    }
+}

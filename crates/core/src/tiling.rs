@@ -1,0 +1,169 @@
+//! Tile selection (paper §IV-B2).
+//!
+//! Block tiles are multiples of one MMA operation (16x16x16); pruning
+//! Rule 1 additionally requires them to divide the problem dimension
+//! evenly, so [`hardware_aware_tiles`] enumerates exactly the divisors of
+//! a dimension that are multiples of [`MMA_GRANULE`].
+
+use std::fmt;
+
+/// The side of one tensor-core MMA operation; the minimum block tile.
+pub const MMA_GRANULE: usize = 16;
+
+/// The per-block tile sizes along `(m, n, k, l)` — the paper's
+/// `tile.block` vector (`blk_m`, `blk_n`, `blk_k0`, `blk_l` in Fig. 7;
+/// `k` here is the K-slice of GEMM0 and `n` doubles as the K-slice of
+/// GEMM1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockTile {
+    /// Tile extent along M.
+    pub m: usize,
+    /// Tile extent along N.
+    pub n: usize,
+    /// Tile extent along K.
+    pub k: usize,
+    /// Tile extent along L.
+    pub l: usize,
+}
+
+impl BlockTile {
+    /// Creates a block tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero or not a multiple of [`MMA_GRANULE`].
+    pub fn new(m: usize, n: usize, k: usize, l: usize) -> Self {
+        for (name, v) in [("m", m), ("n", n), ("k", k), ("l", l)] {
+            assert!(
+                v > 0 && v % MMA_GRANULE == 0,
+                "blk_{name} = {v} must be a positive multiple of {MMA_GRANULE}"
+            );
+        }
+        Self { m, n, k, l }
+    }
+
+    /// Extent along the canonical dim index (`M=0, N=1, K=2, L=3`).
+    pub fn by_index(&self, i: usize) -> usize {
+        [self.m, self.n, self.k, self.l][i]
+    }
+
+    /// Bytes (f16) of the A input tile `blk_m x blk_k`.
+    pub fn a_tile_bytes(&self) -> u64 {
+        (self.m * self.k) as u64 * 2
+    }
+
+    /// Bytes (f16) of one B input tile `blk_k x blk_n`.
+    pub fn b_tile_bytes(&self) -> u64 {
+        (self.k * self.n) as u64 * 2
+    }
+
+    /// Bytes (f16) of the complete intermediate tile `blk_m x blk_n`.
+    pub fn c_tile_bytes(&self) -> u64 {
+        (self.m * self.n) as u64 * 2
+    }
+
+    /// Bytes (f16) of one D input tile `blk_n x blk_l`.
+    pub fn d_tile_bytes(&self) -> u64 {
+        (self.n * self.l) as u64 * 2
+    }
+
+    /// Bytes (f16) of one output tile `blk_m x blk_l`.
+    pub fn e_tile_bytes(&self) -> u64 {
+        (self.m * self.l) as u64 * 2
+    }
+}
+
+impl fmt::Display for BlockTile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk(m={},n={},k={},l={})", self.m, self.n, self.k, self.l)
+    }
+}
+
+/// Divisors of `size` that are multiples of [`MMA_GRANULE`] — the
+/// hardware-aware tile choices of pruning Rule 1.
+///
+/// # Example
+///
+/// ```
+/// use flashfuser_core::hardware_aware_tiles;
+///
+/// assert_eq!(hardware_aware_tiles(64), vec![16, 32, 64]);
+/// // 416 = 2^5 * 13: multiples of 16 that divide it.
+/// assert_eq!(hardware_aware_tiles(416), vec![16, 32, 208, 416]);
+/// ```
+pub fn hardware_aware_tiles(size: usize) -> Vec<usize> {
+    if size < MMA_GRANULE {
+        // Dimensions below one MMA are padded to a single granule tile.
+        return vec![MMA_GRANULE];
+    }
+    (1..=size / MMA_GRANULE)
+        .map(|q| q * MMA_GRANULE)
+        .filter(|t| size % t == 0)
+        .collect()
+}
+
+/// Number of hardware-aware tile choices without materialising them
+/// (used by the Table III space accounting for huge dims).
+pub fn count_hardware_aware_tiles(size: usize) -> u64 {
+    hardware_aware_tiles(size).len() as u64
+}
+
+/// The raw (un-pruned) tile-choice count of one dimension: every multiple
+/// of the MMA granule up to the dimension, divisible or not
+/// (`size / 16`, the factor used in §IV-C2's initial-space estimate).
+pub fn raw_tile_choices(size: usize) -> u64 {
+    ((size / MMA_GRANULE).max(1)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_dims() {
+        assert_eq!(hardware_aware_tiles(16), vec![16]);
+        assert_eq!(hardware_aware_tiles(128), vec![16, 32, 64, 128]);
+        // 16384 = 2^14: 16, 32, ..., 16384 -> 11 choices.
+        assert_eq!(count_hardware_aware_tiles(16384), 11);
+        assert_eq!(count_hardware_aware_tiles(4096), 9);
+        assert_eq!(count_hardware_aware_tiles(256), 5);
+    }
+
+    #[test]
+    fn non_power_of_two_dims() {
+        // 3136 = 56*56 = 2^6 * 7^2.
+        let tiles = hardware_aware_tiles(3136);
+        assert!(tiles.contains(&16));
+        assert!(tiles.contains(&448));
+        assert!(tiles.iter().all(|t| 3136 % t == 0 && t % 16 == 0));
+    }
+
+    #[test]
+    fn tiny_dim_padded() {
+        assert_eq!(hardware_aware_tiles(8), vec![16]);
+    }
+
+    #[test]
+    fn raw_choices_match_paper_estimate() {
+        // §IV-C2: (256/16) x (16384/16) x (4096/16) x (4096/16).
+        let total = raw_tile_choices(256)
+            * raw_tile_choices(16384)
+            * raw_tile_choices(4096)
+            * raw_tile_choices(4096);
+        assert_eq!(total, 16 * 1024 * 256 * 256);
+    }
+
+    #[test]
+    fn block_tile_bytes() {
+        let t = BlockTile::new(128, 128, 64, 128);
+        assert_eq!(t.a_tile_bytes(), 128 * 64 * 2);
+        assert_eq!(t.c_tile_bytes(), 128 * 128 * 2);
+        assert_eq!(t.by_index(2), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn unaligned_tile_panics() {
+        BlockTile::new(128, 100, 64, 128);
+    }
+}

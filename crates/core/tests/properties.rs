@@ -1,0 +1,94 @@
+//! Property-based tests of the compiler core's invariants.
+
+use flashfuser_comm::ClusterShape;
+use flashfuser_core::{
+    BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams, MemLevel,
+};
+use flashfuser_graph::{ChainSpec, Dim};
+use flashfuser_tensor::Activation;
+use proptest::prelude::*;
+
+fn pow2_dim(max_exp: u32) -> impl Strategy<Value = usize> {
+    (4u32..=max_exp).prop_map(|e| 1usize << e)
+}
+
+fn any_schedule() -> impl Strategy<Value = LoopSchedule> {
+    let all = LoopSchedule::enumerate_all();
+    proptest::sample::select(all)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analysis_volumes_are_consistent(
+        m in pow2_dim(7),
+        n in pow2_dim(10),
+        k in pow2_dim(9),
+        l in pow2_dim(9),
+        schedule in any_schedule(),
+        cls_n in proptest::sample::select(vec![1usize, 2, 4]),
+        cls_k in proptest::sample::select(vec![1usize, 2]),
+        blk in proptest::sample::select(vec![16usize, 32, 64]),
+    ) {
+        let Ok(cluster) = ClusterShape::new(1, cls_n, cls_k, cls_n * cls_k) else {
+            return Ok(());
+        };
+        let chain = ChainSpec::standard_ffn(m, n, k, l, Activation::Relu);
+        let tile = BlockTile::new(blk, blk, blk, blk);
+        let analyzer = DataflowAnalyzer::new(MachineParams::h100_sxm());
+        let Ok(a) = analyzer.analyze(&chain, &schedule, cluster, tile) else {
+            return Ok(());
+        };
+        // Global traffic can never be below the fused minimum (every
+        // input must be read, the output written at least once).
+        prop_assert!(
+            a.volume(MemLevel::Global) >= chain.fused_min_global_bytes(),
+            "{}: global {} < min {}",
+            a.plan().summary(),
+            a.volume(MemLevel::Global),
+            chain.fused_min_global_bytes()
+        );
+        // The HBM-filtered view never exceeds the raw L2 view.
+        prop_assert!(a.volume(MemLevel::Global) <= a.volume(MemLevel::L2));
+        // DSM traffic exists iff some primitive has a non-trivial group.
+        let comm_possible =
+            cluster.k() > 1 || cluster.cls_shuffle() > 1 || cluster.cls_reduce() > 1;
+        if !comm_possible {
+            prop_assert_eq!(a.volume(MemLevel::Dsm), 0);
+        }
+        // Rule 3 honoured: temporal K is innermost in accepted plans.
+        if !schedule.is_spatial(Dim::K) {
+            prop_assert_eq!(schedule.innermost_temporal(), Some(Dim::K));
+        }
+        // Geometry identity: coverage equals the problem size.
+        for dim in Dim::ALL {
+            let g = a.plan().geometry;
+            prop_assert_eq!(
+                g.grid(dim) * cluster.size(dim) * g.trips(dim) * tile.by_index(dim.index()),
+                chain.dims().size(dim)
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_spill_never_rejects_what_shallow_accepts(
+        n in pow2_dim(10),
+        k in pow2_dim(9),
+    ) {
+        // Anything feasible with SMEM-only spill must stay feasible when
+        // DSM (a superset of placement options) is allowed.
+        let chain = ChainSpec::standard_ffn(128, n, k, k, Activation::Relu);
+        let schedule = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
+        let cluster = ClusterShape::new(1, 2, 2, 2).unwrap();
+        let tile = BlockTile::new(16, 16, 16, 16);
+        let smem = DataflowAnalyzer::new(MachineParams::h100_sxm())
+            .with_lowest_spill(MemLevel::Smem)
+            .analyze(&chain, &schedule, cluster, tile);
+        let dsm = DataflowAnalyzer::new(MachineParams::h100_sxm())
+            .analyze(&chain, &schedule, cluster, tile);
+        if smem.is_ok() {
+            prop_assert!(dsm.is_ok());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Convolution chains and their lowering to GEMM chains.
+//!
+//! Table V of the paper evaluates eight ResNet-style `conv -> ReLU -> conv`
+//! blocks. Both convolutions are lowered to GEMMs via im2col (Fig. 1(a));
+//! because the second convolution is always 1x1 in Table V, the block maps
+//! exactly onto the two-GEMM chain the fusion engine understands:
+//!
+//! * GEMM0: `M = H*W`, `K = IC*k1*k1`, `N = OC1`
+//! * GEMM1: `N = OC1` (reduction), `L = OC2`
+
+use crate::chain::ChainSpec;
+use flashfuser_tensor::{Activation, Conv2dSpec, Matrix, ShapeError};
+
+/// A `conv(k1) -> ReLU -> conv(k2)` block (one Table V row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvChainSpec {
+    /// Input channels of the first convolution.
+    pub in_channels: usize,
+    /// Feature-map height.
+    pub height: usize,
+    /// Feature-map width.
+    pub width: usize,
+    /// Output channels of the first convolution.
+    pub oc1: usize,
+    /// Output channels of the second convolution.
+    pub oc2: usize,
+    /// Kernel size of the first convolution.
+    pub k1: usize,
+    /// Kernel size of the second convolution (1 in all Table V rows).
+    pub k2: usize,
+}
+
+impl ConvChainSpec {
+    /// Creates a conv-chain spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k2 != 1`: a non-1x1 second convolution would need a
+    /// second im2col of the *intermediate*, which is outside the two-GEMM
+    /// chain form (and outside Table V).
+    pub fn new(
+        in_channels: usize,
+        height: usize,
+        width: usize,
+        oc1: usize,
+        oc2: usize,
+        k1: usize,
+        k2: usize,
+    ) -> Self {
+        assert!(
+            k2 == 1,
+            "only 1x1 second convolutions lower to a two-GEMM chain (Table V)"
+        );
+        Self {
+            in_channels,
+            height,
+            width,
+            oc1,
+            oc2,
+            k1,
+            k2,
+        }
+    }
+
+    /// The first convolution's geometry.
+    pub fn conv1(&self) -> Conv2dSpec {
+        Conv2dSpec::new(self.in_channels, self.height, self.width, self.oc1, self.k1)
+    }
+
+    /// The second convolution's geometry.
+    pub fn conv2(&self) -> Conv2dSpec {
+        Conv2dSpec::new(self.oc1, self.height, self.width, self.oc2, self.k2)
+    }
+
+    /// Lowers the block to a standard-FFN-shaped GEMM chain with ReLU.
+    ///
+    /// The spatial dimension `M = H*W` is padded up to the next multiple
+    /// of one MMA granule (16), matching how im2col kernels pad the
+    /// patch matrix with zero rows; 7x7 and 14x14 feature maps would
+    /// otherwise admit no hardware-aware tile at all.
+    pub fn to_chain(&self) -> ChainSpec {
+        let c1 = self.conv1();
+        let m = c1.gemm_m().next_multiple_of(16);
+        ChainSpec::standard_ffn(m, c1.gemm_n(), c1.gemm_k(), self.oc2, Activation::Relu)
+    }
+
+    /// Runs the block directly (two reference convolutions with ReLU in
+    /// between), returning the output in CHW-flattened `(OC2, H*W)` layout.
+    /// Used by tests to prove the GEMM lowering is exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on layout mismatch.
+    pub fn reference_direct(
+        &self,
+        input: &Matrix,
+        w1: &Matrix,
+        w2: &Matrix,
+    ) -> Result<Matrix, ShapeError> {
+        let mid = flashfuser_tensor::im2col::conv2d_direct(input, w1, &self.conv1())?;
+        let mid = Activation::Relu.apply_matrix(&mid);
+        flashfuser_tensor::im2col::conv2d_direct(&mid, w2, &self.conv2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashfuser_tensor::rng::seeded_matrix;
+
+    /// Table V row C1 (scaled down only in tests that execute numerics).
+    fn c1() -> ConvChainSpec {
+        ConvChainSpec::new(64, 56, 56, 256, 64, 1, 1)
+    }
+
+    #[test]
+    fn table_v_c1_gemm_dims() {
+        let chain = c1().to_chain();
+        let d = chain.dims();
+        assert_eq!(d.m, 56 * 56); // already a multiple of 16, no padding
+        assert_eq!(d.k, 64);
+        assert_eq!(d.n, 256);
+        assert_eq!(d.l, 64);
+    }
+
+    #[test]
+    fn table_v_c5_gemm_dims_with_3x3() {
+        // C5: IC=64 H=W=56 OC1=64 OC2=256 k1=3 k2=1.
+        let s = ConvChainSpec::new(64, 56, 56, 64, 256, 3, 1);
+        let d = s.to_chain().dims();
+        assert_eq!(d.m, 3136);
+        assert_eq!(d.k, 64 * 9);
+        assert_eq!(d.n, 64);
+        assert_eq!(d.l, 256);
+    }
+
+    #[test]
+    fn lowered_chain_matches_direct_convs() {
+        // Small geometry so the direct reference is fast.
+        let s = ConvChainSpec::new(3, 6, 5, 4, 2, 3, 1);
+        let input = seeded_matrix(s.in_channels, s.height * s.width, 21);
+        let w1 = seeded_matrix(s.oc1, s.conv1().gemm_k(), 22);
+        let w2 = seeded_matrix(s.oc2, s.conv2().gemm_k(), 23);
+
+        let direct = s.reference_direct(&input, &w1, &w2).unwrap();
+
+        // GEMM path: im2col(A) x W1^T -> relu -> x W2^T.
+        let patches = flashfuser_tensor::im2col::im2col(&input, &s.conv1()).unwrap();
+        let c = flashfuser_tensor::gemm::matmul(&patches, &w1.transpose()).unwrap();
+        let c = Activation::Relu.apply_matrix(&c);
+        let e = flashfuser_tensor::gemm::matmul(&c, &w2.transpose()).unwrap();
+
+        // direct is (OC2, H*W); GEMM result is (H*W, OC2).
+        assert!(direct.transpose().approx_eq(&e, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn small_feature_maps_pad_m_to_mma_granule() {
+        // C4: H = W = 7 -> M = 49, padded to 64.
+        let c4 = ConvChainSpec::new(512, 7, 7, 2048, 512, 1, 1);
+        assert_eq!(c4.to_chain().dims().m, 64);
+        // C3: H = W = 14 -> M = 196, padded to 208.
+        let c3 = ConvChainSpec::new(256, 14, 14, 1024, 256, 1, 1);
+        assert_eq!(c3.to_chain().dims().m, 208);
+    }
+
+    #[test]
+    fn chain_spec_is_relu_standard_ffn() {
+        let chain = c1().to_chain();
+        assert!(!chain.kind().is_gated());
+        assert_eq!(chain.kind().activation(), Activation::Relu);
+    }
+
+    #[test]
+    #[should_panic(expected = "1x1 second convolutions")]
+    fn non_unit_second_kernel_panics() {
+        ConvChainSpec::new(3, 4, 4, 8, 8, 1, 3);
+    }
+}

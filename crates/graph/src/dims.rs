@@ -1,0 +1,245 @@
+//! The unified loop-dimension set of a two-GEMM chain.
+//!
+//! Following the paper's Figure 2: the chain computes
+//! `C[M,N] = A[M,K] x B[K,N]`, applies an element-wise epilogue, then
+//! `E[M,L] = C[M,N] x D[N,L]`. The four *independent* dimensions
+//! `{M, N, K, L}` are what loop schedules permute and partition.
+
+use std::fmt;
+
+/// One of the four independent loop dimensions of a fused two-GEMM chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dim {
+    /// Rows of A, C and E (the batch/sequence dimension; the only one that
+    /// varies at serving time, per §IV-C3).
+    M,
+    /// Columns of B and C; reduction dimension of the *second* GEMM.
+    N,
+    /// Reduction dimension of the first GEMM (columns of A).
+    K,
+    /// Columns of D and E (the final output width).
+    L,
+}
+
+impl Dim {
+    /// All four dimensions, in canonical `M, N, K, L` order.
+    pub const ALL: [Dim; 4] = [Dim::M, Dim::N, Dim::K, Dim::L];
+
+    /// Index in canonical order (`M=0, N=1, K=2, L=3`).
+    pub fn index(self) -> usize {
+        match self {
+            Dim::M => 0,
+            Dim::N => 1,
+            Dim::K => 2,
+            Dim::L => 3,
+        }
+    }
+
+    /// Lowercase letter used in schedule names (`mnkl` etc.).
+    pub fn letter(self) -> char {
+        match self {
+            Dim::M => 'm',
+            Dim::N => 'n',
+            Dim::K => 'k',
+            Dim::L => 'l',
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Problem sizes along the four chain dimensions.
+///
+/// # Example
+///
+/// ```
+/// use flashfuser_graph::{ChainDims, Dim};
+///
+/// // OPT-1.3B FFN (Table VII, G8): m=128, n=8192, k=l=2048.
+/// let d = ChainDims::new(128, 8192, 2048, 2048);
+/// assert_eq!(d.size(Dim::N), 8192);
+/// assert_eq!(d.gemm0_flops(), 2 * 128 * 8192 * 2048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChainDims {
+    /// Size along [`Dim::M`].
+    pub m: usize,
+    /// Size along [`Dim::N`].
+    pub n: usize,
+    /// Size along [`Dim::K`].
+    pub k: usize,
+    /// Size along [`Dim::L`].
+    pub l: usize,
+}
+
+/// Bytes per element; all paper workloads are FP16.
+pub const ELEM_BYTES: u64 = 2;
+
+impl ChainDims {
+    /// Creates a dimension set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(m: usize, n: usize, k: usize, l: usize) -> Self {
+        assert!(
+            m > 0 && n > 0 && k > 0 && l > 0,
+            "chain dimensions must be positive"
+        );
+        Self { m, n, k, l }
+    }
+
+    /// Size along `dim`.
+    pub fn size(&self, dim: Dim) -> usize {
+        match dim {
+            Dim::M => self.m,
+            Dim::N => self.n,
+            Dim::K => self.k,
+            Dim::L => self.l,
+        }
+    }
+
+    /// Sizes in canonical `[M, N, K, L]` order.
+    pub fn as_array(&self) -> [usize; 4] {
+        [self.m, self.n, self.k, self.l]
+    }
+
+    /// FLOPs of the first GEMM `A[M,K] x B[K,N]`.
+    pub fn gemm0_flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// FLOPs of the second GEMM `C[M,N] x D[N,L]`.
+    pub fn gemm1_flops(&self) -> u64 {
+        2 * self.m as u64 * self.l as u64 * self.n as u64
+    }
+
+    /// Bytes of input `A[M,K]` (f16).
+    pub fn a_bytes_f16(&self) -> u64 {
+        self.m as u64 * self.k as u64 * ELEM_BYTES
+    }
+
+    /// Bytes of weight `B[K,N]` (f16).
+    pub fn b_bytes_f16(&self) -> u64 {
+        self.k as u64 * self.n as u64 * ELEM_BYTES
+    }
+
+    /// Bytes of the intermediate `C[M,N]` (f16) — the tensor whose size
+    /// decides whether SMEM-only fusion is feasible (paper Fig. 5).
+    pub fn intermediate_bytes_f16(&self) -> u64 {
+        self.m as u64 * self.n as u64 * ELEM_BYTES
+    }
+
+    /// Bytes of weight `D[N,L]` (f16).
+    pub fn d_bytes_f16(&self) -> u64 {
+        self.n as u64 * self.l as u64 * ELEM_BYTES
+    }
+
+    /// Bytes of output `E[M,L]` (f16).
+    pub fn e_bytes_f16(&self) -> u64 {
+        self.m as u64 * self.l as u64 * ELEM_BYTES
+    }
+
+    /// Minimum global traffic of a *fused* execution that keeps `C`
+    /// on-chip: read A, B, D once and write E once.
+    pub fn fused_min_global_bytes(&self, gated: bool) -> u64 {
+        let weights = if gated {
+            2 * self.b_bytes_f16()
+        } else {
+            self.b_bytes_f16()
+        };
+        self.a_bytes_f16() + weights + self.d_bytes_f16() + self.e_bytes_f16()
+    }
+
+    /// Global traffic of the *unfused* execution, kernel by kernel:
+    ///
+    /// * standard: `(A+B+C) + (C+D+E)` — one write-then-read round trip
+    ///   of the intermediate (the traffic the paper eliminates),
+    /// * gated: `(A+B+C_up) + (A+B_gate+C_gate) + (C_up+C_gate+C) +
+    ///   (C+D+E)` — A is read twice and the intermediates are touched
+    ///   six times in total.
+    pub fn unfused_global_bytes(&self, gated: bool) -> u64 {
+        if gated {
+            self.fused_min_global_bytes(true)
+                + self.a_bytes_f16()
+                + 6 * self.intermediate_bytes_f16()
+        } else {
+            self.fused_min_global_bytes(false) + 2 * self.intermediate_bytes_f16()
+        }
+    }
+}
+
+impl fmt::Display for ChainDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "M={} N={} K={} L={}",
+            self.m, self.n, self.k, self.l
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_index_and_letters() {
+        assert_eq!(Dim::M.index(), 0);
+        assert_eq!(Dim::L.index(), 3);
+        let name: String = Dim::ALL.iter().map(|d| d.letter()).collect();
+        assert_eq!(name, "mnkl");
+    }
+
+    #[test]
+    fn sizes_round_trip() {
+        let d = ChainDims::new(128, 16384, 4096, 4096);
+        assert_eq!(d.as_array(), [128, 16384, 4096, 4096]);
+        for dim in Dim::ALL {
+            assert_eq!(d.size(dim), d.as_array()[dim.index()]);
+        }
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let d = ChainDims::new(2, 3, 5, 7);
+        assert_eq!(d.gemm0_flops(), 2 * 2 * 3 * 5);
+        assert_eq!(d.gemm1_flops(), 2 * 2 * 7 * 3);
+    }
+
+    #[test]
+    fn byte_accounting_gpt6_7b() {
+        // G5: M=128, N=16384, K=L=4096. Intermediate C = 128x16384 f16 = 4 MiB,
+        // far above the 227 KB SMEM limit — the case that motivates DSM.
+        let d = ChainDims::new(128, 16384, 4096, 4096);
+        assert_eq!(d.intermediate_bytes_f16(), 128 * 16384 * 2);
+        assert!(d.intermediate_bytes_f16() > 227 * 1024);
+        assert_eq!(d.a_bytes_f16(), 128 * 4096 * 2);
+        assert_eq!(d.e_bytes_f16(), 128 * 4096 * 2);
+    }
+
+    #[test]
+    fn unfused_traffic_exceeds_fused() {
+        let d = ChainDims::new(128, 8192, 2048, 2048);
+        assert!(d.unfused_global_bytes(false) > d.fused_min_global_bytes(false));
+        let extra = d.unfused_global_bytes(false) - d.fused_min_global_bytes(false);
+        assert_eq!(extra, 2 * d.intermediate_bytes_f16());
+        // Gated chains re-read A and touch the intermediates six times.
+        let gated_extra = d.unfused_global_bytes(true) - d.fused_min_global_bytes(true);
+        assert_eq!(
+            gated_extra,
+            d.a_bytes_f16() + 6 * d.intermediate_bytes_f16()
+        );
+        assert!(d.unfused_global_bytes(true) > d.unfused_global_bytes(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        ChainDims::new(0, 1, 1, 1);
+    }
+}

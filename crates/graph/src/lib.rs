@@ -1,0 +1,37 @@
+//! Operator-graph IR for compute-intensive operator chains.
+//!
+//! This crate models the paper's Figure 1 chain families as typed values
+//! the compiler can analyse:
+//!
+//! * [`ChainDims`] — the unified loop-dimension set `{M, N, K, L}` of a
+//!   two-GEMM chain (Fig. 2), with FLOP and byte accounting.
+//! * [`ChainSpec`] / [`ChainKind`] — a standard FFN, gated FFN (SwiGLU),
+//!   or convolution block lowered to a GEMM chain via im2col.
+//! * [`OpGraph`] — a small operator DAG used to express and validate the
+//!   chain structure (and to host TASO-style graph substitutions in the
+//!   baselines crate).
+//! * [`tile_graph`] — expansion of a chain + cluster geometry into the
+//!   per-tile dataflow graph of the paper's Figure 8.
+//!
+//! # Example
+//!
+//! ```
+//! use flashfuser_graph::ChainSpec;
+//! use flashfuser_tensor::Activation;
+//!
+//! // GPT-6.7B FFN subgraph (Table VII, G5).
+//! let chain = ChainSpec::standard_ffn(128, 16384, 4096, 4096, Activation::Relu);
+//! assert_eq!(chain.dims().intermediate_bytes_f16(), 128 * 16384 * 2);
+//! ```
+
+pub mod chain;
+pub mod conv;
+pub mod dims;
+pub mod op;
+pub mod tile_graph;
+
+pub use chain::{ChainKind, ChainSpec};
+pub use conv::ConvChainSpec;
+pub use dims::{ChainDims, Dim};
+pub use op::{OpGraph, OpKind, OpNode};
+pub use tile_graph::TileGraph;

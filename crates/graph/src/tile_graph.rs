@@ -1,0 +1,339 @@
+//! Tile-graph expansion (paper Figure 8).
+//!
+//! Given a chain and a cluster partition `(cls_m, cls_n, cls_k, cls_l)`,
+//! this module expands the per-tile dataflow of one cluster: which block
+//! computes which partial tile, and which `dsm_comm` primitive moves each
+//! intermediate. The expansion is used by the `fig8_tile_graph` report
+//! binary and by tests that check the communication structure (number of
+//! exchange/shuffle/reduce edges) matches the closed-form counts in
+//! `flashfuser-comm`.
+
+use crate::chain::ChainKind;
+use flashfuser_tensor::BinaryOp;
+use std::fmt;
+
+/// A node in the tile graph: one tile-granularity value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TileNode {
+    /// Display label, e.g. `"C_0_1(0)"`.
+    pub label: String,
+    /// Which value class the node belongs to.
+    pub class: TileClass,
+}
+
+/// Value classes appearing in Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileClass {
+    /// Input tile of A.
+    InputA,
+    /// Input tile of B (up or gate branch).
+    InputB,
+    /// Partial intermediate `C_i_j(p)` before the exchange.
+    PartialC,
+    /// Complete intermediate `C_i_j` after `dsm_all_exchange`.
+    CompleteC,
+    /// Input tile of D.
+    InputD,
+    /// Partial output `E_i_q(j)` before the reduce.
+    PartialE,
+    /// Complete output `E_i_q`.
+    CompleteE,
+}
+
+/// The dataflow step an edge represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileEdgeKind {
+    /// Local tensor-core matmul inside one block.
+    Matmul,
+    /// `dsm_all_exchange` carrying `op` (Add for partial sums, Mul for
+    /// gated branches).
+    AllExchange(BinaryOp),
+    /// `dsm_shuffle`: a complete C tile travels to a peer block in the
+    /// same shuffle group.
+    Shuffle,
+    /// `dsm_reduce_scatter` accumulating partial E tiles.
+    ReduceScatter,
+    /// Local epilogue (activation) — stays inside the block.
+    Epilogue,
+}
+
+/// A directed edge between tile nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileEdge {
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+    /// What moves/combines the data.
+    pub kind: TileEdgeKind,
+}
+
+/// The expanded tile graph of one cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileGraph {
+    nodes: Vec<TileNode>,
+    edges: Vec<TileEdge>,
+}
+
+impl TileGraph {
+    /// Expands one cluster of a chain under partition
+    /// `(cls_m, cls_n, cls_k, cls_l)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any partition count is zero.
+    pub fn expand(
+        kind: ChainKind,
+        cls_m: usize,
+        cls_n: usize,
+        cls_k: usize,
+        cls_l: usize,
+    ) -> Self {
+        assert!(
+            cls_m > 0 && cls_n > 0 && cls_k > 0 && cls_l > 0,
+            "cluster partition counts must be positive"
+        );
+        let mut g = TileGraph {
+            nodes: vec![],
+            edges: vec![],
+        };
+        let exchange_op = kind.exchange_op();
+
+        // --- GEMM0 phase: partial C tiles. -------------------------------
+        let mut a_ids = vec![vec![0usize; cls_k]; cls_m];
+        for (i, row) in a_ids.iter_mut().enumerate() {
+            for (p, slot) in row.iter_mut().enumerate() {
+                *slot = g.add(TileClass::InputA, format!("A_{i}_{p}"));
+            }
+        }
+        // Gated chains have two B branches feeding the same partial tile.
+        let branches = if kind.is_gated() { 2 } else { 1 };
+        let mut b_ids = vec![vec![vec![0usize; cls_n]; cls_k]; branches];
+        for (br, branch) in b_ids.iter_mut().enumerate() {
+            for (p, row) in branch.iter_mut().enumerate() {
+                for (j, slot) in row.iter_mut().enumerate() {
+                    let prefix = if branches == 2 {
+                        format!("B{br}_")
+                    } else {
+                        "B_".to_string()
+                    };
+                    *slot = g.add(TileClass::InputB, format!("{prefix}{p}_{j}"));
+                }
+            }
+        }
+
+        let mut partial_c = vec![vec![vec![0usize; cls_k]; cls_n]; cls_m];
+        for i in 0..cls_m {
+            for j in 0..cls_n {
+                for p in 0..cls_k {
+                    let id = g.add(TileClass::PartialC, format!("C_{i}_{j}({p})"));
+                    partial_c[i][j][p] = id;
+                    g.edge(a_ids[i][p], id, TileEdgeKind::Matmul);
+                    for branch in b_ids.iter() {
+                        g.edge(branch[p][j], id, TileEdgeKind::Matmul);
+                    }
+                }
+            }
+        }
+
+        // --- Exchange phase: complete C tiles. ----------------------------
+        let mut complete_c = vec![vec![0usize; cls_n]; cls_m];
+        for i in 0..cls_m {
+            for j in 0..cls_n {
+                let id = g.add(TileClass::CompleteC, format!("C_{i}_{j}"));
+                complete_c[i][j] = id;
+                for p in 0..cls_k {
+                    let kind = if cls_k > 1 || branches == 2 {
+                        TileEdgeKind::AllExchange(exchange_op)
+                    } else {
+                        TileEdgeKind::Epilogue
+                    };
+                    g.edge(partial_c[i][j][p], id, kind);
+                }
+            }
+        }
+
+        // --- GEMM1 phase: shuffle C across the group, partial E. ----------
+        let mut d_ids = vec![vec![0usize; cls_l]; cls_n];
+        for (j, row) in d_ids.iter_mut().enumerate() {
+            for (q, slot) in row.iter_mut().enumerate() {
+                *slot = g.add(TileClass::InputD, format!("D_{j}_{q}"));
+            }
+        }
+        let mut partial_e = vec![vec![vec![0usize; cls_n]; cls_l]; cls_m];
+        for i in 0..cls_m {
+            for q in 0..cls_l {
+                for j in 0..cls_n {
+                    let id = g.add(TileClass::PartialE, format!("E_{i}_{q}({j})"));
+                    partial_e[i][q][j] = id;
+                    // A complete C tile reaches each peer in its shuffle
+                    // group through dsm_shuffle (self-use is local).
+                    let kind = if cls_n > 1 {
+                        TileEdgeKind::Shuffle
+                    } else {
+                        TileEdgeKind::Matmul
+                    };
+                    g.edge(complete_c[i][j], id, kind);
+                    g.edge(d_ids[j][q], id, TileEdgeKind::Matmul);
+                }
+            }
+        }
+
+        // --- Store phase: reduce partial E tiles. --------------------------
+        for i in 0..cls_m {
+            for q in 0..cls_l {
+                let id = g.add(TileClass::CompleteE, format!("E_{i}_{q}"));
+                for j in 0..cls_n {
+                    let kind = if cls_n > 1 {
+                        TileEdgeKind::ReduceScatter
+                    } else {
+                        TileEdgeKind::Epilogue
+                    };
+                    g.edge(partial_e[i][q][j], id, kind);
+                }
+            }
+        }
+        g
+    }
+
+    fn add(&mut self, class: TileClass, label: String) -> usize {
+        self.nodes.push(TileNode { label, class });
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, src: usize, dst: usize, kind: TileEdgeKind) {
+        self.edges.push(TileEdge { src, dst, kind });
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[TileNode] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[TileEdge] {
+        &self.edges
+    }
+
+    /// Number of edges of a given kind.
+    pub fn count_edges(&self, pred: impl Fn(TileEdgeKind) -> bool) -> usize {
+        self.edges.iter().filter(|e| pred(e.kind)).count()
+    }
+
+    /// Number of nodes of a given class.
+    pub fn count_nodes(&self, class: TileClass) -> usize {
+        self.nodes.iter().filter(|n| n.class == class).count()
+    }
+}
+
+impl fmt::Display for TileGraph {
+    /// Renders phase-by-phase in the style of Fig. 8.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (class, title) in [
+            (TileClass::PartialC, "GEMM0: partial C"),
+            (TileClass::CompleteC, "exchange: complete C"),
+            (TileClass::PartialE, "GEMM1: partial E"),
+            (TileClass::CompleteE, "store: complete E"),
+        ] {
+            writeln!(f, "== {title} ==")?;
+            for (dst_id, node) in self.nodes.iter().enumerate() {
+                if node.class != class {
+                    continue;
+                }
+                let sources: Vec<String> = self
+                    .edges
+                    .iter()
+                    .filter(|e| e.dst == dst_id)
+                    .map(|e| format!("{}[{:?}]", self.nodes[e.src].label, e.kind))
+                    .collect();
+                writeln!(f, "  {} <- {}", node.label, sources.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashfuser_tensor::Activation;
+
+    fn std_kind() -> ChainKind {
+        ChainKind::StandardFfn {
+            activation: Activation::Relu,
+        }
+    }
+
+    fn gated_kind() -> ChainKind {
+        ChainKind::GatedFfn {
+            activation: Activation::Silu,
+        }
+    }
+
+    #[test]
+    fn node_counts_follow_partition() {
+        // cls = (2, 4, 2, 4) — the paper's Fig. 7(a) geometry.
+        let g = TileGraph::expand(std_kind(), 2, 4, 2, 4);
+        assert_eq!(g.count_nodes(TileClass::PartialC), 2 * 4 * 2);
+        assert_eq!(g.count_nodes(TileClass::CompleteC), 2 * 4);
+        assert_eq!(g.count_nodes(TileClass::PartialE), 2 * 4 * 4);
+        assert_eq!(g.count_nodes(TileClass::CompleteE), 2 * 4);
+    }
+
+    #[test]
+    fn exchange_edges_present_only_with_k_partitioning() {
+        let with_k = TileGraph::expand(std_kind(), 1, 2, 2, 2);
+        assert!(with_k.count_edges(|k| matches!(k, TileEdgeKind::AllExchange(_))) > 0);
+        let without_k = TileGraph::expand(std_kind(), 1, 2, 1, 2);
+        assert_eq!(
+            without_k.count_edges(|k| matches!(k, TileEdgeKind::AllExchange(_))),
+            0
+        );
+    }
+
+    #[test]
+    fn gated_exchange_is_mul() {
+        let g = TileGraph::expand(gated_kind(), 1, 2, 1, 2);
+        // Gated chains exchange even with cls_k == 1 (two branches).
+        assert!(g.count_edges(|k| k == TileEdgeKind::AllExchange(BinaryOp::Mul)) > 0);
+        assert_eq!(
+            g.count_edges(|k| k == TileEdgeKind::AllExchange(BinaryOp::Add)),
+            0
+        );
+    }
+
+    #[test]
+    fn shuffle_and_reduce_counts() {
+        let g = TileGraph::expand(std_kind(), 1, 4, 1, 2);
+        // Each partial E consumes one C tile (cls_n per (i,q)); all are
+        // shuffles when cls_n > 1.
+        assert_eq!(g.count_edges(|k| k == TileEdgeKind::Shuffle), 4 * 2);
+        assert_eq!(g.count_edges(|k| k == TileEdgeKind::ReduceScatter), 4 * 2);
+    }
+
+    #[test]
+    fn gated_has_twice_the_b_inputs() {
+        let std = TileGraph::expand(std_kind(), 1, 2, 2, 2);
+        let gated = TileGraph::expand(gated_kind(), 1, 2, 2, 2);
+        assert_eq!(
+            gated.count_nodes(TileClass::InputB),
+            2 * std.count_nodes(TileClass::InputB)
+        );
+    }
+
+    #[test]
+    fn display_has_all_phases() {
+        let g = TileGraph::expand(std_kind(), 1, 2, 2, 2);
+        let s = g.to_string();
+        for phase in ["GEMM0", "exchange", "GEMM1", "store"] {
+            assert!(s.contains(phase), "missing {phase} in:\n{s}");
+        }
+        assert!(s.contains("C_0_1(0)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_partition_panics() {
+        TileGraph::expand(std_kind(), 0, 1, 1, 1);
+    }
+}

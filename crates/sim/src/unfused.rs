@@ -1,0 +1,233 @@
+//! Unfused (one-kernel-per-operator) execution — the no-fusion baseline.
+//!
+//! PyTorch-style frameworks launch one kernel per operator and
+//! round-trip every intermediate through global memory (§III). This
+//! module provides both the functional execution (for correctness
+//! cross-checks) and the timing/traffic model the baseline policies
+//! build on.
+
+use crate::counters::TrafficCounters;
+use crate::exec::ExecError;
+use flashfuser_core::{MachineParams, MemLevel};
+use flashfuser_graph::chain::ChainInputs;
+use flashfuser_graph::ChainSpec;
+use flashfuser_tensor::Matrix;
+
+/// The outcome of an unfused execution: per-kernel times and the total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnfusedReport {
+    /// `(kernel name, seconds)` in launch order.
+    pub kernels: Vec<(&'static str, f64)>,
+    /// End-to-end seconds (kernels are serialised by the data
+    /// dependency, so this is the sum plus per-launch overhead).
+    pub seconds: f64,
+    /// Global bytes moved.
+    pub global_bytes: u64,
+}
+
+/// Functionally executes `chain` as separate kernels, counting the
+/// global round trips of every intermediate.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on input-shape mismatch.
+pub fn execute_unfused(
+    chain: &ChainSpec,
+    inputs: &ChainInputs,
+    counters: &mut TrafficCounters,
+) -> Result<Matrix, ExecError> {
+    let dims = chain.dims();
+    let act = chain.kind().activation();
+    let gated = chain.kind().is_gated();
+
+    // Kernel 1: C_raw = A x B. Reads A and B, writes C.
+    let up = flashfuser_tensor::gemm::matmul(&inputs.a, &inputs.b)?;
+    counters.kernel_launches += 1;
+    counters.add(
+        MemLevel::Global,
+        dims.a_bytes_f16() + dims.b_bytes_f16() + dims.intermediate_bytes_f16(),
+    );
+
+    let c = if gated {
+        let b_gate = inputs.b_gate.as_ref().ok_or(ExecError::MissingGateWeight)?;
+        // Kernel 2: gate = A x B_gate.
+        let gate = flashfuser_tensor::gemm::matmul(&inputs.a, b_gate)?;
+        counters.kernel_launches += 1;
+        counters.add(
+            MemLevel::Global,
+            dims.a_bytes_f16() + dims.b_bytes_f16() + dims.intermediate_bytes_f16(),
+        );
+        // Kernel 3: element-wise act(gate) * up — reads both, writes one.
+        counters.kernel_launches += 1;
+        counters.add(MemLevel::Global, 3 * dims.intermediate_bytes_f16());
+        act.apply_matrix(&gate).mul_elem(&up)?
+    } else {
+        // Activation is fused into the producer GEMM's epilogue by every
+        // framework in the paper's baseline set (even Relay does this),
+        // so it costs no extra round trip.
+        act.apply_matrix(&up)
+    };
+
+    // Final kernel: E = C x D. Reads C and D, writes E.
+    let e = flashfuser_tensor::gemm::matmul(&c, &inputs.d)?;
+    counters.kernel_launches += 1;
+    counters.add(
+        MemLevel::Global,
+        dims.intermediate_bytes_f16() + dims.d_bytes_f16() + dims.e_bytes_f16(),
+    );
+    Ok(e)
+}
+
+/// Split-K factor a library GEMM uses for a narrow `M x R` reduction:
+/// with few output rows the only way to fill the GPU is to parallelise
+/// the reduction, writing f32 partial tiles to global memory and
+/// reducing them in a second pass. This is precisely the global-memory
+/// round trip that FlashFuser's in-cluster `dsm_all_exchange` replaces,
+/// and the main source of the paper's Fig. 11 traffic gap.
+pub fn split_k_factor(m: usize, r: usize) -> u64 {
+    if m <= 256 && r >= 1024 {
+        ((r / 512) as u64).clamp(2, 8)
+    } else {
+        1
+    }
+}
+
+/// Times the unfused execution on `params`: each kernel is bound by
+/// `max(compute, traffic / HBM-bandwidth)` plus a launch overhead, and
+/// kernels serialise on the intermediate dependency. Narrow GEMMs pay
+/// split-K partial-sum round trips (see [`split_k_factor`]).
+///
+/// `efficiency` derates the per-kernel achieved throughput — baseline
+/// policies use it to model the difference between, say, cuBLAS (0.9+)
+/// and a generic compiler's generated GEMM (0.6–0.8).
+pub fn unfused_time(chain: &ChainSpec, params: &MachineParams, efficiency: f64) -> UnfusedReport {
+    assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency in (0,1]");
+    let dims = chain.dims();
+    let gated = chain.kind().is_gated();
+    let mut kernels: Vec<(&'static str, f64)> = vec![];
+    let mut global_bytes = 0u64;
+
+    let mut kernel = |name: &'static str, flops: u64, bytes: u64| -> (&'static str, f64) {
+        global_bytes += bytes;
+        let compute = flops as f64 / (params.peak_flops * efficiency);
+        let memory = bytes as f64 / (params.hbm_bw * efficiency);
+        (name, compute.max(memory) + params.kernel_launch_s)
+    };
+
+    // Split-K: s f32 partial tiles written + read back (4 bytes/elem =
+    // 2x the f16 tile) before the final f16 store.
+    let split_extra = |out_f16: u64, m: usize, r: usize| -> u64 {
+        let s = split_k_factor(m, r);
+        if s > 1 {
+            2 * 2 * s * out_f16
+        } else {
+            0
+        }
+    };
+
+    let gemm0_bytes = dims.a_bytes_f16()
+        + dims.b_bytes_f16()
+        + dims.intermediate_bytes_f16()
+        + split_extra(dims.intermediate_bytes_f16(), dims.m, dims.k);
+    kernels.push(kernel("gemm0.up", dims.gemm0_flops(), gemm0_bytes));
+    if gated {
+        kernels.push(kernel("gemm0.gate", dims.gemm0_flops(), gemm0_bytes));
+        kernels.push(kernel(
+            "act_mul",
+            2 * dims.intermediate_bytes_f16() / 2,
+            3 * dims.intermediate_bytes_f16(),
+        ));
+    }
+    kernels.push(kernel(
+        "gemm1",
+        dims.gemm1_flops(),
+        dims.intermediate_bytes_f16()
+            + dims.d_bytes_f16()
+            + dims.e_bytes_f16()
+            + split_extra(dims.e_bytes_f16(), dims.m, dims.n),
+    ));
+
+    let seconds = kernels.iter().map(|(_, s)| s).sum();
+    UnfusedReport {
+        kernels,
+        seconds,
+        global_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashfuser_tensor::Activation;
+
+    #[test]
+    fn unfused_matches_reference() {
+        for chain in [
+            ChainSpec::standard_ffn(16, 48, 32, 32, Activation::Relu),
+            ChainSpec::gated_ffn(16, 48, 32, 32, Activation::Silu),
+        ] {
+            let inputs = chain.make_inputs(3);
+            let expected = chain.reference_output(&inputs).unwrap();
+            let mut counters = TrafficCounters::new();
+            let got = execute_unfused(&chain, &inputs, &mut counters).unwrap();
+            assert!(expected.approx_eq(&got, 1e-4).unwrap());
+        }
+    }
+
+    #[test]
+    fn traffic_matches_chain_model() {
+        // The functional counters must agree with the closed-form
+        // unfused-traffic formula used throughout the repo.
+        for chain in [
+            ChainSpec::standard_ffn(16, 48, 32, 32, Activation::Relu),
+            ChainSpec::gated_ffn(16, 48, 32, 32, Activation::Silu),
+        ] {
+            let inputs = chain.make_inputs(4);
+            let mut counters = TrafficCounters::new();
+            execute_unfused(&chain, &inputs, &mut counters).unwrap();
+            assert_eq!(counters.global_bytes(), chain.unfused_global_bytes());
+        }
+    }
+
+    #[test]
+    fn launch_counts() {
+        let std = ChainSpec::standard_ffn(16, 32, 32, 32, Activation::Relu);
+        let gated = ChainSpec::gated_ffn(16, 32, 32, 32, Activation::Silu);
+        let mut c1 = TrafficCounters::new();
+        execute_unfused(&std, &std.make_inputs(1), &mut c1).unwrap();
+        assert_eq!(c1.kernel_launches, 2);
+        let mut c2 = TrafficCounters::new();
+        execute_unfused(&gated, &gated.make_inputs(1), &mut c2).unwrap();
+        assert_eq!(c2.kernel_launches, 4);
+    }
+
+    #[test]
+    fn timing_memory_bound_at_small_m() {
+        // M=128 FFN: each GEMM is bandwidth-bound, so halving efficiency
+        // roughly doubles time.
+        let chain = ChainSpec::standard_ffn(128, 8192, 2048, 2048, Activation::Relu);
+        let p = MachineParams::h100_sxm();
+        let full = unfused_time(&chain, &p, 1.0);
+        let half = unfused_time(&chain, &p, 0.5);
+        assert!(half.seconds > full.seconds * 1.8);
+        // Narrow-M GEMMs pay split-K round trips on top of the ideal
+        // unfused traffic.
+        assert!(full.global_bytes > chain.unfused_global_bytes());
+        assert_eq!(full.kernels.len(), 2);
+        assert!(unfused_time(
+            &ChainSpec::gated_ffn(128, 8192, 2048, 2048, Activation::Silu),
+            &p,
+            1.0
+        )
+        .kernels
+        .len()
+            == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn bad_efficiency_panics() {
+        let chain = ChainSpec::standard_ffn(16, 32, 32, 32, Activation::Relu);
+        unfused_time(&chain, &MachineParams::h100_sxm(), 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Reference GEMM kernels.
+//!
+//! These define the ground-truth numerics for every fused plan the
+//! simulator executes: a fused two-GEMM chain must reproduce
+//! `activation(A×B) × D` exactly as computed by the functions here.
+
+use crate::error::ShapeError;
+use crate::matrix::Matrix;
+
+/// Computes `A × B`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `A.cols() != B.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use flashfuser_tensor::{Matrix, gemm};
+///
+/// let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+/// let c = gemm::matmul(&a, &b).unwrap();
+/// assert_eq!(c[(0, 0)], 0.0 * 0.0 + 1.0 * 2.0 + 2.0 * 4.0);
+/// ```
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, ShapeError> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul", a.shape(), b.shape()));
+    }
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    matmul_accumulate(&mut c, a, b)?;
+    Ok(c)
+}
+
+/// Computes `C += A × B` in place.
+///
+/// This is the accumulation step a single simulated thread block performs
+/// on its tile, and the building block of the partial-sum dataflow in the
+/// paper's Figure 8 (`E_0_0(0) + E_0_0(1) -> E_0_0`).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes are incompatible.
+pub fn matmul_accumulate(c: &mut Matrix, a: &Matrix, b: &Matrix) -> Result<(), ShapeError> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul_accumulate", a.shape(), b.shape()));
+    }
+    if c.shape() != (a.rows(), b.cols()) {
+        return Err(ShapeError::new(
+            "matmul_accumulate",
+            c.shape(),
+            (a.rows(), b.cols()),
+        ));
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    let c_s = c.as_mut_slice();
+    // i-k-j loop order keeps the inner loop contiguous in both B and C.
+    for i in 0..m {
+        for p in 0..k {
+            let a_ip = a_s[i * k + p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b_s[p * n..(p + 1) * n];
+            let c_row = &mut c_s[i * n..(i + 1) * n];
+            for j in 0..n {
+                c_row[j] += a_ip * b_row[j];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes `A × B` with an explicitly blocked loop nest.
+///
+/// Functionally identical to [`matmul`] (up to floating-point association)
+/// but iterates in `block`-sized tiles, mirroring how the simulated kernels
+/// traverse the problem. Used by tests to confirm that blocking never
+/// changes results beyond accumulation-order noise.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `A.cols() != B.rows()`.
+///
+/// # Panics
+///
+/// Panics if `block == 0`.
+pub fn matmul_blocked(a: &Matrix, b: &Matrix, block: usize) -> Result<Matrix, ShapeError> {
+    assert!(block > 0, "block size must be positive");
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul_blocked", a.shape(), b.shape()));
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    let mut i0 = 0;
+    while i0 < m {
+        let ib = block.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = block.min(n - j0);
+            let mut acc = Matrix::zeros(ib, jb);
+            let mut p0 = 0;
+            while p0 < k {
+                let pb = block.min(k - p0);
+                let at = a.tile(i0, p0, ib, pb)?;
+                let bt = b.tile(p0, j0, pb, jb)?;
+                matmul_accumulate(&mut acc, &at, &bt)?;
+                p0 += pb;
+            }
+            c.set_tile(i0, j0, &acc)?;
+            j0 += jb;
+        }
+        i0 += ib;
+    }
+    Ok(c)
+}
+
+/// FLOP count of a single `m x k` × `k x n` GEMM (multiply + add).
+pub fn gemm_flops(m: u64, n: u64, k: u64) -> u64 {
+    2 * m * n * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_matrix;
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = seeded_matrix(7, 5, 1);
+        let c = matmul(&a, &Matrix::identity(5)).unwrap();
+        assert!(a.approx_eq(&c, 0.0).unwrap());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut c = Matrix::from_fn(2, 2, |_, _| 10.0);
+        matmul_accumulate(&mut c, &a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[11.0, 12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn accumulate_rejects_bad_output_shape() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 2);
+        let mut c = Matrix::zeros(3, 2);
+        assert!(matmul_accumulate(&mut c, &a, &b).is_err());
+    }
+
+    #[test]
+    fn blocked_matches_naive_for_various_blocks() {
+        let a = seeded_matrix(13, 9, 7);
+        let b = seeded_matrix(9, 11, 8);
+        let reference = matmul(&a, &b).unwrap();
+        for block in [1, 2, 3, 4, 5, 8, 16, 64] {
+            let c = matmul_blocked(&a, &b, block).unwrap();
+            assert!(
+                reference.approx_eq(&c, 1e-5).unwrap(),
+                "block={block} diverged: {}",
+                reference.max_abs_diff(&c).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(gemm_flops(128, 256, 64), 2 * 128 * 256 * 64);
+    }
+}

@@ -1,0 +1,40 @@
+//! Dense tensor substrate for the FlashFuser reproduction.
+//!
+//! This crate provides the numeric foundation every other layer builds on:
+//!
+//! * [`Matrix`] — a row-major `f32` matrix with tile extraction/insertion,
+//!   used both as workload data and as the contents of simulated on-chip
+//!   buffers.
+//! * [`gemm`] — reference GEMM kernels (naive and blocked) that define
+//!   ground-truth numerics for every fused plan the simulator executes.
+//! * [`Activation`] / [`BinaryOp`] — the element-wise operators that appear
+//!   between GEMMs in the paper's chains (ReLU, SiLU, Mul, Add, ...).
+//! * [`im2col`] — the convolution-to-GEMM lowering used for the paper's
+//!   conv chains (Table V).
+//! * [`rng`] — deterministic seeded data generation so that every
+//!   experiment in the repository is reproducible bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use flashfuser_tensor::{Matrix, gemm};
+//!
+//! let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+//! let b = Matrix::identity(3);
+//! let c = gemm::matmul(&a, &b).unwrap();
+//! assert_eq!(c, a);
+//! ```
+
+pub mod activation;
+pub mod error;
+pub mod gemm;
+pub mod im2col;
+pub mod matrix;
+pub mod rng;
+pub mod tile;
+
+pub use activation::{Activation, BinaryOp};
+pub use error::ShapeError;
+pub use im2col::Conv2dSpec;
+pub use matrix::Matrix;
+pub use tile::TileGrid;

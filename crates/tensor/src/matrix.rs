@@ -1,0 +1,467 @@
+//! Row-major `f32` matrix with tile access.
+//!
+//! [`Matrix`] doubles as workload data (activations, weights) and as the
+//! contents of simulated on-chip buffers in `flashfuser-sim`. Tile
+//! extraction/insertion mirrors the block-granularity data movement the
+//! paper's fused kernels perform between memory tiers.
+
+use crate::error::ShapeError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f32` values.
+///
+/// # Example
+///
+/// ```
+/// use flashfuser_tensor::Matrix;
+///
+/// let m = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
+/// assert_eq!(m[(0, 1)], 1.0);
+/// assert_eq!(m.rows(), 2);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows.checked_mul(cols).expect("matrix size overflow");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_vec", (rows, cols), (data.len(), 1)));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the matrix in bytes, assuming the element width used by the
+    /// paper's workloads (`f16`, 2 bytes). The simulator accounts traffic in
+    /// these units so that capacities line up with the paper's 227 KB SMEM
+    /// threshold.
+    pub fn storage_bytes_f16(&self) -> u64 {
+        (self.len() as u64) * 2
+    }
+
+    /// Borrows the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {} out of bounds ({})", r, self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns the value at `(r, c)`, or `None` when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> Option<f32> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Sets the value at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Extracts the `tile_rows x tile_cols` tile whose top-left corner is at
+    /// `(row0, col0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the tile does not fit inside the matrix.
+    pub fn tile(
+        &self,
+        row0: usize,
+        col0: usize,
+        tile_rows: usize,
+        tile_cols: usize,
+    ) -> Result<Matrix, ShapeError> {
+        if row0 + tile_rows > self.rows || col0 + tile_cols > self.cols {
+            return Err(ShapeError::new(
+                "tile",
+                (self.rows, self.cols),
+                (row0 + tile_rows, col0 + tile_cols),
+            ));
+        }
+        let mut t = Matrix::zeros(tile_rows, tile_cols);
+        for r in 0..tile_rows {
+            let src = (row0 + r) * self.cols + col0;
+            t.data[r * tile_cols..(r + 1) * tile_cols]
+                .copy_from_slice(&self.data[src..src + tile_cols]);
+        }
+        Ok(t)
+    }
+
+    /// Writes `tile` into this matrix with its top-left corner at
+    /// `(row0, col0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the tile does not fit.
+    pub fn set_tile(&mut self, row0: usize, col0: usize, tile: &Matrix) -> Result<(), ShapeError> {
+        if row0 + tile.rows > self.rows || col0 + tile.cols > self.cols {
+            return Err(ShapeError::new(
+                "set_tile",
+                (self.rows, self.cols),
+                (row0 + tile.rows, col0 + tile.cols),
+            ));
+        }
+        for r in 0..tile.rows {
+            let dst = (row0 + r) * self.cols + col0;
+            self.data[dst..dst + tile.cols]
+                .copy_from_slice(&tile.data[r * tile.cols..(r + 1) * tile.cols]);
+        }
+        Ok(())
+    }
+
+    /// Adds `tile` element-wise into the region with top-left `(row0, col0)`.
+    ///
+    /// This is the accumulation path used by the simulated
+    /// `inter_cluster_reduce` (TMA `cp.reduce.async.bulk`) primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the tile does not fit.
+    pub fn add_tile(&mut self, row0: usize, col0: usize, tile: &Matrix) -> Result<(), ShapeError> {
+        if row0 + tile.rows > self.rows || col0 + tile.cols > self.cols {
+            return Err(ShapeError::new(
+                "add_tile",
+                (self.rows, self.cols),
+                (row0 + tile.rows, col0 + tile.cols),
+            ));
+        }
+        for r in 0..tile.rows {
+            let dst = (row0 + r) * self.cols + col0;
+            for c in 0..tile.cols {
+                self.data[dst + c] += tile.data[r * tile.cols + c];
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.data[c * self.cols + r])
+    }
+
+    /// Element-wise sum with `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise (Hadamard) product with `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn mul_elem(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        self.zip_with(other, "mul_elem", |a, b| a * b)
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Largest absolute element difference against `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Result<f32, ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new("max_abs_diff", self.shape(), other.shape()));
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// `true` when every element differs from `other` by at most `tol`
+    /// in a mixed absolute/relative sense: `|a-b| <= tol * max(1, |a|, |b|)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> Result<bool, ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new("approx_eq", self.shape(), other.shape()));
+        }
+        Ok(self.data.iter().zip(&other.data).all(|(a, b)| {
+            let scale = 1.0f32.max(a.abs()).max(b.abs());
+            (a - b).abs() <= tol * scale
+        }))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Matrix, ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new(op, self.shape(), other.shape()));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(6);
+        for r in 0..show_rows {
+            write!(f, "  [")?;
+            let show_cols = self.cols.min(8);
+            for c in 0..show_cols {
+                write!(f, "{:9.4}", self.data[r * self.cols + c])?;
+                if c + 1 < show_cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 6 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape_and_values() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m[(1, 2)], 12.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn identity_is_diagonal() {
+        let id = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(id[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn tile_round_trip() {
+        let m = Matrix::from_fn(6, 8, |r, c| (r * 8 + c) as f32);
+        let t = m.tile(2, 4, 3, 4).unwrap();
+        assert_eq!(t.shape(), (3, 4));
+        assert_eq!(t[(0, 0)], m[(2, 4)]);
+        assert_eq!(t[(2, 3)], m[(4, 7)]);
+
+        let mut out = Matrix::zeros(6, 8);
+        out.set_tile(2, 4, &t).unwrap();
+        assert_eq!(out[(3, 5)], m[(3, 5)]);
+        assert_eq!(out[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn tile_out_of_bounds_is_error() {
+        let m = Matrix::zeros(4, 4);
+        assert!(m.tile(2, 2, 3, 1).is_err());
+        assert!(m.tile(0, 3, 1, 2).is_err());
+    }
+
+    #[test]
+    fn add_tile_accumulates() {
+        let mut m = Matrix::from_fn(4, 4, |_, _| 1.0);
+        let t = Matrix::from_fn(2, 2, |_, _| 2.0);
+        m.add_tile(1, 1, &t).unwrap();
+        assert_eq!(m[(1, 1)], 3.0);
+        assert_eq!(m[(2, 2)], 3.0);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(3, 3)], 1.0);
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(4, 2)], m[(2, 4)]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(2, 2, |_, _| 2.0);
+        assert_eq!(a.add(&b).unwrap()[(1, 1)], 4.0);
+        assert_eq!(a.mul_elem(&b).unwrap()[(1, 1)], 4.0);
+        assert!(a.add(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_error() {
+        let a = Matrix::from_fn(2, 2, |_, _| 100.0);
+        let b = a.map(|x| x + 1e-4);
+        assert!(a.approx_eq(&b, 1e-5).unwrap());
+        assert!(!a.approx_eq(&b, 1e-8).unwrap());
+    }
+
+    #[test]
+    fn storage_bytes_f16_counts_two_bytes_per_element() {
+        assert_eq!(Matrix::zeros(128, 128).storage_bytes_f16(), 32768);
+    }
+
+    #[test]
+    fn debug_output_nonempty() {
+        let m = Matrix::zeros(1, 1);
+        assert!(!format!("{m:?}").is_empty());
+    }
+}

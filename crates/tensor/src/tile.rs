@@ -1,0 +1,173 @@
+//! Tile-grid bookkeeping.
+//!
+//! [`TileGrid`] describes how one matrix dimension pair is cut into
+//! fixed-size tiles, and provides the iteration and byte-accounting helpers
+//! the dataflow analyzer and the simulator share. The paper's tile
+//! coordinates (`B_0_1`, `C_0_0(1)`, ... in Fig. 8) map directly onto
+//! [`TileGrid::offset`] results.
+
+use crate::error::ShapeError;
+
+/// A partition of a `rows x cols` matrix into `tile_rows x tile_cols`
+/// tiles.
+///
+/// # Example
+///
+/// ```
+/// use flashfuser_tensor::TileGrid;
+///
+/// let g = TileGrid::new(256, 512, 128, 128).unwrap();
+/// assert_eq!(g.tiles_per_row(), 4);
+/// assert_eq!(g.tiles_per_col(), 2);
+/// assert_eq!(g.num_tiles(), 8);
+/// assert_eq!(g.offset(1, 2), (128, 256));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileGrid {
+    rows: usize,
+    cols: usize,
+    tile_rows: usize,
+    tile_cols: usize,
+}
+
+impl TileGrid {
+    /// Creates a tile grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the tile sizes are zero or do not evenly
+    /// divide the matrix — the paper's pruning Rule 1 guarantees the search
+    /// only ever instantiates divisible tilings, and the grid enforces it.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        tile_rows: usize,
+        tile_cols: usize,
+    ) -> Result<Self, ShapeError> {
+        if tile_rows == 0
+            || tile_cols == 0
+            || rows % tile_rows != 0
+            || cols % tile_cols != 0
+            || rows == 0
+            || cols == 0
+        {
+            return Err(ShapeError::new(
+                "tile_grid",
+                (rows, cols),
+                (tile_rows, tile_cols),
+            ));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            tile_rows,
+            tile_cols,
+        })
+    }
+
+    /// Matrix rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Tile height.
+    pub fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    /// Tile width.
+    pub fn tile_cols(&self) -> usize {
+        self.tile_cols
+    }
+
+    /// Number of tiles along the column axis (tiles in one row of tiles).
+    pub fn tiles_per_row(&self) -> usize {
+        self.cols / self.tile_cols
+    }
+
+    /// Number of tiles along the row axis.
+    pub fn tiles_per_col(&self) -> usize {
+        self.rows / self.tile_rows
+    }
+
+    /// Total number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles_per_row() * self.tiles_per_col()
+    }
+
+    /// Element offset `(row0, col0)` of tile `(tr, tc)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile coordinate is out of range.
+    pub fn offset(&self, tr: usize, tc: usize) -> (usize, usize) {
+        assert!(
+            tr < self.tiles_per_col() && tc < self.tiles_per_row(),
+            "tile coordinate ({tr},{tc}) out of range"
+        );
+        (tr * self.tile_rows, tc * self.tile_cols)
+    }
+
+    /// Elements per tile.
+    pub fn tile_elems(&self) -> usize {
+        self.tile_rows * self.tile_cols
+    }
+
+    /// Bytes per tile at `f16` width (2 bytes/element), the accounting unit
+    /// used throughout the simulator.
+    pub fn tile_bytes_f16(&self) -> u64 {
+        (self.tile_elems() as u64) * 2
+    }
+
+    /// Iterates over all tile coordinates in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let per_row = self.tiles_per_row();
+        (0..self.num_tiles()).map(move |i| (i / per_row, i % per_row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        let g = TileGrid::new(128, 8192, 128, 128).unwrap();
+        assert_eq!(g.tiles_per_col(), 1);
+        assert_eq!(g.tiles_per_row(), 64);
+        assert_eq!(g.num_tiles(), 64);
+        assert_eq!(g.tile_elems(), 16384);
+        assert_eq!(g.tile_bytes_f16(), 32768);
+    }
+
+    #[test]
+    fn non_divisible_rejected() {
+        assert!(TileGrid::new(100, 100, 32, 32).is_err());
+        assert!(TileGrid::new(128, 128, 0, 32).is_err());
+        assert!(TileGrid::new(0, 128, 16, 32).is_err());
+    }
+
+    #[test]
+    fn offsets_row_major() {
+        let g = TileGrid::new(64, 64, 16, 32).unwrap();
+        assert_eq!(g.offset(0, 0), (0, 0));
+        assert_eq!(g.offset(3, 1), (48, 32));
+        let coords: Vec<_> = g.iter().collect();
+        assert_eq!(coords.len(), 8);
+        assert_eq!(coords[0], (0, 0));
+        assert_eq!(coords[1], (0, 1));
+        assert_eq!(coords[2], (1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn offset_out_of_range_panics() {
+        let g = TileGrid::new(64, 64, 32, 32).unwrap();
+        g.offset(2, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! The transformer model zoo used by Table I and the end-to-end
+//! evaluation (Figs. 16/17).
+
+use flashfuser_graph::ChainSpec;
+use flashfuser_tensor::Activation;
+
+/// Architecture parameters of one decoder/encoder model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Model (hidden) dimension `d`.
+    pub hidden: usize,
+    /// FFN inner dimension.
+    pub ffn_hidden: usize,
+    /// Whether the FFN is gated (SwiGLU).
+    pub gated: bool,
+}
+
+impl ModelSpec {
+    /// The FFN chain of one layer for `m` resident tokens
+    /// (batch x sequence), in the two-GEMM form the fusion engine
+    /// consumes.
+    pub fn ffn_chain(&self, m: usize) -> ChainSpec {
+        if self.gated {
+            ChainSpec::gated_ffn(m, self.ffn_hidden, self.hidden, self.hidden, Activation::Silu)
+                .named(self.name)
+        } else {
+            ChainSpec::standard_ffn(m, self.ffn_hidden, self.hidden, self.hidden, Activation::Gelu)
+                .named(self.name)
+        }
+    }
+
+    /// FLOPs of the attention part of one layer for `m` tokens attending
+    /// over `seq` positions: QKV + output projections plus the two
+    /// score/context batched GEMMs.
+    pub fn attention_flops(&self, m: usize, seq: usize) -> u64 {
+        let d = self.hidden as u64;
+        let m = m as u64;
+        let seq = seq as u64;
+        4 * 2 * m * d * d + 2 * 2 * m * seq * d
+    }
+
+    /// Global bytes of the attention part (f16): projection weights, the
+    /// token activations and the KV tensors.
+    pub fn attention_bytes(&self, m: usize, seq: usize) -> u64 {
+        let d = self.hidden as u64;
+        let m = m as u64;
+        let seq = seq as u64;
+        4 * d * d * 2 + 6 * m * d * 2 + 2 * seq * d * 2 + 2 * m * seq * 2
+    }
+}
+
+/// The models of Table I plus the large models of Fig. 16.
+pub fn model_zoo() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec {
+            name: "GPT-6.7B",
+            layers: 32,
+            hidden: 4096,
+            ffn_hidden: 16384,
+            gated: false,
+        },
+        ModelSpec {
+            name: "LLaMA-1B",
+            layers: 22,
+            hidden: 2048,
+            ffn_hidden: 5632,
+            gated: true,
+        },
+        ModelSpec {
+            name: "OPT-1.3B",
+            layers: 24,
+            hidden: 2048,
+            ffn_hidden: 8192,
+            gated: false,
+        },
+        ModelSpec {
+            name: "BERT",
+            layers: 12,
+            hidden: 768,
+            ffn_hidden: 3072,
+            gated: false,
+        },
+        ModelSpec {
+            name: "GPT-2",
+            layers: 12,
+            hidden: 768,
+            ffn_hidden: 3072,
+            gated: false,
+        },
+    ]
+}
+
+/// The large models of Fig. 16: Llama3-70B, Qwen2.5-14B/32B.
+pub fn large_model_zoo() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec {
+            name: "llama3-70B",
+            layers: 80,
+            hidden: 8192,
+            ffn_hidden: 28672,
+            gated: true,
+        },
+        ModelSpec {
+            name: "qwen2_5-14B",
+            layers: 48,
+            hidden: 5120,
+            ffn_hidden: 13824,
+            gated: true,
+        },
+        ModelSpec {
+            name: "qwen2_5-32B",
+            layers: 64,
+            hidden: 5120,
+            ffn_hidden: 27648,
+            gated: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_contains_table_i_models() {
+        let names: Vec<_> = model_zoo().iter().map(|m| m.name).collect();
+        for expected in ["GPT-6.7B", "LLaMA-1B", "OPT-1.3B", "BERT", "GPT-2"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn ffn_chain_shapes() {
+        let gpt = &model_zoo()[0];
+        let c = gpt.ffn_chain(512);
+        let d = c.dims();
+        assert_eq!((d.m, d.n, d.k, d.l), (512, 16384, 4096, 4096));
+        assert!(!c.kind().is_gated());
+        let llama = &model_zoo()[1];
+        assert!(llama.ffn_chain(128).kind().is_gated());
+    }
+
+    #[test]
+    fn attention_accounting_scales() {
+        let m = &model_zoo()[0];
+        assert!(m.attention_flops(512, 512) > m.attention_flops(128, 128));
+        assert!(m.attention_bytes(512, 512) > m.attention_bytes(128, 128));
+    }
+
+    #[test]
+    fn large_models_are_gated_and_big() {
+        for m in large_model_zoo() {
+            assert!(m.gated);
+            assert!(m.hidden >= 5120);
+        }
+    }
+}

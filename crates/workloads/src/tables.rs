@@ -1,0 +1,140 @@
+//! The subgraph configurations of Tables V, VI and VII.
+
+use flashfuser_graph::{ChainSpec, ConvChainSpec};
+use flashfuser_tensor::Activation;
+
+/// A named workload: the chain plus the model it came from.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Paper id (`"G5"`, `"C3"`, `"S1"`, ...).
+    pub id: &'static str,
+    /// Source model named in the paper.
+    pub model: &'static str,
+    /// The chain.
+    pub chain: ChainSpec,
+}
+
+/// Table VII: GEMM chains G1–G10 (`GEMM1 = m x n x k`,
+/// `GEMM2 = m x l x n`).
+pub fn gemm_chains() -> Vec<Workload> {
+    let rows: [(&str, &str, usize, usize, usize, usize); 10] = [
+        ("G1", "DLRM-0", 128, 512, 32, 256),
+        ("G2", "DLRM-1", 128, 256, 512, 64),
+        ("G3", "DLRM-2", 128, 512, 416, 256),
+        ("G4", "GPT-2-Small", 128, 3072, 768, 768),
+        ("G5", "GPT-6.7B", 128, 16384, 4096, 4096),
+        ("G6", "GPT2-medium", 128, 4096, 1024, 1024),
+        ("G7", "nlp_gpt3_base", 128, 768, 768, 768),
+        ("G8", "OPT-1.3B", 128, 8192, 2048, 2048),
+        ("G9", "Performer", 128, 2048, 512, 512),
+        ("G10", "BERT", 128, 1536, 384, 384),
+    ];
+    rows.iter()
+        .map(|&(id, model, m, n, k, l)| Workload {
+            id,
+            model,
+            chain: ChainSpec::standard_ffn(m, n, k, l, Activation::Relu).named(id),
+        })
+        .collect()
+}
+
+/// Table V: convolution chains C1–C8 from ResNet blocks, lowered to GEMM
+/// chains via im2col.
+pub fn conv_chains() -> Vec<Workload> {
+    let rows: [(&str, usize, usize, usize, usize, usize, usize, usize); 8] = [
+        ("C1", 64, 56, 56, 256, 64, 1, 1),
+        ("C2", 128, 28, 28, 512, 128, 1, 1),
+        ("C3", 256, 14, 14, 1024, 256, 1, 1),
+        ("C4", 512, 7, 7, 2048, 512, 1, 1),
+        ("C5", 64, 56, 56, 64, 256, 3, 1),
+        ("C6", 128, 28, 28, 128, 512, 3, 1),
+        ("C7", 256, 14, 14, 256, 1024, 3, 1),
+        ("C8", 512, 7, 7, 512, 2048, 3, 1),
+    ];
+    rows.iter()
+        .map(|&(id, ic, h, w, oc1, oc2, k1, k2)| Workload {
+            id,
+            model: "ResNet",
+            chain: ConvChainSpec::new(ic, h, w, oc1, oc2, k1, k2)
+                .to_chain()
+                .named(id),
+        })
+        .collect()
+}
+
+/// Table VI: gated FFNs S1–S8 (SwiGLU).
+pub fn gated_ffn_chains() -> Vec<Workload> {
+    let rows: [(&str, &str, usize, usize, usize, usize); 8] = [
+        ("S1", "llama-3.2-3B", 128, 8192, 3072, 3072),
+        ("S2", "llama-1.1B", 128, 5632, 2048, 2048),
+        ("S3", "Llama-2-7b", 128, 11008, 4096, 4096),
+        ("S4", "Qwen2.5-2.1B", 128, 8192, 2048, 2048),
+        ("S5", "Qwen2.5-3B", 128, 11008, 2048, 2048),
+        ("S6", "Qwen2.5-1.5B", 128, 8960, 1536, 1536),
+        ("S7", "Qwen3-4B", 128, 9728, 2560, 2560),
+        ("S8", "Qwen3-0.6B", 128, 3072, 1024, 1024),
+    ];
+    rows.iter()
+        .map(|&(id, model, m, n, k, l)| Workload {
+            id,
+            model,
+            chain: ChainSpec::gated_ffn(m, n, k, l, Activation::Silu).named(id),
+        })
+        .collect()
+}
+
+/// All 26 subgraph workloads (G + C + S).
+pub fn all_workloads() -> Vec<Workload> {
+    let mut v = gemm_chains();
+    v.extend(conv_chains());
+    v.extend(gated_ffn_chains());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_counts() {
+        assert_eq!(gemm_chains().len(), 10);
+        assert_eq!(conv_chains().len(), 8);
+        assert_eq!(gated_ffn_chains().len(), 8);
+        assert_eq!(all_workloads().len(), 26);
+    }
+
+    #[test]
+    fn g5_is_gpt67b() {
+        let g5 = &gemm_chains()[4];
+        assert_eq!(g5.id, "G5");
+        let d = g5.chain.dims();
+        assert_eq!((d.m, d.n, d.k, d.l), (128, 16384, 4096, 4096));
+    }
+
+    #[test]
+    fn conv_dims_lowered_correctly() {
+        // C5: k1 = 3 -> K = 64 * 9.
+        let c5 = &conv_chains()[4];
+        let d = c5.chain.dims();
+        assert_eq!(d.m, 56 * 56);
+        assert_eq!(d.k, 64 * 9);
+        assert_eq!(d.n, 64);
+        assert_eq!(d.l, 256);
+    }
+
+    #[test]
+    fn gated_chains_are_gated() {
+        for w in gated_ffn_chains() {
+            assert!(w.chain.kind().is_gated(), "{}", w.id);
+            assert_eq!(w.chain.dims().m, 128);
+        }
+    }
+
+    #[test]
+    fn ids_unique() {
+        let mut ids: Vec<_> = all_workloads().iter().map(|w| w.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 26);
+    }
+}

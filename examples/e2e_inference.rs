@@ -1,0 +1,24 @@
+//! End-to-end transformer inference with and without FlashFuser.
+//!
+//! Run with `cargo run --release --example e2e_inference`.
+
+use flashfuser::core::MachineParams;
+use flashfuser::workloads::{e2e_speedup, ffn_time_share, model_zoo};
+
+fn main() {
+    let params = MachineParams::h100_sxm();
+    println!("{:<12}{:>12}{:>14}{:>12}", "model", "FFN share", "FFN speedup", "E2E");
+    for model in model_zoo() {
+        let share = ffn_time_share(&model, 512, &params);
+        let r = e2e_speedup(&model, 128, &params);
+        println!(
+            "{:<12}{:>11.1}%{:>14.2}{:>12.3}",
+            model.name,
+            100.0 * share,
+            r.ffn_speedup,
+            r.speedup
+        );
+    }
+    println!("\nAmdahl in action: the E2E speedup is the FFN kernel speedup");
+    println!("diluted by the non-FFN fraction of each layer (paper: 1.24x avg).");
+}

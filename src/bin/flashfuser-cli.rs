@@ -1,0 +1,61 @@
+//! A small command-line driver around [`flashfuser::compile`].
+//!
+//! ```text
+//! flashfuser-cli <M> <N> <K> <L> [--gated] [--a100]
+//! ```
+//!
+//! Prints the selected plan, its simulated time, and the comparison
+//! against the unfused execution.
+
+use flashfuser::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dims: Vec<usize> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    if dims.len() != 4 {
+        eprintln!("usage: flashfuser-cli <M> <N> <K> <L> [--gated] [--a100]");
+        std::process::exit(2);
+    }
+    let gated = args.iter().any(|a| a == "--gated");
+    let params = if args.iter().any(|a| a == "--a100") {
+        MachineParams::a100_sxm()
+    } else {
+        MachineParams::h100_sxm()
+    };
+    let chain = if gated {
+        ChainSpec::gated_ffn(dims[0], dims[1], dims[2], dims[3], Activation::Silu)
+    } else {
+        ChainSpec::standard_ffn(dims[0], dims[1], dims[2], dims[3], Activation::Relu)
+    };
+    println!("device:   {}", params.name);
+    println!("workload: {chain}");
+    match flashfuser::compile(&chain, &params) {
+        Ok(compiled) => {
+            let unfused = unfused_time(&chain, &params, 0.90);
+            println!("plan:     {}", compiled.plan.summary());
+            println!(
+                "fused:    {:.2} us ({} feasible candidates searched)",
+                compiled.measured_seconds * 1e6,
+                compiled.feasible_candidates
+            );
+            println!(
+                "unfused:  {:.2} us  -> speedup {:.2}x",
+                unfused.seconds * 1e6,
+                unfused.seconds / compiled.measured_seconds
+            );
+            println!(
+                "traffic:  {:.2} MB fused vs {:.2} MB unfused",
+                compiled.global_bytes as f64 / 1e6,
+                unfused.global_bytes as f64 / 1e6
+            );
+        }
+        Err(e) => {
+            eprintln!("no fused plan: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! FlashFuser — kernel fusion for compute-intensive operator chains via
+//! inter-core connection (DSM), reproduced in Rust on a simulated
+//! H100-class GPU.
+//!
+//! This is the facade crate: it re-exports every subsystem and offers a
+//! [`compile`] convenience entry point that runs the full pipeline
+//! (enumerate → prune → analyze → rank → profile) for one chain.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flashfuser::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let chain = ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Relu);
+//! let compiled = flashfuser::compile(&chain, &MachineParams::h100_sxm())?;
+//! assert!(compiled.measured_seconds > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The repository layout, modelling decisions and per-experiment index
+//! live in `DESIGN.md`; measured-vs-paper numbers in `EXPERIMENTS.md`.
+
+pub use flashfuser_baselines as baselines;
+pub use flashfuser_comm as comm;
+pub use flashfuser_core as core;
+pub use flashfuser_graph as graph;
+pub use flashfuser_sim as sim;
+pub use flashfuser_tensor as tensor;
+pub use flashfuser_workloads as workloads;
+
+use flashfuser_core::{FusedPlan, MachineParams, SearchConfig, SearchEngine, SearchError};
+use flashfuser_graph::ChainSpec;
+use flashfuser_sim::SimProfiler;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use flashfuser_comm::ClusterShape;
+    pub use flashfuser_core::{
+        BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams, SearchConfig, SearchEngine,
+    };
+    pub use flashfuser_graph::{ChainDims, ChainSpec, Dim};
+    pub use flashfuser_sim::{execute_fused, unfused_time, SimProfiler, TrafficCounters};
+    pub use flashfuser_tensor::{Activation, Matrix};
+}
+
+/// The result of [`compile`]: the selected plan and its measured cost.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The winning fused execution plan.
+    pub plan: FusedPlan,
+    /// Simulated kernel time in seconds.
+    pub measured_seconds: f64,
+    /// Global-memory bytes the plan moves.
+    pub global_bytes: u64,
+    /// Candidates that survived pruning and analysis.
+    pub feasible_candidates: u64,
+}
+
+/// Runs the full FlashFuser pipeline on one chain with default settings
+/// (H100 cluster limit 16, DSM spill, top-K = 11).
+///
+/// # Errors
+///
+/// Returns [`SearchError::NoFeasiblePlan`] when no fusion plan exists
+/// under the machine's capacity constraints.
+pub fn compile(chain: &ChainSpec, params: &MachineParams) -> Result<Compiled, SearchError> {
+    let engine = SearchEngine::new(params.clone());
+    let mut profiler = SimProfiler::new(params.clone());
+    let result = engine.search_with_profiler(chain, &SearchConfig::default(), &mut profiler)?;
+    let best = result.best();
+    let measured = best.measured.expect("profiled search always measures");
+    Ok(Compiled {
+        plan: best.analysis.plan().clone(),
+        measured_seconds: measured.seconds,
+        global_bytes: measured.global_bytes,
+        feasible_candidates: result.stats().feasible,
+    })
+}

@@ -1,0 +1,97 @@
+//! Property-based tests: every feasible plan the analyzer accepts must
+//! execute to the reference result, across randomly drawn geometries.
+
+use flashfuser::comm::ClusterShape;
+use flashfuser::core::{BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams};
+use flashfuser::graph::{ChainSpec, Dim};
+use flashfuser::sim::{execute_fused, TrafficCounters};
+use flashfuser::tensor::Activation;
+use proptest::prelude::*;
+
+fn dim_sizes() -> impl Strategy<Value = usize> {
+    // Multiples of 16 up to 128 keep the functional runs fast.
+    (1usize..=8).prop_map(|x| x * 16)
+}
+
+fn schedules() -> impl Strategy<Value = LoopSchedule> {
+    prop_oneof![
+        Just(LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K])),
+        Just(LoopSchedule::new(vec![Dim::M], vec![Dim::L, Dim::N, Dim::K])),
+        Just(LoopSchedule::new(vec![Dim::M, Dim::N], vec![Dim::L, Dim::K])),
+        Just(LoopSchedule::new(vec![Dim::M, Dim::K], vec![Dim::N, Dim::L])),
+    ]
+}
+
+fn clusters() -> impl Strategy<Value = ClusterShape> {
+    prop_oneof![
+        Just(ClusterShape::single_block()),
+        Just(ClusterShape::new(1, 2, 1, 2).unwrap()),
+        Just(ClusterShape::new(1, 2, 2, 2).unwrap()),
+        Just(ClusterShape::new(1, 4, 2, 4).unwrap()),
+        Just(ClusterShape::new(2, 2, 2, 4).unwrap()),
+        Just(ClusterShape::new(1, 4, 2, 8).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn feasible_plans_compute_the_reference(
+        m in dim_sizes(),
+        n in dim_sizes(),
+        k in dim_sizes(),
+        l in dim_sizes(),
+        gated in any::<bool>(),
+        schedule in schedules(),
+        cluster in clusters(),
+        seed in 0u64..1000,
+    ) {
+        let chain = if gated {
+            ChainSpec::gated_ffn(m, n, k, l, Activation::Silu)
+        } else {
+            ChainSpec::standard_ffn(m, n, k, l, Activation::Relu)
+        };
+        let tile = BlockTile::new(16, 16, 16, 16);
+        let analyzer = DataflowAnalyzer::new(MachineParams::h100_sxm());
+        // Infeasible combinations are fine — the property only covers
+        // plans the analyzer accepts.
+        let Ok(analysis) = analyzer.analyze(&chain, &schedule, cluster, tile) else {
+            return Ok(());
+        };
+        let inputs = chain.make_inputs(seed);
+        let expected = chain.reference_output(&inputs).unwrap();
+        let mut counters = TrafficCounters::new();
+        let got = execute_fused(analysis.plan(), &inputs, &mut counters).unwrap();
+        prop_assert!(
+            expected.approx_eq(&got, 1e-2).unwrap(),
+            "{} diverged by {}",
+            analysis.plan().summary(),
+            expected.max_abs_diff(&got).unwrap()
+        );
+        // Traffic invariants: the executor agrees with the analyzer.
+        prop_assert_eq!(
+            counters.dsm_bytes(),
+            analysis.volume(flashfuser::core::MemLevel::Dsm)
+        );
+        prop_assert_eq!(
+            counters.global_bytes(),
+            analysis.volume(flashfuser::core::MemLevel::L2)
+        );
+    }
+
+    #[test]
+    fn cost_is_positive_and_bounded_by_physics(
+        n in dim_sizes(),
+        k in dim_sizes(),
+    ) {
+        let chain = ChainSpec::standard_ffn(64, n, k, k, Activation::Relu);
+        let params = MachineParams::h100_sxm();
+        if let Ok(compiled) = flashfuser::compile(&chain, &params) {
+            // No plan can beat the speed of light: pure compute time.
+            let light = chain.total_flops() as f64 / params.peak_flops;
+            prop_assert!(compiled.measured_seconds >= light * 0.5);
+            prop_assert!(compiled.measured_seconds.is_finite());
+        }
+    }
+}
