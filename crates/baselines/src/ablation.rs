@@ -79,6 +79,7 @@ pub fn run_ablation(
                     lowest_spill: MemLevel::Global,
                     allow_inter_cluster_reduce: false,
                 },
+                ..SearchConfig::default()
             };
             let analyzer = DataflowAnalyzer::new(params.clone())
                 .with_lowest_spill(MemLevel::Global)

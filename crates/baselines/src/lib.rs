@@ -28,7 +28,7 @@
 pub mod ablation;
 pub mod policies;
 
-pub use ablation::{AblationVariant, run_ablation};
+pub use ablation::{run_ablation, AblationVariant};
 pub use policies::{
     Baseline, BaselineResult, BoltPolicy, ChimeraPolicy, FlashFuserPolicy, McFuserPolicy,
     MiragePolicy, PipeThreaderPolicy, PyTorchPolicy, RelayPolicy, TasoPolicy, TensorRtPolicy,

@@ -1,8 +1,6 @@
 //! The baseline policies.
 
-use flashfuser_core::{
-    MachineParams, MemLevel, PruneConfig, SearchConfig, SearchEngine,
-};
+use flashfuser_core::{MachineParams, MemLevel, PruneConfig, SearchConfig, SearchEngine};
 use flashfuser_graph::ChainSpec;
 use flashfuser_sim::{unfused_time, SimProfiler};
 use std::fmt;
@@ -206,6 +204,7 @@ impl Baseline for BoltPolicy {
                 lowest_spill: MemLevel::Smem,
                 allow_inter_cluster_reduce: false,
             },
+            ..SearchConfig::default()
         };
         let mut profiler = SimProfiler::with_analyzer(
             flashfuser_core::DataflowAnalyzer::new(self.params.clone())

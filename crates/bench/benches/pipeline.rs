@@ -1,7 +1,11 @@
-//! Criterion micro-benchmarks of the compiler pipeline itself: the
-//! dataflow analyzer, the full search, and the functional interpreter.
+//! Micro-benchmarks of the compiler pipeline itself: the dataflow
+//! analyzer, the full search, and the functional interpreter.
+//!
+//! A self-contained `harness = false` timing loop (median of repeated
+//! batches over `std::time::Instant`) replaces an external benchmark
+//! framework so the workspace builds offline. Invoke with
+//! `cargo bench -p flashfuser-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flashfuser_comm::ClusterShape;
 use flashfuser_core::{
     BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams, SearchConfig, SearchEngine,
@@ -10,46 +14,61 @@ use flashfuser_graph::{ChainSpec, Dim};
 use flashfuser_sim::{execute_fused, SimProfiler, TrafficCounters};
 use flashfuser_tensor::Activation;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_analyzer(c: &mut Criterion) {
+/// Times `f` in batches of `batch` calls, returning the median
+/// per-call seconds over `rounds` batches.
+fn time_it<T>(rounds: usize, batch: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn report(name: &str, per_call_s: f64) {
+    if per_call_s >= 1e-3 {
+        println!("{name:<44} {:>10.3} ms/iter", per_call_s * 1e3);
+    } else {
+        println!("{name:<44} {:>10.3} us/iter", per_call_s * 1e6);
+    }
+}
+
+fn bench_analyzer() {
     let chain = ChainSpec::standard_ffn(128, 8192, 2048, 2048, Activation::Relu);
     let schedule = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
     let cluster = ClusterShape::new(1, 4, 2, 8).unwrap();
     let tile = BlockTile::new(128, 128, 64, 128);
     let analyzer = DataflowAnalyzer::new(MachineParams::h100_sxm());
-    c.bench_function("dataflow_analyzer/opt1.3b", |b| {
-        b.iter(|| {
-            black_box(
-                analyzer
-                    .analyze(black_box(&chain), &schedule, cluster, tile)
-                    .unwrap(),
-            )
-        })
+    let t = time_it(20, 200, || {
+        analyzer
+            .analyze(black_box(&chain), &schedule, cluster, tile)
+            .unwrap()
     });
+    report("dataflow_analyzer/opt1.3b", t);
 }
 
-fn bench_search(c: &mut Criterion) {
+fn bench_search() {
     let params = MachineParams::h100_sxm();
     let engine = SearchEngine::new(params.clone());
-    let mut group = c.benchmark_group("search_engine");
-    group.sample_size(10);
-    for (name, n, k) in [("small", 512usize, 256usize), ("g8", 8192, 2048)] {
+    for (name, n, k, rounds) in [("small", 512usize, 256usize, 10), ("g8", 8192, 2048, 5)] {
         let chain = ChainSpec::standard_ffn(128, n, k, k, Activation::Relu);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &chain, |b, chain| {
-            b.iter(|| {
-                let mut profiler = SimProfiler::new(params.clone());
-                black_box(
-                    engine
-                        .search_with_profiler(chain, &SearchConfig::default(), &mut profiler)
-                        .unwrap(),
-                )
-            })
+        let t = time_it(rounds, 1, || {
+            let mut profiler = SimProfiler::new(params.clone());
+            engine
+                .search_with_profiler(black_box(&chain), &SearchConfig::default(), &mut profiler)
+                .unwrap()
         });
+        report(&format!("search_engine/{name}"), t);
     }
-    group.finish();
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     let chain = ChainSpec::standard_ffn(32, 128, 64, 128, Activation::Relu);
     let schedule = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
     let cluster = ClusterShape::new(1, 4, 2, 4).unwrap();
@@ -60,13 +79,16 @@ fn bench_interpreter(c: &mut Criterion) {
         .plan()
         .clone();
     let inputs = chain.make_inputs(1);
-    c.bench_function("functional_interpreter/32x128x64x128", |b| {
-        b.iter(|| {
-            let mut counters = TrafficCounters::new();
-            black_box(execute_fused(&plan, &inputs, &mut counters).unwrap())
-        })
+    let t = time_it(10, 5, || {
+        let mut counters = TrafficCounters::new();
+        execute_fused(&plan, &inputs, &mut counters).unwrap()
     });
+    report("functional_interpreter/32x128x64x128", t);
 }
 
-criterion_group!(benches, bench_analyzer, bench_search, bench_interpreter);
-criterion_main!(benches);
+fn main() {
+    println!("== flashfuser pipeline micro-benchmarks (median per call) ==");
+    bench_analyzer();
+    bench_search();
+    bench_interpreter();
+}

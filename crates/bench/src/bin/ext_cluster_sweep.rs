@@ -31,9 +31,14 @@ fn main() {
                 top_k: 11,
                 prune: PruneConfig {
                     max_cluster: limit,
-                    lowest_spill: if limit == 1 { MemLevel::Smem } else { MemLevel::Dsm },
+                    lowest_spill: if limit == 1 {
+                        MemLevel::Smem
+                    } else {
+                        MemLevel::Dsm
+                    },
                     allow_inter_cluster_reduce: true,
                 },
+                ..SearchConfig::default()
             };
             let mut profiler = SimProfiler::new(params.clone());
             match engine.search_with_profiler(&w.chain, &config, &mut profiler) {

@@ -10,7 +10,10 @@ fn main() {
     let ff = FlashFuserPolicy::new(params.clone());
     let torch = PyTorchPolicy::new(params.clone());
     println!("== Fig. 11: global memory traffic (PyTorch / FlashFuser) ==");
-    println!("{:<6}{:>14}{:>14}{:>10}", "id", "torch MB", "ff MB", "ratio");
+    println!(
+        "{:<6}{:>14}{:>14}{:>10}",
+        "id", "torch MB", "ff MB", "ratio"
+    );
     let mut ratios = vec![];
     let mut workloads = gemm_chains();
     workloads.extend(conv_chains());

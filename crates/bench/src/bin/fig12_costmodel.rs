@@ -71,8 +71,8 @@ fn main() {
     }
     println!("{:<6}{:>12}", "K", "accuracy %");
     for k in 1..=15 {
-        let avg: f64 = per_workload.iter().map(|a| a[k - 1]).sum::<f64>()
-            / per_workload.len() as f64;
+        let avg: f64 =
+            per_workload.iter().map(|a| a[k - 1]).sum::<f64>() / per_workload.len() as f64;
         println!("{k:<6}{:>11.2}%", 100.0 * avg);
     }
     println!("paper: accuracy reaches ~100% at K = 11 (the chosen top-K).");

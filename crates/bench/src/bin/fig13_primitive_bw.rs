@@ -5,12 +5,18 @@ use flashfuser_sim::microbench::{primitive_bandwidth, PrimitiveKind};
 
 fn main() {
     let params = h100();
-    println!("== Fig. 13: dsm_comm primitive bandwidth (32768^2 tensor, 128^2 tiles, 1000 iters) ==");
+    println!(
+        "== Fig. 13: dsm_comm primitive bandwidth (32768^2 tensor, 128^2 tiles, 1000 iters) =="
+    );
     println!(
         "{:<10}{:>10}{:>16}{:>14}",
         "primitive", "cluster", "achieved GB/s", "utilisation"
     );
-    for kind in [PrimitiveKind::Shuffle, PrimitiveKind::Reduce, PrimitiveKind::Mul] {
+    for kind in [
+        PrimitiveKind::Shuffle,
+        PrimitiveKind::Reduce,
+        PrimitiveKind::Mul,
+    ] {
         for cls in [2usize, 4, 8, 16] {
             let m = primitive_bandwidth(&params, kind, cls, 1000);
             println!(

@@ -20,10 +20,5 @@ fn main() {
         vs_p.push(p);
         println!("{:<6}{m:>16.2}{p:>20.2}", w.id);
     }
-    println!(
-        "{:<6}{:>16.2}{:>20.2}",
-        "geo",
-        geomean(vs_m),
-        geomean(vs_p)
-    );
+    println!("{:<6}{:>16.2}{:>20.2}", "geo", geomean(vs_m), geomean(vs_p));
 }

@@ -2,14 +2,20 @@
 //! as M grows (seq 256, batch 1..32).
 
 use flashfuser_bench::h100;
+use flashfuser_workloads::e2e_speedup;
 use flashfuser_workloads::models::large_model_zoo;
 use flashfuser_workloads::roofline::roofline_point;
-use flashfuser_workloads::e2e_speedup;
 
 fn main() {
     let params = h100();
-    println!("== Fig. 16(a): roofline (machine balance {:.0} FLOP/B) ==", params.machine_balance());
-    println!("{:<14}{:>8}{:>14}{:>16}{:>10}", "model", "M", "intensity", "attainable TF", "bound");
+    println!(
+        "== Fig. 16(a): roofline (machine balance {:.0} FLOP/B) ==",
+        params.machine_balance()
+    );
+    println!(
+        "{:<14}{:>8}{:>14}{:>16}{:>10}",
+        "model", "M", "intensity", "attainable TF", "bound"
+    );
     for model in large_model_zoo() {
         for m in [256usize, 512, 1024, 2048, 4096, 8192] {
             let p = roofline_point(&model, m, &params);
@@ -23,7 +29,10 @@ fn main() {
         }
     }
     println!("\n== Fig. 16(b): E2E speedup vs M (seq 256) ==");
-    println!("{:<14}{:>8}{:>14}{:>12}", "model", "M", "ffn speedup", "E2E");
+    println!(
+        "{:<14}{:>8}{:>14}{:>12}",
+        "model", "M", "ffn speedup", "E2E"
+    );
     let mut all = vec![];
     for model in large_model_zoo() {
         for batch in [1usize, 2, 4, 8, 16, 32] {

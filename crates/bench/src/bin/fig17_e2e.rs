@@ -8,7 +8,10 @@ use flashfuser_workloads::{e2e_speedup, gated_ffn_chains, gemm_chains};
 fn main() {
     let params = h100();
     println!("== Fig. 17: E2E speedup vs serving baseline (M = 128) ==");
-    println!("{:<6}{:<16}{:>14}{:>10}", "id", "model", "ffn speedup", "E2E");
+    println!(
+        "{:<6}{:<16}{:>14}{:>10}",
+        "id", "model", "ffn speedup", "E2E"
+    );
     let mut all = vec![];
     let workloads: Vec<_> = gated_ffn_chains()
         .into_iter()
@@ -26,7 +29,10 @@ fn main() {
         };
         let r = e2e_speedup(&model, 128, &params);
         all.push(r.speedup);
-        println!("{:<6}{:<16}{:>14.2}{:>10.3}", w.id, w.model, r.ffn_speedup, r.speedup);
+        println!(
+            "{:<6}{:<16}{:>14.2}{:>10.3}",
+            w.id, w.model, r.ffn_speedup, r.speedup
+        );
     }
     let avg = all.iter().sum::<f64>() / all.len() as f64;
     println!("average: {avg:.3} (paper: 1.32 on this suite; 1.24 overall)");

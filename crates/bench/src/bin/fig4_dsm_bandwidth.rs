@@ -8,7 +8,10 @@ fn main() {
     let params = h100();
     let (points, global) = dsm_curve(&params);
     println!("== Fig. 4: DSM bandwidth / latency vs cluster size ==");
-    println!("{:<10}{:>16}{:>18}", "cluster", "bandwidth TB/s", "latency cycles");
+    println!(
+        "{:<10}{:>16}{:>18}",
+        "cluster", "bandwidth TB/s", "latency cycles"
+    );
     for p in &points {
         println!(
             "{:<10}{:>16.2}{:>18.0}",

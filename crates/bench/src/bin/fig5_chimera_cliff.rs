@@ -23,7 +23,10 @@ fn main() {
         "{:<14}{:>14}{:>16}{:>12}",
         "workload", "rel. perf", "intermediate KB", "status"
     );
-    println!("{:<14}{:>14}{:>16}{:>12}", "", "(torch=1)", "(limit 227)", "");
+    println!(
+        "{:<14}{:>14}{:>16}{:>12}",
+        "", "(torch=1)", "(limit 227)", ""
+    );
     for (name, m, n, k, l) in rows {
         let chain = ChainSpec::standard_ffn(m, n, k, l, Activation::Relu).named(name);
         let c = chimera.run(&chain);

@@ -7,14 +7,24 @@ use flashfuser_tensor::Activation;
 fn main() {
     println!("== Fig. 8(a): standard FFN, cls (m,n,k,l) = (1,2,2,2) ==");
     let std = TileGraph::expand(
-        ChainKind::StandardFfn { activation: Activation::Relu },
-        1, 2, 2, 2,
+        ChainKind::StandardFfn {
+            activation: Activation::Relu,
+        },
+        1,
+        2,
+        2,
+        2,
     );
     println!("{std}");
     println!("== Fig. 8(b): gated FFN, same cluster ==");
     let gated = TileGraph::expand(
-        ChainKind::GatedFfn { activation: Activation::Silu },
-        1, 2, 2, 2,
+        ChainKind::GatedFfn {
+            activation: Activation::Silu,
+        },
+        1,
+        2,
+        2,
+        2,
     );
     println!("{gated}");
 }

@@ -12,10 +12,7 @@ use flashfuser_workloads::Workload;
 
 /// Runs every system of `suite` on every workload, returning
 /// `results[workload][system]`.
-pub fn run_matrix(
-    workloads: &[Workload],
-    suite: &[Box<dyn Baseline>],
-) -> Vec<Vec<BaselineResult>> {
+pub fn run_matrix(workloads: &[Workload], suite: &[Box<dyn Baseline>]) -> Vec<Vec<BaselineResult>> {
     workloads
         .iter()
         .map(|w| suite.iter().map(|s| s.run(&w.chain)).collect())

@@ -59,7 +59,10 @@ impl fmt::Display for GeometryError {
                 write!(f, "cluster dim {dim} = {value} not in {{1,2,4,8,16}}")
             }
             GeometryError::TooManyBlocks { blocks, limit } => {
-                write!(f, "cluster needs {blocks} blocks, hardware limit is {limit}")
+                write!(
+                    f,
+                    "cluster needs {blocks} blocks, hardware limit is {limit}"
+                )
             }
             GeometryError::ShuffleIndivisible { cls_l, cls_k } => {
                 write!(f, "cls_l {cls_l} not divisible by cls_k {cls_k}")
@@ -119,11 +122,14 @@ impl ClusterShape {
         if blocks > limit {
             return Err(GeometryError::TooManyBlocks { blocks, limit });
         }
-        if l % k != 0 {
+        if !l.is_multiple_of(k) {
             return Err(GeometryError::ShuffleIndivisible { cls_l: l, cls_k: k });
         }
-        if (n * k) % l != 0 {
-            return Err(GeometryError::ReduceIndivisible { nk: n * k, cls_l: l });
+        if !(n * k).is_multiple_of(l) {
+            return Err(GeometryError::ReduceIndivisible {
+                nk: n * k,
+                cls_l: l,
+            });
         }
         Ok(Self { m, n, k, l })
     }
@@ -217,7 +223,11 @@ impl ClusterShape {
 
 impl fmt::Display for ClusterShape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cls(m={},n={},k={},l={})", self.m, self.n, self.k, self.l)
+        write!(
+            f,
+            "cls(m={},n={},k={},l={})",
+            self.m, self.n, self.k, self.l
+        )
     }
 }
 
@@ -258,7 +268,10 @@ mod tests {
     #[test]
     fn rejects_over_limit() {
         let err = ClusterShape::new(4, 4, 2, 4).unwrap_err();
-        assert!(matches!(err, GeometryError::TooManyBlocks { blocks: 32, .. }));
+        assert!(matches!(
+            err,
+            GeometryError::TooManyBlocks { blocks: 32, .. }
+        ));
     }
 
     #[test]

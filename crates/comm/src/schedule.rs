@@ -75,7 +75,7 @@ pub fn ring_tile_owner(g: usize, dst: usize, round: usize) -> usize {
 pub fn scatter_slices(total: usize, g: usize) -> Vec<(usize, usize)> {
     assert!(g > 0, "scatter group must be non-empty");
     assert!(
-        total % g == 0,
+        total.is_multiple_of(g),
         "scatter extent {total} not divisible by group {g}"
     );
     let slice = total / g;

@@ -57,11 +57,9 @@ impl Topology {
             DsmPrimitive::Shuffle => g * (g - 1),
             // All-exchange reads every peer directly: sum of pairwise
             // distances.
-            DsmPrimitive::AllExchange(_) => {
-                (0..g)
-                    .map(|a| (0..g).map(|b| self.hop_distance(a, b, g)).sum::<usize>())
-                    .sum()
-            }
+            DsmPrimitive::AllExchange(_) => (0..g)
+                .map(|a| (0..g).map(|b| self.hop_distance(a, b, g)).sum::<usize>())
+                .sum(),
             // Reduce-scatter as a ring reduction: nearest-neighbour.
             DsmPrimitive::ReduceScatter => g * (g - 1),
             DsmPrimitive::InterClusterReduce => 0,

@@ -146,7 +146,7 @@ mod tests {
     fn all_exchange_quadratic_in_group() {
         let v2 = all_exchange_volume(2, 100);
         let v4 = all_exchange_volume(4, 100);
-        assert_eq!(v2.dsm_bytes, 2 * 1 * 100);
+        assert_eq!(v2.dsm_bytes, 2 * 100);
         assert_eq!(v4.dsm_bytes, 4 * 3 * 100);
         assert_eq!(v4.steps, 3);
     }

@@ -1,38 +1,43 @@
 //! Property-based tests of the dsm_comm layer's invariants.
+//!
+//! Sampling is driven by the workspace's own deterministic
+//! [`SplitMix64`] stream instead of an external property-testing crate,
+//! so the suite builds offline; every case is reproducible bit-for-bit.
 
 use flashfuser_comm::geometry::CLUSTER_DIM_CHOICES;
 use flashfuser_comm::volume::{all_exchange_volume, reduce_scatter_volume, shuffle_volume};
 use flashfuser_comm::{ring_steps, ClusterShape};
-use proptest::prelude::*;
+use flashfuser_tensor::rng::SplitMix64;
 
-fn cluster_dim() -> impl Strategy<Value = usize> {
-    proptest::sample::select(CLUSTER_DIM_CHOICES.to_vec())
-}
-
-proptest! {
-    #[test]
-    fn legal_shapes_satisfy_the_paper_identities(
-        m in cluster_dim(),
-        n in cluster_dim(),
-        k in cluster_dim(),
-        l in cluster_dim(),
-    ) {
-        if let Ok(s) = ClusterShape::new(m, n, k, l) {
-            // §IV-A derivations.
-            prop_assert_eq!(s.cls_shuffle(), l / k);
-            prop_assert_eq!(s.cls_reduce(), n * k / l);
-            prop_assert_eq!(s.cls_shuffle() * s.cls_reduce(), n);
-            prop_assert!(s.blocks() <= 16);
-            // Every block maps to exactly one output column and one
-            // reduce slot: cls_l x cls_reduce == blocks per m-row.
-            prop_assert_eq!(s.l() * s.cls_reduce(), s.n() * s.k());
+#[test]
+fn legal_shapes_satisfy_the_paper_identities() {
+    // The domain is tiny (5^4 shapes) — cover it exhaustively.
+    for m in CLUSTER_DIM_CHOICES {
+        for n in CLUSTER_DIM_CHOICES {
+            for k in CLUSTER_DIM_CHOICES {
+                for l in CLUSTER_DIM_CHOICES {
+                    if let Ok(s) = ClusterShape::new(m, n, k, l) {
+                        // §IV-A derivations.
+                        assert_eq!(s.cls_shuffle(), l / k);
+                        assert_eq!(s.cls_reduce(), n * k / l);
+                        assert_eq!(s.cls_shuffle() * s.cls_reduce(), n);
+                        assert!(s.blocks() <= 16);
+                        // Every block maps to exactly one output column and
+                        // one reduce slot: cls_l x cls_reduce == blocks per
+                        // m-row.
+                        assert_eq!(s.l() * s.cls_reduce(), s.n() * s.k());
+                    }
+                }
+            }
         }
     }
+}
 
-    #[test]
-    fn ring_steps_form_a_permutation_each_round(g in 1usize..=16) {
+#[test]
+fn ring_steps_form_a_permutation_each_round() {
+    for g in 1usize..=16 {
         let steps = ring_steps(g);
-        prop_assert_eq!(steps.len(), g.saturating_sub(1) * g);
+        assert_eq!(steps.len(), g.saturating_sub(1) * g);
         for round in 0..g.saturating_sub(1) {
             let mut dsts: Vec<_> = steps
                 .iter()
@@ -40,32 +45,36 @@ proptest! {
                 .map(|s| s.dst)
                 .collect();
             dsts.sort_unstable();
-            prop_assert_eq!(dsts, (0..g).collect::<Vec<_>>());
+            assert_eq!(dsts, (0..g).collect::<Vec<_>>());
         }
     }
+}
 
-    #[test]
-    fn volumes_scale_linearly_in_tile_bytes(
-        g in 2usize..=16,
-        bytes in 1u64..1_000_000,
-    ) {
+#[test]
+fn volumes_scale_linearly_in_tile_bytes() {
+    let mut rng = SplitMix64::new(0xC0);
+    for _ in 0..256 {
+        let g = 2 + rng.next_index(15);
+        let bytes = 1 + rng.next_u64() % 1_000_000;
         for f in [all_exchange_volume, shuffle_volume, reduce_scatter_volume] {
             let v1 = f(g, bytes);
             let v2 = f(g, 2 * bytes);
-            prop_assert_eq!(2 * v1.dsm_bytes, v2.dsm_bytes);
-            prop_assert_eq!(v1.steps, v2.steps);
-            prop_assert_eq!(v1.messages, v2.messages);
+            assert_eq!(2 * v1.dsm_bytes, v2.dsm_bytes, "g={g} bytes={bytes}");
+            assert_eq!(v1.steps, v2.steps);
+            assert_eq!(v1.messages, v2.messages);
         }
     }
+}
 
-    #[test]
-    fn reduce_scatter_never_exceeds_all_exchange(
-        g in 2usize..=16,
-        bytes in 1u64..1_000_000,
-    ) {
-        prop_assert!(
-            reduce_scatter_volume(g, bytes).dsm_bytes
-                <= all_exchange_volume(g, bytes).dsm_bytes
+#[test]
+fn reduce_scatter_never_exceeds_all_exchange() {
+    let mut rng = SplitMix64::new(0xC1);
+    for _ in 0..256 {
+        let g = 2 + rng.next_index(15);
+        let bytes = 1 + rng.next_u64() % 1_000_000;
+        assert!(
+            reduce_scatter_volume(g, bytes).dsm_bytes <= all_exchange_volume(g, bytes).dsm_bytes,
+            "g={g} bytes={bytes}"
         );
     }
 }

@@ -4,8 +4,8 @@
 //!
 //! 1. derives the plan geometry (grid / trips per dimension),
 //! 2. computes the per-block footprint of the *reused* tensor — the
-//!   `C` strip when L is iterated outside N (Fig. 9 "MLNK"), or the
-//!   partial-`E` strip when N is iterated outside L (Fig. 9 "MNLK"),
+//!    `C` strip when L is iterated outside N (Fig. 9 "MLNK"), or the
+//!    partial-`E` strip when N is iterated outside L (Fig. 9 "MNLK"),
 //! 3. places that footprint greedily across the
 //!    register → SMEM → DSM → global hierarchy (Algorithm 1 lines
 //!    15–23), debiting what the streaming working set already consumes,
@@ -98,19 +98,37 @@ impl fmt::Display for AnalysisError {
         match self {
             AnalysisError::Plan(e) => write!(f, "{e}"),
             AnalysisError::KNotInnermost => {
-                write!(f, "temporal K must be the innermost loop (activation needs complete sums)")
+                write!(
+                    f,
+                    "temporal K must be the innermost loop (activation needs complete sums)"
+                )
             }
-            AnalysisError::AccumulatorTooLarge { required, available } => {
-                write!(f, "accumulator needs {required} B of {available} B registers")
+            AnalysisError::AccumulatorTooLarge {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "accumulator needs {required} B of {available} B registers"
+                )
             }
-            AnalysisError::WorkingSetTooLarge { required, available } => {
+            AnalysisError::WorkingSetTooLarge {
+                required,
+                available,
+            } => {
                 write!(f, "working set needs {required} B of {available} B SMEM")
             }
             AnalysisError::StripDoesNotFit { footprint, lowest } => {
-                write!(f, "reused strip of {footprint} B does not fit at or above {lowest}")
+                write!(
+                    f,
+                    "reused strip of {footprint} B does not fit at or above {lowest}"
+                )
             }
             AnalysisError::InterClusterReduceUnavailable => {
-                write!(f, "plan needs inter_cluster_reduce, unavailable on this target")
+                write!(
+                    f,
+                    "plan needs inter_cluster_reduce, unavailable on this target"
+                )
             }
         }
     }
@@ -243,8 +261,28 @@ impl DataflowAnalyzer {
         cluster: ClusterShape,
         tile: BlockTile,
     ) -> Result<DataflowAnalysis, AnalysisError> {
-        let dims = chain.dims();
-        let geometry = PlanGeometry::derive(dims, schedule, cluster, tile)?;
+        let geometry = PlanGeometry::derive(chain.dims(), schedule, cluster, tile)?;
+        self.analyze_with_geometry(chain, schedule, cluster, tile, geometry)
+    }
+
+    /// [`DataflowAnalyzer::analyze`] for callers that already derived the
+    /// candidate's [`PlanGeometry`] (the search engine's hot loop shares
+    /// one derivation between the cost lower bound and the analyzer).
+    /// `geometry` must come from the same
+    /// `(chain.dims(), schedule, cluster, tile)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] when the candidate is structurally or
+    /// capacity-wise infeasible (Rules 3–5).
+    pub fn analyze_with_geometry(
+        &self,
+        chain: &ChainSpec,
+        schedule: &LoopSchedule,
+        cluster: ClusterShape,
+        tile: BlockTile,
+        geometry: PlanGeometry,
+    ) -> Result<DataflowAnalysis, AnalysisError> {
         if geometry.needs_inter_cluster_reduce() && !self.allow_inter_cluster_reduce {
             return Err(AnalysisError::InterClusterReduceUnavailable);
         }
@@ -270,8 +308,8 @@ impl DataflowAnalyzer {
         }
 
         // --- Streaming working set in SMEM (double-buffered stages). -----
-        let smem_working = 2 * (tile.a_tile_bytes() + branches * tile.b_tile_bytes()
-            + tile.d_tile_bytes())
+        let smem_working = 2
+            * (tile.a_tile_bytes() + branches * tile.b_tile_bytes() + tile.d_tile_bytes())
             + 2 * tile.c_tile_bytes();
         if smem_working > self.params.smem_bytes_per_sm {
             return Err(AnalysisError::WorkingSetTooLarge {
@@ -346,44 +384,14 @@ impl DataflowAnalyzer {
         mapping.insert(strip_role, strip_mapping.clone());
 
         // --- Global tile traffic (multicast-deduplicated). ----------------
+        // Shared with the cost model's admissible lower bound — see
+        // `PlanGeometry::mandatory_traffic`.
         let clusters = geometry.clusters_total();
         let blocks = clusters * cluster.blocks() as u64;
-        let (cls_m, cls_n, cls_k, cls_l) = (
-            cluster.m() as u64,
-            cluster.n() as u64,
-            cluster.k() as u64,
-            cluster.l() as u64,
-        );
-        let a_raw =
-            clusters * trips_m * trips_n * trips_k * cls_m * cls_k * tile.a_tile_bytes();
-        let b_raw = clusters
-            * trips_m
-            * trips_n
-            * trips_k
-            * cls_k
-            * cls_n
-            * branches
-            * tile.b_tile_bytes();
-        let d_raw =
-            clusters * trips_m * trips_n * trips_l * cls_n * cls_l * tile.d_tile_bytes();
-        let grid_n = geometry.grid(Dim::N) as u64;
-        let e_bytes = dims.e_bytes_f16() * grid_n;
-        // L2 residency filter: re-loads of a tensor whose distinct bytes
-        // fit comfortably in L2 are served on-chip; only the first pass
-        // (the distinct bytes) reaches HBM. Tensors larger than half the
-        // L2 stream from HBM every time.
-        let l2_resident = |distinct: u64, raw: u64| -> u64 {
-            if distinct <= self.params.l2_bytes / 2 {
-                distinct.min(raw)
-            } else {
-                raw
-            }
-        };
-        let a_bytes = l2_resident(dims.a_bytes_f16(), a_raw);
-        let b_bytes = l2_resident(branches * dims.b_bytes_f16(), b_raw);
-        let d_bytes = l2_resident(dims.d_bytes_f16(), d_raw);
-        let l2_raw = a_raw + b_raw + d_raw + e_bytes;
-        let mut global = a_bytes + b_bytes + d_bytes + e_bytes;
+        let (cls_m, cls_n, cls_k) = (cluster.m() as u64, cluster.n() as u64, cluster.k() as u64);
+        let traffic = geometry.mandatory_traffic(chain, cluster, tile, self.params.l2_bytes);
+        let l2_raw = traffic.l2_raw_bytes;
+        let mut global = traffic.hbm_bytes;
 
         // --- Strip spill traffic per tier. ---------------------------------
         let mut volumes: BTreeMap<MemLevel, u64> = BTreeMap::new();
@@ -404,9 +412,7 @@ impl DataflowAnalyzer {
             // Gated chains exchange both branch accumulators.
             let exchange_bytes = branches * tile.c_tile_bytes();
             let invocations = clusters * trips_m * trips_n * cls_m * cls_n;
-            dsm = dsm.merge(
-                all_exchange_volume(cluster.k(), exchange_bytes).scaled(invocations),
-            );
+            dsm = dsm.merge(all_exchange_volume(cluster.k(), exchange_bytes).scaled(invocations));
             let per_block = trips_m * trips_n * (cls_k - 1);
             dsm_steps += per_block;
             barriers += trips_m * trips_n;
@@ -524,16 +530,23 @@ mod tests {
         let cluster = ClusterShape::single_block();
         // N outer of L -> E strip.
         let a = analyzer()
-            .analyze(&chain(), &sched(&[Dim::M], &[Dim::N, Dim::L, Dim::K]), cluster, tile)
+            .analyze(
+                &chain(),
+                &sched(&[Dim::M], &[Dim::N, Dim::L, Dim::K]),
+                cluster,
+                tile,
+            )
             .unwrap();
         assert_eq!(a.strip_kind(), StripKind::EStrip);
-        assert_eq!(
-            a.strip_footprint(),
-            (256 / 64) as u64 * tile.e_tile_bytes()
-        );
+        assert_eq!(a.strip_footprint(), (256 / 64) as u64 * tile.e_tile_bytes());
         // L outer of N -> C strip.
         let b = analyzer()
-            .analyze(&chain(), &sched(&[Dim::M], &[Dim::L, Dim::N, Dim::K]), cluster, tile)
+            .analyze(
+                &chain(),
+                &sched(&[Dim::M], &[Dim::L, Dim::N, Dim::K]),
+                cluster,
+                tile,
+            )
             .unwrap();
         assert_eq!(b.strip_kind(), StripKind::CStrip);
         assert_eq!(
@@ -569,9 +582,7 @@ mod tests {
         let cluster_smem = ClusterShape::single_block();
         let tile = BlockTile::new(128, 128, 64, 128);
         let smem_only = analyzer().with_lowest_spill(MemLevel::Smem);
-        let err = smem_only
-            .analyze(&big, &s, cluster_smem, tile)
-            .unwrap_err();
+        let err = smem_only.analyze(&big, &s, cluster_smem, tile).unwrap_err();
         assert!(matches!(err, AnalysisError::StripDoesNotFit { .. }));
         // The same dataflow with a 16-block cluster fits in the DSM pool.
         let cluster_dsm = ClusterShape::new(1, 8, 2, 16).unwrap();
@@ -594,7 +605,7 @@ mod tests {
         let a_gated = analyzer().analyze(&gated, &s, cluster, tile).unwrap();
         let diff = a_gated.volume(MemLevel::Global) - a_std.volume(MemLevel::Global);
         // The extra traffic is exactly one more pass over B.
-        let b_pass = (128u64 / 128) * (1024 / 64) * (256 / 32) * tile.b_tile_bytes();
+        let b_pass = (1024 / 64) * (256 / 32) * tile.b_tile_bytes();
         assert_eq!(diff, b_pass);
     }
 
@@ -644,7 +655,12 @@ mod tests {
                 BlockTile::new(64, 64, 32, 64),
             )
             .unwrap();
-        for level in [MemLevel::Reg, MemLevel::Smem, MemLevel::Global, MemLevel::L2] {
+        for level in [
+            MemLevel::Reg,
+            MemLevel::Smem,
+            MemLevel::Global,
+            MemLevel::L2,
+        ] {
             assert!(a.volume(level) > 0, "no volume at {level}");
         }
         assert!(a.dsm_steps() > 0);

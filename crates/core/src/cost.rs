@@ -14,6 +14,11 @@
 
 use crate::analyzer::DataflowAnalysis;
 use crate::machine::{MachineParams, MemLevel};
+use crate::plan::PlanGeometry;
+use crate::schedule::LoopSchedule;
+use crate::tiling::BlockTile;
+use flashfuser_comm::ClusterShape;
+use flashfuser_graph::{ChainSpec, Dim};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -46,7 +51,12 @@ impl CostBreakdown {
 
 impl fmt::Display for CostBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "est {:.3} us (compute {:.3} us", self.est_s * 1e6, self.compute_s * 1e6)?;
+        write!(
+            f,
+            "est {:.3} us (compute {:.3} us",
+            self.est_s * 1e6,
+            self.compute_s * 1e6
+        )?;
         for (level, s) in &self.tier_s {
             write!(f, ", {level} {:.3} us", s * 1e6)?;
         }
@@ -88,9 +98,8 @@ impl CostModel {
         let sms = self.params.num_sms as u64;
         let waves = blocks.div_ceil(sms).max(1);
         let wave_eff = blocks as f64 / (waves * sms) as f64;
-        let bw_util = (blocks as f64 / sms as f64).min(1.0).max(0.05);
-        let compute_s =
-            plan.chain.total_flops() as f64 / self.params.peak_flops / wave_eff;
+        let bw_util = (blocks as f64 / sms as f64).clamp(0.05, 1.0);
+        let compute_s = plan.chain.total_flops() as f64 / self.params.peak_flops / wave_eff;
         let mut tier_s = BTreeMap::new();
         let mut est_s = compute_s;
         let mut bottleneck = None;
@@ -120,6 +129,73 @@ impl CostModel {
             bottleneck,
         }
     }
+
+    /// An *admissible* lower bound on [`CostModel::evaluate`]`.est_s` for
+    /// one candidate, computable from the plan geometry alone — no
+    /// dataflow analysis, no resource mapping, no allocation.
+    ///
+    /// The bound is `max(compute time, minimum-HBM-traffic time)` where:
+    ///
+    /// * the compute term is *identical* to the one `evaluate` charges
+    ///   (same wave-quantised occupancy derate), and
+    /// * the HBM term prices the A/B/D/E tile traffic through the same
+    ///   [`PlanGeometry::mandatory_traffic`] helper the analyzer itself
+    ///   charges — the analyzer only ever *adds* strip-spill and
+    ///   inter-cluster-reduce bytes on top, and `evaluate` only ever
+    ///   adds the non-negative latency chain.
+    ///
+    /// Hence for every candidate the analyzer accepts,
+    /// `lower_bound <= evaluate(analysis).est_s` holds exactly, which is
+    /// what lets the search engine skip full dataflow analysis for
+    /// candidates that cannot beat the current top-K worst without ever
+    /// changing the search result (see `SearchEngine`).
+    ///
+    /// Returns `None` when the geometry itself is infeasible or Rule 3's
+    /// temporal face fails — cases the analyzer would reject anyway.
+    pub fn lower_bound(
+        &self,
+        chain: &ChainSpec,
+        schedule: &LoopSchedule,
+        cluster: ClusterShape,
+        tile: BlockTile,
+    ) -> Option<f64> {
+        let geometry = PlanGeometry::derive(chain.dims(), schedule, cluster, tile).ok()?;
+        if !schedule.is_spatial(Dim::K) && schedule.innermost_temporal() != Some(Dim::K) {
+            return None;
+        }
+        Some(self.lower_bound_for(chain, &geometry, cluster, tile))
+    }
+
+    /// The pricing half of [`CostModel::lower_bound`], for callers that
+    /// already derived the candidate's [`PlanGeometry`] (the search
+    /// engine's hot loop derives it once and shares it with the
+    /// analyzer). `geometry` must come from the same
+    /// `(chain, schedule, cluster, tile)`.
+    pub fn lower_bound_for(
+        &self,
+        chain: &ChainSpec,
+        geometry: &PlanGeometry,
+        cluster: ClusterShape,
+        tile: BlockTile,
+    ) -> f64 {
+        // Occupancy terms — identical to `evaluate`.
+        let blocks = geometry.clusters_total() * cluster.blocks() as u64;
+        let sms = self.params.num_sms as u64;
+        let waves = blocks.div_ceil(sms).max(1);
+        let wave_eff = blocks as f64 / (waves * sms) as f64;
+        let bw_util = (blocks as f64 / sms as f64).clamp(0.05, 1.0);
+        let compute_s = chain.total_flops() as f64 / self.params.peak_flops / wave_eff;
+
+        // The analyzer's mandatory A/B/D/E traffic — the same helper the
+        // analyzer itself charges, so the two cannot drift apart.
+        let global_min = geometry
+            .mandatory_traffic(chain, cluster, tile, self.params.l2_bytes)
+            .hbm_bytes;
+        let hbm_s = global_min as f64
+            / (self.params.bandwidth(MemLevel::Global, cluster.blocks()) * bw_util);
+
+        compute_s.max(hbm_s)
+    }
 }
 
 #[cfg(test)]
@@ -132,11 +208,7 @@ mod tests {
     use flashfuser_graph::{ChainSpec, Dim};
     use flashfuser_tensor::Activation;
 
-    fn analyzed(
-        chain: &ChainSpec,
-        cluster: ClusterShape,
-        tile: BlockTile,
-    ) -> DataflowAnalysis {
+    fn analyzed(chain: &ChainSpec, cluster: ClusterShape, tile: BlockTile) -> DataflowAnalysis {
         let s = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
         DataflowAnalyzer::new(MachineParams::h100_sxm())
             .analyze(chain, &s, cluster, tile)

@@ -48,8 +48,8 @@ pub use machine::{MachineParams, MemLevel};
 pub use mapping::{ResourceMapping, TensorMapping, TensorRole};
 pub use plan::{FusedPlan, PlanGeometry};
 pub use profiler::{PlanProfiler, ProfileOutcome};
-pub use prune::{PruneConfig, PruneStats};
+pub use prune::{Candidate, CandidateIter, CandidateStream, PruneConfig, PruneStats};
 pub use runtime::KernelCache;
 pub use schedule::LoopSchedule;
-pub use search::{RankedPlan, SearchConfig, SearchEngine, SearchError, SearchResult};
+pub use search::{RankedPlan, SearchConfig, SearchEngine, SearchError, SearchResult, SearchStats};
 pub use tiling::{hardware_aware_tiles, BlockTile};

@@ -225,9 +225,7 @@ impl MachineParams {
         match level {
             MemLevel::Reg => self.reg_bytes_per_sm,
             MemLevel::Smem => self.smem_bytes_per_sm,
-            MemLevel::Dsm => {
-                (cluster_size.saturating_sub(1) as u64) * self.smem_bytes_per_sm
-            }
+            MemLevel::Dsm => (cluster_size.saturating_sub(1) as u64) * self.smem_bytes_per_sm,
             MemLevel::L2 => self.l2_bytes,
             MemLevel::Global => u64::MAX,
         }

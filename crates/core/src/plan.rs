@@ -45,7 +45,10 @@ impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanError::Indivisible { dim, size, unit } => {
-                write!(f, "dim {dim}: extent {size} not divisible by cls*blk = {unit}")
+                write!(
+                    f,
+                    "dim {dim}: extent {size} not divisible by cls*blk = {unit}"
+                )
             }
             PlanError::SpatialKAcrossClusters => {
                 write!(f, "spatial K spans multiple clusters (no combine path)")
@@ -87,7 +90,7 @@ impl PlanGeometry {
         for dim in Dim::ALL {
             let size = dims.size(dim);
             let unit = tile.by_index(dim.index()) * cluster.size(dim);
-            if unit == 0 || size % unit != 0 {
+            if unit == 0 || !size.is_multiple_of(unit) {
                 return Err(PlanError::Indivisible { dim, size, unit });
             }
             let count = size / unit;
@@ -131,6 +134,71 @@ impl PlanGeometry {
     pub fn needs_inter_cluster_reduce(&self) -> bool {
         self.grid[Dim::N.index()] > 1
     }
+
+    /// The *mandatory* tile traffic of this geometry — the A/B/D/E bytes
+    /// every execution must move, with intra-cluster TMA multicast dedup
+    /// and the L2 residency filter applied. The dataflow analyzer only
+    /// ever *adds* strip-spill and DSM-communication bytes on top of
+    /// `hbm_bytes`, which is what makes it a sound basis for the search
+    /// engine's admissible cost lower bound. This is the single source
+    /// of truth for that accounting: the analyzer and the cost model's
+    /// `lower_bound` both call it.
+    pub fn mandatory_traffic(
+        &self,
+        chain: &ChainSpec,
+        cluster: ClusterShape,
+        tile: BlockTile,
+        l2_bytes: u64,
+    ) -> MandatoryTraffic {
+        let dims = chain.dims();
+        let branches: u64 = if chain.kind().is_gated() { 2 } else { 1 };
+        let clusters = self.clusters_total();
+        let trips_m = self.trips(Dim::M) as u64;
+        let trips_n = self.trips(Dim::N) as u64;
+        let trips_k = self.trips(Dim::K) as u64;
+        let trips_l = self.trips(Dim::L) as u64;
+        let (cls_m, cls_n, cls_k, cls_l) = (
+            cluster.m() as u64,
+            cluster.n() as u64,
+            cluster.k() as u64,
+            cluster.l() as u64,
+        );
+        let a_raw = clusters * trips_m * trips_n * trips_k * cls_m * cls_k * tile.a_tile_bytes();
+        let b_raw =
+            clusters * trips_m * trips_n * trips_k * cls_k * cls_n * branches * tile.b_tile_bytes();
+        let d_raw = clusters * trips_m * trips_n * trips_l * cls_n * cls_l * tile.d_tile_bytes();
+        // E is written once per spatial-N cluster (atomic contributions
+        // through the `inter_cluster_reduce` path when grid_n > 1).
+        let e_bytes = dims.e_bytes_f16() * self.grid(Dim::N) as u64;
+        // L2 residency filter: re-loads of a tensor whose distinct bytes
+        // fit comfortably in L2 are served on-chip; only the first pass
+        // (the distinct bytes) reaches HBM. Tensors larger than half the
+        // L2 stream from HBM every time.
+        let l2_resident = |distinct: u64, raw: u64| -> u64 {
+            if distinct <= l2_bytes / 2 {
+                distinct.min(raw)
+            } else {
+                raw
+            }
+        };
+        MandatoryTraffic {
+            hbm_bytes: l2_resident(dims.a_bytes_f16(), a_raw)
+                + l2_resident(branches * dims.b_bytes_f16(), b_raw)
+                + l2_resident(dims.d_bytes_f16(), d_raw)
+                + e_bytes,
+            l2_raw_bytes: a_raw + b_raw + d_raw + e_bytes,
+        }
+    }
+}
+
+/// The unavoidable A/B/D/E tile traffic of a plan geometry (see
+/// [`PlanGeometry::mandatory_traffic`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MandatoryTraffic {
+    /// Bytes reaching HBM after the L2 residency filter.
+    pub hbm_bytes: u64,
+    /// Raw bytes hitting L2 (re-loads included).
+    pub l2_raw_bytes: u64,
 }
 
 /// A complete fused execution plan.
@@ -202,10 +270,8 @@ mod tests {
         let tile = BlockTile::new(64, 64, 32, 64);
         let g = PlanGeometry::derive(dims(), &sched_m_spatial(), cluster, tile).unwrap();
         for dim in Dim::ALL {
-            let covered = g.grid(dim)
-                * cluster.size(dim)
-                * g.trips(dim)
-                * tile.by_index(dim.index());
+            let covered =
+                g.grid(dim) * cluster.size(dim) * g.trips(dim) * tile.by_index(dim.index());
             assert_eq!(covered, dims().size(dim), "coverage identity for {dim}");
         }
         // M spatial: grid_m = 128/64 = 2, trips_m = 1.

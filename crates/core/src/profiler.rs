@@ -44,22 +44,47 @@ impl fmt::Display for ProfileOutcome {
 ///
 /// Implemented by the simulator's timing model; tests use table-driven
 /// fakes.
+///
+/// # Concurrency
+///
+/// The search engine profiles candidates from worker threads when it
+/// can. A profiler opts in by implementing [`PlanProfiler::fork`]: it
+/// hands each worker an *independent* profiler whose measurements must
+/// be a pure function of the plan (true for the simulator — and for real
+/// hardware backends that serialise device access internally). The
+/// engine counts the `profile` calls it makes on each fork and reports
+/// them back through [`PlanProfiler::join`] so aggregate accounting
+/// (e.g. `SimProfiler::profiled`) stays exact. The default `fork`
+/// returns `None`, which keeps profiling on the calling thread —
+/// stateful profilers need not do anything.
 pub trait PlanProfiler {
     /// Executes (or models) `plan` and reports its measured cost.
     fn profile(&mut self, plan: &FusedPlan) -> ProfileOutcome;
+
+    /// Creates an independent profiler for a worker thread, or `None`
+    /// (the default) when the implementation must profile sequentially.
+    fn fork(&self) -> Option<Box<dyn PlanProfiler + Send>> {
+        None
+    }
+
+    /// Folds a finished worker's accounting — the number of plans the
+    /// engine profiled on one fork — back into `self`. Default: no-op.
+    fn join(&mut self, _profiled: u64) {}
 }
 
 /// A profiler for unit tests: applies a fixed function of the plan's
 /// block count, so rankings are deterministic without a simulator.
 #[derive(Debug, Default)]
 pub struct FakeProfiler {
-    /// Number of `profile` calls made (to assert top-K width).
+    /// Number of `profile` calls made (to assert top-K width). Forked
+    /// workers report their calls back via [`PlanProfiler::join`], so
+    /// the count stays exact under parallel profiling.
     pub calls: usize,
 }
 
-impl PlanProfiler for FakeProfiler {
-    fn profile(&mut self, plan: &FusedPlan) -> ProfileOutcome {
-        self.calls += 1;
+impl FakeProfiler {
+    /// The fixed measurement function, shared by forks.
+    fn outcome(plan: &FusedPlan) -> ProfileOutcome {
         // Favour plans with more parallelism, with a mild penalty for
         // very wide clusters — enough structure to make rankings
         // non-trivial in tests.
@@ -70,6 +95,21 @@ impl PlanProfiler for FakeProfiler {
             global_bytes: 0,
             dsm_bytes: 0,
         }
+    }
+}
+
+impl PlanProfiler for FakeProfiler {
+    fn profile(&mut self, plan: &FusedPlan) -> ProfileOutcome {
+        self.calls += 1;
+        Self::outcome(plan)
+    }
+
+    fn fork(&self) -> Option<Box<dyn PlanProfiler + Send>> {
+        Some(Box::new(FakeProfiler::default()))
+    }
+
+    fn join(&mut self, profiled: u64) {
+        self.calls += profiled as usize;
     }
 }
 

@@ -16,7 +16,7 @@
 //!   above the configured lowest spill tier. Enforced by running the
 //!   [`DataflowAnalyzer`] itself, so the count is exact.
 
-use crate::analyzer::{AnalysisError, DataflowAnalyzer};
+use crate::analyzer::DataflowAnalyzer;
 use crate::machine::{MachineParams, MemLevel};
 use crate::schedule::LoopSchedule;
 use crate::space;
@@ -85,7 +85,11 @@ impl fmt::Display for PruneStats {
         writeln!(f, "+ Rule 3         {:>14}", self.after_rule3)?;
         writeln!(f, "+ Rule 4         {:>14}", self.after_rule4)?;
         writeln!(f, "+ Rule 5         {:>14}", self.after_rule5)?;
-        write!(f, "Total reduction  {:>13.4}%", self.total_reduction() * 100.0)
+        write!(
+            f,
+            "Total reduction  {:>13.4}%",
+            self.total_reduction() * 100.0
+        )
     }
 }
 
@@ -104,9 +108,33 @@ pub fn schedules_after_rule4(all: &[LoopSchedule]) -> Vec<&LoopSchedule> {
         .collect()
 }
 
+/// One enumerated candidate, tagged with its position in the stream's
+/// total order.
+///
+/// `seq` is the index a sequential scan would visit the candidate at;
+/// parallel consumers use it to break cost ties exactly as a sequential
+/// scan would, making multi-threaded search results bit-identical to
+/// single-threaded ones.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate<'a> {
+    /// Position in the stream's total order (`0..stream.len()`).
+    pub seq: u64,
+    /// The loop schedule.
+    pub schedule: &'a LoopSchedule,
+    /// The cluster shape.
+    pub cluster: ClusterShape,
+    /// The block tile.
+    pub tile: BlockTile,
+}
+
 /// The candidate stream after Rules 1–4: every (schedule, cluster, tile)
 /// triple that survives the cheap structural rules. Rule 5 (and the
 /// residual geometry checks) happen in the analyzer.
+///
+/// The stream is *randomly addressable*: [`CandidateStream::get`]
+/// materialises the candidate at any position of the total order, so
+/// disjoint index ranges can be iterated by different worker threads
+/// without coordination (see [`CandidateStream::range`]).
 pub struct CandidateStream<'a> {
     /// Surviving schedules (borrowed from the caller's full list).
     pub schedules: Vec<&'a LoopSchedule>,
@@ -144,32 +172,107 @@ impl<'a> CandidateStream<'a> {
         self.len() == 0
     }
 
+    /// The candidate at position `seq` of the total order, or `None` past
+    /// the end. The order matches a nested loop over
+    /// `schedules x clusters x tiles_m x tiles_n x tiles_k x tiles_l`,
+    /// innermost last — the order [`CandidateStream::for_each`] visits.
+    pub fn get(&self, seq: u64) -> Option<Candidate<'a>> {
+        if seq >= self.len() {
+            return None;
+        }
+        let mut rest = seq;
+        let mut digit = |radix: usize| -> usize {
+            let d = (rest % radix as u64) as usize;
+            rest /= radix as u64;
+            d
+        };
+        // Innermost (fastest-varying) component first.
+        let bl = self.tiles[3][digit(self.tiles[3].len())];
+        let bk = self.tiles[2][digit(self.tiles[2].len())];
+        let bn = self.tiles[1][digit(self.tiles[1].len())];
+        let bm = self.tiles[0][digit(self.tiles[0].len())];
+        let cluster = self.clusters[digit(self.clusters.len())];
+        let schedule = self.schedules[digit(self.schedules.len())];
+        Some(Candidate {
+            seq,
+            schedule,
+            cluster,
+            tile: BlockTile::new(bm, bn, bk, bl),
+        })
+    }
+
+    /// Iterates the whole stream in total order.
+    pub fn iter(&self) -> CandidateIter<'a, '_> {
+        self.range(0, self.len())
+    }
+
+    /// Iterates the half-open index range `[start, end)` of the total
+    /// order (clamped to the stream length) — the unit of work a search
+    /// worker thread claims.
+    pub fn range(&self, start: u64, end: u64) -> CandidateIter<'a, '_> {
+        let end = end.min(self.len());
+        CandidateIter {
+            stream: self,
+            next: start.min(end),
+            end,
+        }
+    }
+
     /// Visits every candidate; the callback returns `true` to keep
     /// iterating or `false` to stop early.
     pub fn for_each(&self, mut f: impl FnMut(&LoopSchedule, ClusterShape, BlockTile) -> bool) {
-        for schedule in &self.schedules {
-            for &cluster in &self.clusters {
-                for &bm in &self.tiles[0] {
-                    for &bn in &self.tiles[1] {
-                        for &bk in &self.tiles[2] {
-                            for &bl in &self.tiles[3] {
-                                let tile = BlockTile::new(bm, bn, bk, bl);
-                                if !f(schedule, cluster, tile) {
-                                    return;
-                                }
-                            }
-                        }
-                    }
-                }
+        for c in self.iter() {
+            if !f(c.schedule, c.cluster, c.tile) {
+                return;
             }
         }
     }
 }
 
+impl<'a, 's> IntoIterator for &'s CandidateStream<'a> {
+    type Item = Candidate<'a>;
+    type IntoIter = CandidateIter<'a, 's>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over a contiguous index range of a [`CandidateStream`].
+pub struct CandidateIter<'a, 's> {
+    stream: &'s CandidateStream<'a>,
+    next: u64,
+    end: u64,
+}
+
+impl<'a> Iterator for CandidateIter<'a, '_> {
+    type Item = Candidate<'a>;
+
+    fn next(&mut self) -> Option<Candidate<'a>> {
+        if self.next >= self.end {
+            return None;
+        }
+        let c = self.stream.get(self.next);
+        self.next += 1;
+        c
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for CandidateIter<'_, '_> {}
+
 /// Computes the full Table III cascade for one chain. Rule 5 runs the
 /// analyzer on every surviving candidate, so this is `O(|after_rule4|)`
 /// cheap arithmetic per candidate.
-pub fn count_cascade(chain: &ChainSpec, params: &MachineParams, config: &PruneConfig) -> PruneStats {
+pub fn count_cascade(
+    chain: &ChainSpec,
+    params: &MachineParams,
+    config: &PruneConfig,
+) -> PruneStats {
     let dims = chain.dims();
     let all = LoopSchedule::enumerate_all();
     let tiles = space::tile_combinations(dims);
@@ -183,9 +286,8 @@ pub fn count_cascade(chain: &ChainSpec, params: &MachineParams, config: &PruneCo
         .with_inter_cluster_reduce(config.allow_inter_cluster_reduce);
     let mut feasible = 0u64;
     stream.for_each(|schedule, cluster, tile| {
-        match analyzer.analyze(chain, schedule, cluster, tile) {
-            Ok(_) => feasible += 1,
-            Err(AnalysisError::Plan(_)) | Err(_) => {}
+        if analyzer.analyze(chain, schedule, cluster, tile).is_ok() {
+            feasible += 1
         }
         true
     });
@@ -232,11 +334,7 @@ mod tests {
     #[test]
     fn cascade_is_monotonically_decreasing() {
         let chain = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu);
-        let stats = count_cascade(
-            &chain,
-            &MachineParams::h100_sxm(),
-            &PruneConfig::default(),
-        );
+        let stats = count_cascade(&chain, &MachineParams::h100_sxm(), &PruneConfig::default());
         assert!(stats.initial >= stats.after_rule1 as f64);
         assert!(stats.after_rule1 >= stats.after_rule2);
         assert!(stats.after_rule2 >= stats.after_rule3);
@@ -293,11 +391,7 @@ mod tests {
     #[test]
     fn display_has_all_rows() {
         let chain = ChainSpec::standard_ffn(64, 64, 64, 64, Activation::Relu);
-        let stats = count_cascade(
-            &chain,
-            &MachineParams::h100_sxm(),
-            &PruneConfig::default(),
-        );
+        let stats = count_cascade(&chain, &MachineParams::h100_sxm(), &PruneConfig::default());
         let s = stats.to_string();
         for row in ["Rule 1", "Rule 5", "Total reduction"] {
             assert!(s.contains(row));

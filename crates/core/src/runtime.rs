@@ -72,9 +72,7 @@ impl KernelCache {
         let mut plans = BTreeMap::new();
         for &m in m_bins {
             let chain = match template.kind() {
-                k if k.is_gated() => {
-                    ChainSpec::gated_ffn(m, d.n, d.k, d.l, k.activation())
-                }
+                k if k.is_gated() => ChainSpec::gated_ffn(m, d.n, d.k, d.l, k.activation()),
                 k => ChainSpec::standard_ffn(m, d.n, d.k, d.l, k.activation()),
             }
             .named(template.name());
@@ -118,7 +116,11 @@ impl KernelCache {
 
 impl fmt::Display for KernelCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "kernel cache [N={} K={} L={}]:", self.template.n, self.template.k, self.template.l)?;
+        write!(
+            f,
+            "kernel cache [N={} K={} L={}]:",
+            self.template.n, self.template.k, self.template.l
+        )?;
         for (m, plan) in &self.plans {
             write!(f, "\n  M<={m}: {}", plan.summary())?;
         }

@@ -7,17 +7,48 @@
 //! analytical cost model, keeps the best `K` (the paper selects `K = 11`
 //! from Fig. 12b), and then asks a [`PlanProfiler`] — the simulator — to
 //! measure those finalists and pick the winner.
+//!
+//! # Parallel ranking
+//!
+//! Candidate evaluation is embarrassingly parallel: each candidate is a
+//! pure function of `(chain, schedule, cluster, tile)`. The engine
+//! therefore shards the [`CandidateStream`]'s total order across worker
+//! threads (a shared atomic block queue for load balance), giving every
+//! worker its own [`DataflowAnalyzer`] and [`CostModel`], and merges the
+//! per-worker bounded top-K buffers at the end. Ties in analytical cost
+//! are broken by the candidate's position in the stream's total order
+//! (`Candidate::seq`), so the merged result is **bit-identical** to a
+//! single-threaded scan regardless of thread count — see
+//! [`SearchConfig::threads`].
+//!
+//! # Lower-bound prefilter
+//!
+//! Before running the (comparatively expensive) dataflow analysis, the
+//! engine computes [`CostModel::lower_bound`] — an admissible bound from
+//! the plan geometry alone. Once a worker's top-K buffer is full, any
+//! candidate whose bound cannot beat the buffer's worst entry is skipped
+//! outright. Because the bound never exceeds the true cost, the skip can
+//! never evict a would-be finalist: results with the prefilter on are
+//! identical to results with it off ([`SearchConfig::prefilter`];
+//! [`SearchConfig::prefilter_relax`] is the escape hatch should the cost
+//! model and the bound ever drift apart).
 
 use crate::analyzer::{DataflowAnalysis, DataflowAnalyzer};
 use crate::cost::{CostBreakdown, CostModel};
 use crate::machine::{MachineParams, MemLevel};
+use crate::plan::PlanGeometry;
 use crate::profiler::{PlanProfiler, ProfileOutcome};
 use crate::prune::{CandidateStream, PruneConfig};
 use crate::schedule::LoopSchedule;
-use flashfuser_graph::ChainSpec;
+use flashfuser_graph::{ChainSpec, Dim};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Candidates claimed per queue pop: small enough for load balance,
+/// large enough that the atomic is cold.
+const WORK_BLOCK: u64 = 512;
 
 /// Search-engine configuration.
 #[derive(Debug, Clone)]
@@ -26,6 +57,21 @@ pub struct SearchConfig {
     pub top_k: usize,
     /// Pruning configuration (cluster limit, lowest spill tier).
     pub prune: PruneConfig,
+    /// Worker threads for candidate ranking, brute-force profiling and
+    /// top-K profiling. `0` (the default) uses every available core;
+    /// `1` forces the sequential path. Results are identical for every
+    /// value — parallel merges are deterministic.
+    pub threads: usize,
+    /// Skip dataflow analysis for candidates whose admissible cost lower
+    /// bound ([`CostModel::lower_bound`]) cannot beat the current top-K
+    /// worst. Provably never changes the search result; on by default.
+    pub prefilter: bool,
+    /// Relaxation factor in `(0, 1]` applied to the lower bound before
+    /// the skip comparison — the escape hatch if the cost model evolves
+    /// ahead of the bound. `1.0` (default) trusts the bound fully;
+    /// smaller values prune more conservatively; `0.0` disables pruning
+    /// while still skipping geometrically infeasible candidates.
+    pub prefilter_relax: f64,
 }
 
 impl Default for SearchConfig {
@@ -33,6 +79,9 @@ impl Default for SearchConfig {
         Self {
             top_k: 11,
             prune: PruneConfig::default(),
+            threads: 0,
+            prefilter: true,
+            prefilter_relax: 1.0,
         }
     }
 }
@@ -42,12 +91,34 @@ impl SearchConfig {
     /// how SMEM-only baselines search.
     pub fn smem_only() -> Self {
         Self {
-            top_k: 11,
             prune: PruneConfig {
                 max_cluster: 1,
                 lowest_spill: MemLevel::Smem,
                 allow_inter_cluster_reduce: false,
             },
+            ..Self::default()
+        }
+    }
+
+    /// This configuration with an explicit thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// This configuration with the prefilter toggled (builder style).
+    pub fn with_prefilter(mut self, enabled: bool) -> Self {
+        self.prefilter = enabled;
+        self
+    }
+
+    /// The worker count the engine will actually use: `threads`, or every
+    /// available core when `threads == 0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
         }
     }
 }
@@ -73,11 +144,29 @@ pub struct SearchStats {
     /// Candidates that reached the analyzer (survived Rules 1–4).
     pub considered: u64,
     /// Candidates that analyzed successfully (survived Rule 5).
+    /// With the prefilter on, candidates skipped by the bound are *not*
+    /// analyzed and therefore not counted here.
     pub feasible: u64,
+    /// Candidates skipped by the lower-bound prefilter (all of them
+    /// provably unable to enter the top-K). The exact count depends on
+    /// scan interleaving and is not stable across thread counts.
+    pub prefiltered: u64,
+    /// Worker threads used for ranking.
+    pub threads: usize,
     /// Wall-clock seconds spent in enumeration + analysis + ranking.
     pub analysis_seconds: f64,
     /// Wall-clock seconds spent profiling the top-K.
     pub profiling_seconds: f64,
+}
+
+impl SearchStats {
+    /// Ranking throughput in candidates per second.
+    pub fn candidates_per_second(&self) -> f64 {
+        if self.analysis_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.considered as f64 / self.analysis_seconds
+    }
 }
 
 /// Search failure.
@@ -128,6 +217,48 @@ impl SearchResult {
     }
 }
 
+/// A scored candidate inside a worker's bounded top-K buffer: analytical
+/// estimate plus the stream position that breaks ties deterministically.
+struct Scored {
+    est: f64,
+    seq: u64,
+    cost: CostBreakdown,
+    analysis: DataflowAnalysis,
+}
+
+/// `true` when `(a_est, a_seq)` orders strictly before `(b_est, b_seq)`
+/// in the engine's total candidate order (cost first, stream position as
+/// the tie break). `est` values are finite by construction.
+fn orders_before(a_est: f64, a_seq: u64, b_est: f64, b_seq: u64) -> bool {
+    a_est < b_est || (a_est == b_est && a_seq < b_seq)
+}
+
+/// Inserts `s` into the sorted bounded buffer `top` (capacity `k`).
+fn push_top_k(top: &mut Vec<Scored>, k: usize, s: Scored) {
+    if top.len() == k {
+        let w = top.last().expect("k >= 1");
+        if !orders_before(s.est, s.seq, w.est, w.seq) {
+            return;
+        }
+    }
+    let pos = top.partition_point(|p| orders_before(p.est, p.seq, s.est, s.seq));
+    top.insert(pos, s);
+    top.truncate(k);
+}
+
+/// One brute-force worker's output: its best `(seconds, seq, plan)`
+/// (if any candidate in its share was feasible) plus its profile-call
+/// count.
+type BruteShard = (Option<(f64, u64, RankedPlan)>, u64);
+
+/// One ranking worker's output.
+struct RankShard {
+    top: Vec<Scored>,
+    considered: u64,
+    feasible: u64,
+    prefiltered: u64,
+}
+
 /// The fusion search engine.
 #[derive(Debug, Clone)]
 pub struct SearchEngine {
@@ -168,7 +299,10 @@ impl SearchEngine {
     }
 
     /// Full Algorithm 2: rank candidates, then profile the top-K and
-    /// select the measured-fastest (`ProfileBestFromList`).
+    /// select the measured-fastest (`ProfileBestFromList`). Finalists are
+    /// profiled concurrently when the profiler supports
+    /// [`PlanProfiler::fork`]; the winner (minimum measured seconds,
+    /// earlier rank on ties) is identical either way.
     ///
     /// # Errors
     ///
@@ -184,10 +318,10 @@ impl SearchEngine {
             return Err(SearchError::NoFeasiblePlan);
         }
         let t0 = Instant::now();
+        let outcomes = profile_all(profiler, &top_k, config.effective_threads());
         let mut best_idx = 0;
         let mut best_time = f64::INFINITY;
-        for (i, ranked) in top_k.iter_mut().enumerate() {
-            let outcome = profiler.profile(ranked.analysis.plan());
+        for (i, (ranked, outcome)) in top_k.iter_mut().zip(outcomes).enumerate() {
             if outcome.seconds < best_time {
                 best_time = outcome.seconds;
                 best_idx = i;
@@ -203,8 +337,12 @@ impl SearchEngine {
     }
 
     /// Brute force for Table VIII: profile *every* feasible candidate on
-    /// the device and return the true optimum. Returns the winner, its
-    /// outcome and the number of candidates profiled.
+    /// the device and return the true optimum (minimum measured seconds;
+    /// ties broken by stream position, so parallel and sequential runs
+    /// agree exactly). Returns the winner, its outcome and the number of
+    /// candidates profiled. The lower-bound prefilter is deliberately
+    /// *not* applied here — brute force is the unfiltered ground truth
+    /// the prefilter is validated against.
     ///
     /// # Errors
     ///
@@ -217,35 +355,105 @@ impl SearchEngine {
     ) -> Result<(RankedPlan, u64), SearchError> {
         let all = LoopSchedule::enumerate_all();
         let stream = CandidateStream::build(chain, &config.prune, &all);
-        let analyzer = DataflowAnalyzer::new(self.params.clone())
-            .with_lowest_spill(config.prune.lowest_spill)
-            .with_inter_cluster_reduce(config.prune.allow_inter_cluster_reduce);
-        let cost_model = CostModel::new(self.params.clone());
-        let mut best: Option<RankedPlan> = None;
-        let mut profiled = 0u64;
-        stream.for_each(|schedule, cluster, tile| {
-            if let Ok(analysis) = analyzer.analyze(chain, schedule, cluster, tile) {
-                let outcome = profiler.profile(analysis.plan());
-                profiled += 1;
-                let better = best
-                    .as_ref()
-                    .and_then(|b| b.measured)
-                    .is_none_or(|m| outcome.seconds < m.seconds);
-                if better {
-                    let cost = cost_model.evaluate(&analysis);
-                    best = Some(RankedPlan {
-                        est_seconds: cost.est_s,
-                        cost,
-                        analysis,
-                        measured: Some(outcome),
-                    });
+        let threads = worker_count(config, stream.len());
+        let queue = AtomicU64::new(0);
+
+        let forks: Option<Vec<Box<dyn PlanProfiler + Send>>> = if threads > 1 {
+            (0..threads).map(|_| profiler.fork()).collect()
+        } else {
+            None
+        };
+
+        let (best, profiled) = match forks {
+            Some(forks) => {
+                let shards: Vec<BruteShard> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = forks
+                        .into_iter()
+                        .map(|mut fork| {
+                            let stream = &stream;
+                            let queue = &queue;
+                            scope.spawn(move || {
+                                self.brute_shard(chain, config, stream, queue, fork.as_mut())
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("brute-force worker panicked"))
+                        .collect()
+                });
+                let mut best: Option<(f64, u64, RankedPlan)> = None;
+                let mut profiled = 0u64;
+                for (shard_best, shard_profiled) in shards {
+                    profiler.join(shard_profiled);
+                    profiled += shard_profiled;
+                    if let Some((sec, seq, plan)) = shard_best {
+                        let better = best
+                            .as_ref()
+                            .is_none_or(|(bs, bq, _)| orders_before(sec, seq, *bs, *bq));
+                        if better {
+                            best = Some((sec, seq, plan));
+                        }
+                    }
                 }
+                (best, profiled)
             }
-            true
-        });
-        best.map(|b| (b, profiled)).ok_or(SearchError::NoFeasiblePlan)
+            None => self.brute_shard(chain, config, &stream, &queue, profiler),
+        };
+        best.map(|(_, _, plan)| (plan, profiled))
+            .ok_or(SearchError::NoFeasiblePlan)
     }
 
+    /// Drains the brute-force work queue on one thread: analyze, profile,
+    /// keep the best `(seconds, seq)`.
+    fn brute_shard(
+        &self,
+        chain: &ChainSpec,
+        config: &SearchConfig,
+        stream: &CandidateStream<'_>,
+        queue: &AtomicU64,
+        profiler: &mut dyn PlanProfiler,
+    ) -> BruteShard {
+        let analyzer = self.analyzer_for(&config.prune);
+        let cost_model = CostModel::new(self.params.clone());
+        let total = stream.len();
+        let mut best: Option<(f64, u64, RankedPlan)> = None;
+        let mut profiled = 0u64;
+        loop {
+            let start = queue.fetch_add(WORK_BLOCK, Ordering::Relaxed);
+            if start >= total {
+                break;
+            }
+            for cand in stream.range(start, start + WORK_BLOCK) {
+                if let Ok(analysis) =
+                    analyzer.analyze(chain, cand.schedule, cand.cluster, cand.tile)
+                {
+                    let outcome = profiler.profile(analysis.plan());
+                    profiled += 1;
+                    let better = best.as_ref().is_none_or(|(bs, bq, _)| {
+                        orders_before(outcome.seconds, cand.seq, *bs, *bq)
+                    });
+                    if better {
+                        let cost = cost_model.evaluate(&analysis);
+                        best = Some((
+                            outcome.seconds,
+                            cand.seq,
+                            RankedPlan {
+                                est_seconds: cost.est_s,
+                                cost,
+                                analysis,
+                                measured: Some(outcome),
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        (best, profiled)
+    }
+
+    /// Ranks every candidate of the stream with the analytical cost
+    /// model, in parallel, returning the deterministic global top-K.
     fn rank_candidates(
         &self,
         chain: &ChainSpec,
@@ -254,40 +462,212 @@ impl SearchEngine {
         let t0 = Instant::now();
         let all = LoopSchedule::enumerate_all();
         let stream = CandidateStream::build(chain, &config.prune, &all);
-        let analyzer = DataflowAnalyzer::new(self.params.clone())
-            .with_lowest_spill(config.prune.lowest_spill)
-            .with_inter_cluster_reduce(config.prune.allow_inter_cluster_reduce);
-        let cost_model = CostModel::new(self.params.clone());
         let k = config.top_k.max(1);
-        let mut top_k: Vec<RankedPlan> = Vec::with_capacity(k + 1);
-        let mut stats = SearchStats::default();
-        stream.for_each(|schedule, cluster, tile| {
-            stats.considered += 1;
-            if let Ok(analysis) = analyzer.analyze(chain, schedule, cluster, tile) {
-                stats.feasible += 1;
-                let cost = cost_model.evaluate(&analysis);
-                let est = cost.est_s;
-                let worst = top_k.last().map_or(f64::INFINITY, |p| p.est_seconds);
-                if top_k.len() < k || est < worst {
-                    let pos = top_k
-                        .partition_point(|p| p.est_seconds <= est);
-                    top_k.insert(
-                        pos,
-                        RankedPlan {
-                            est_seconds: est,
-                            cost,
-                            analysis,
-                            measured: None,
-                        },
-                    );
-                    top_k.truncate(k);
-                }
-            }
-            true
-        });
+        let threads = worker_count(config, stream.len());
+        let queue = AtomicU64::new(0);
+
+        let shards: Vec<RankShard> = if threads > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let stream = &stream;
+                        let queue = &queue;
+                        scope.spawn(move || self.rank_shard(chain, config, stream, queue, k))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("ranking worker panicked"))
+                    .collect()
+            })
+        } else {
+            vec![self.rank_shard(chain, config, &stream, &queue, k)]
+        };
+
+        let mut stats = SearchStats {
+            threads,
+            ..SearchStats::default()
+        };
+        let mut merged: Vec<Scored> = Vec::with_capacity(k * shards.len());
+        for shard in shards {
+            stats.considered += shard.considered;
+            stats.feasible += shard.feasible;
+            stats.prefiltered += shard.prefiltered;
+            merged.extend(shard.top);
+        }
+        // The deterministic merge: global order is (est, seq); each shard
+        // already holds the best k of its slice under that order.
+        merged.sort_by(|a, b| a.est.total_cmp(&b.est).then_with(|| a.seq.cmp(&b.seq)));
+        merged.truncate(k);
+        let top_k = merged
+            .into_iter()
+            .map(|s| RankedPlan {
+                est_seconds: s.est,
+                cost: s.cost,
+                analysis: s.analysis,
+                measured: None,
+            })
+            .collect();
         stats.analysis_seconds = t0.elapsed().as_secs_f64();
         (top_k, stats)
     }
+
+    /// Drains the ranking work queue on one thread with its own analyzer
+    /// and cost model.
+    fn rank_shard(
+        &self,
+        chain: &ChainSpec,
+        config: &SearchConfig,
+        stream: &CandidateStream<'_>,
+        queue: &AtomicU64,
+        k: usize,
+    ) -> RankShard {
+        let analyzer = self.analyzer_for(&config.prune);
+        let cost_model = CostModel::new(self.params.clone());
+        let total = stream.len();
+        let mut shard = RankShard {
+            top: Vec::with_capacity(k + 1),
+            considered: 0,
+            feasible: 0,
+            prefiltered: 0,
+        };
+        loop {
+            let start = queue.fetch_add(WORK_BLOCK, Ordering::Relaxed);
+            if start >= total {
+                break;
+            }
+            for cand in stream.range(start, start + WORK_BLOCK) {
+                shard.considered += 1;
+                let analyzed = if config.prefilter {
+                    // Derive the geometry once; the bound and the
+                    // analyzer share it.
+                    let Ok(geometry) =
+                        PlanGeometry::derive(chain.dims(), cand.schedule, cand.cluster, cand.tile)
+                    else {
+                        continue;
+                    };
+                    // Rule 3 (temporal face): the analyzer would reject
+                    // it; skip the allocation-heavy call.
+                    if !cand.schedule.is_spatial(Dim::K)
+                        && cand.schedule.innermost_temporal() != Some(Dim::K)
+                    {
+                        continue;
+                    }
+                    if shard.top.len() == k {
+                        let lb =
+                            cost_model.lower_bound_for(chain, &geometry, cand.cluster, cand.tile);
+                        let worst = shard.top.last().expect("k >= 1");
+                        // Admissible: est >= lb, so lb >= worst means the
+                        // candidate cannot enter this shard's top-K (nor,
+                        // a fortiori, the merged global top-K).
+                        if lb * config.prefilter_relax >= worst.est {
+                            shard.prefiltered += 1;
+                            continue;
+                        }
+                    }
+                    analyzer.analyze_with_geometry(
+                        chain,
+                        cand.schedule,
+                        cand.cluster,
+                        cand.tile,
+                        geometry,
+                    )
+                } else {
+                    analyzer.analyze(chain, cand.schedule, cand.cluster, cand.tile)
+                };
+                if let Ok(analysis) = analyzed {
+                    shard.feasible += 1;
+                    let cost = cost_model.evaluate(&analysis);
+                    push_top_k(
+                        &mut shard.top,
+                        k,
+                        Scored {
+                            est: cost.est_s,
+                            seq: cand.seq,
+                            cost,
+                            analysis,
+                        },
+                    );
+                }
+            }
+        }
+        shard
+    }
+
+    /// An analyzer configured like the given pruning config.
+    fn analyzer_for(&self, prune: &PruneConfig) -> DataflowAnalyzer {
+        DataflowAnalyzer::new(self.params.clone())
+            .with_lowest_spill(prune.lowest_spill)
+            .with_inter_cluster_reduce(prune.allow_inter_cluster_reduce)
+    }
+}
+
+/// Resolves the worker count for a stream: the configured thread count,
+/// capped so no worker would start without work.
+fn worker_count(config: &SearchConfig, candidates: u64) -> usize {
+    let max_useful = candidates.div_ceil(WORK_BLOCK).max(1);
+    config
+        .effective_threads()
+        .min(usize::try_from(max_useful).unwrap_or(usize::MAX))
+        .max(1)
+}
+
+/// Profiles every finalist, in rank order, forking the profiler across
+/// worker threads when it supports that; outcomes come back indexed so
+/// the caller's rank order is preserved.
+fn profile_all(
+    profiler: &mut dyn PlanProfiler,
+    top_k: &[RankedPlan],
+    threads: usize,
+) -> Vec<ProfileOutcome> {
+    let threads = threads.min(top_k.len()).max(1);
+    if threads > 1 {
+        let forks: Option<Vec<Box<dyn PlanProfiler + Send>>> =
+            (0..threads).map(|_| profiler.fork()).collect();
+        if let Some(forks) = forks {
+            let chunk = top_k.len().div_ceil(threads);
+            let shards: Vec<(usize, Vec<ProfileOutcome>, u64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = forks
+                    .into_iter()
+                    .zip(top_k.chunks(chunk))
+                    .enumerate()
+                    .map(|(i, (mut fork, plans))| {
+                        scope.spawn(move || {
+                            let outcomes: Vec<ProfileOutcome> = plans
+                                .iter()
+                                .map(|p| fork.profile(p.analysis.plan()))
+                                .collect();
+                            let n = outcomes.len() as u64;
+                            (i * chunk, outcomes, n)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("profiling worker panicked"))
+                    .collect()
+            });
+            let mut outcomes = vec![
+                ProfileOutcome {
+                    seconds: f64::INFINITY,
+                    global_bytes: 0,
+                    dsm_bytes: 0,
+                };
+                top_k.len()
+            ];
+            for (offset, shard, profiled) in shards {
+                profiler.join(profiled);
+                for (j, o) in shard.into_iter().enumerate() {
+                    outcomes[offset + j] = o;
+                }
+            }
+            return outcomes;
+        }
+    }
+    top_k
+        .iter()
+        .map(|p| profiler.profile(p.analysis.plan()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -385,10 +765,8 @@ mod tests {
         let mut p2 = FakeProfiler::default();
         let (brute, profiled) = engine().brute_force(&chain, &config, &mut p2).unwrap();
         assert!(profiled >= guided.top_k().len() as u64);
-        assert!(
-            brute.measured.unwrap().seconds
-                <= guided.best().measured.unwrap().seconds + 1e-18
-        );
+        assert_eq!(p2.calls as u64, profiled);
+        assert!(brute.measured.unwrap().seconds <= guided.best().measured.unwrap().seconds + 1e-18);
     }
 
     #[test]
@@ -399,5 +777,39 @@ mod tests {
         };
         let result = engine().search(&small_chain(), &config).unwrap();
         assert_eq!(result.top_k().len(), 1);
+    }
+
+    #[test]
+    fn single_thread_and_parallel_agree_exactly() {
+        let chain = small_chain();
+        let seq_cfg = SearchConfig::default().with_threads(1);
+        let par_cfg = SearchConfig::default().with_threads(4);
+        let a = engine().search(&chain, &seq_cfg).unwrap();
+        let b = engine().search(&chain, &par_cfg).unwrap();
+        assert_eq!(a.top_k().len(), b.top_k().len());
+        for (x, y) in a.top_k().iter().zip(b.top_k()) {
+            assert_eq!(x.est_seconds, y.est_seconds);
+            assert_eq!(x.analysis.plan().summary(), y.analysis.plan().summary());
+        }
+    }
+
+    #[test]
+    fn prefilter_does_not_change_the_top_k() {
+        let chain = small_chain();
+        let on = engine()
+            .search(&chain, &SearchConfig::default().with_prefilter(true))
+            .unwrap();
+        let off = engine()
+            .search(&chain, &SearchConfig::default().with_prefilter(false))
+            .unwrap();
+        assert_eq!(on.top_k().len(), off.top_k().len());
+        for (x, y) in on.top_k().iter().zip(off.top_k()) {
+            assert_eq!(x.est_seconds, y.est_seconds);
+            assert_eq!(x.analysis.plan().summary(), y.analysis.plan().summary());
+        }
+        assert!(
+            on.stats().prefiltered > 0,
+            "prefilter should fire on this chain"
+        );
     }
 }

@@ -13,9 +13,10 @@ use flashfuser_graph::ChainDims;
 pub const NUM_SCHEDULES: u64 = 41;
 
 /// Number of raw cluster configurations (`5^4`, before Rule 2).
-pub const NUM_RAW_CLUSTERS: u64 =
-    (CLUSTER_DIM_CHOICES.len() * CLUSTER_DIM_CHOICES.len() * CLUSTER_DIM_CHOICES.len()
-        * CLUSTER_DIM_CHOICES.len()) as u64;
+pub const NUM_RAW_CLUSTERS: u64 = (CLUSTER_DIM_CHOICES.len()
+    * CLUSTER_DIM_CHOICES.len()
+    * CLUSTER_DIM_CHOICES.len()
+    * CLUSTER_DIM_CHOICES.len()) as u64;
 
 /// The initial (un-pruned) candidate count for a problem size, as an
 /// `f64` because it overflows nothing but is only ever reported, never
@@ -76,7 +77,11 @@ mod tests {
 
     #[test]
     fn rule1_never_exceeds_initial() {
-        for (m, n, k, l) in [(128, 512, 32, 256), (128, 16384, 4096, 4096), (3136, 256, 64, 64)] {
+        for (m, n, k, l) in [
+            (128, 512, 32, 256),
+            (128, 16384, 4096, 4096),
+            (3136, 256, 64, 64),
+        ] {
             let dims = ChainDims::new(m, n, k, l);
             assert!((space_after_rule1(dims) as f64) <= initial_space_size(dims));
         }

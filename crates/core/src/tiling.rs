@@ -75,7 +75,11 @@ impl BlockTile {
 
 impl fmt::Display for BlockTile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "blk(m={},n={},k={},l={})", self.m, self.n, self.k, self.l)
+        write!(
+            f,
+            "blk(m={},n={},k={},l={})",
+            self.m, self.n, self.k, self.l
+        )
     }
 }
 
@@ -98,7 +102,7 @@ pub fn hardware_aware_tiles(size: usize) -> Vec<usize> {
     }
     (1..=size / MMA_GRANULE)
         .map(|q| q * MMA_GRANULE)
-        .filter(|t| size % t == 0)
+        .filter(|t| size.is_multiple_of(*t))
         .collect()
 }
 

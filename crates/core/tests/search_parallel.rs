@@ -1,0 +1,226 @@
+//! Determinism and admissibility properties of the parallel search
+//! engine (the invariants the multi-threaded refactor must uphold):
+//!
+//! 1. **Thread-count invariance** — `search`, `search_with_profiler` and
+//!    `brute_force` return the same winner and identically-ordered top-K
+//!    for any thread count, because ties in analytical cost are broken
+//!    by the candidate stream's total order.
+//! 2. **Prefilter admissibility** — the lower-bound prefilter never
+//!    prunes a candidate that could have entered the top-K: results with
+//!    the filter on and off are identical, and the bound never exceeds
+//!    the evaluated cost of any feasible candidate.
+
+use flashfuser_core::profiler::FakeProfiler;
+use flashfuser_core::prune::CandidateStream;
+use flashfuser_core::{
+    CostModel, DataflowAnalyzer, LoopSchedule, MachineParams, SearchConfig, SearchEngine,
+};
+use flashfuser_graph::ChainSpec;
+use flashfuser_tensor::Activation;
+
+/// Small chains with distinct shapes (standard + gated + skinny) that
+/// brute-force quickly but still enumerate thousands of candidates.
+fn small_chains() -> Vec<ChainSpec> {
+    vec![
+        ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu),
+        ChainSpec::gated_ffn(64, 256, 128, 128, Activation::Silu),
+        ChainSpec::standard_ffn(32, 1024, 64, 512, Activation::Gelu),
+        ChainSpec::standard_ffn(128, 512, 32, 256, Activation::Relu),
+    ]
+}
+
+fn engine() -> SearchEngine {
+    SearchEngine::new(MachineParams::h100_sxm())
+}
+
+fn assert_same_top_k(a: &flashfuser_core::SearchResult, b: &flashfuser_core::SearchResult) {
+    assert_eq!(a.best_index(), b.best_index());
+    assert_eq!(a.top_k().len(), b.top_k().len());
+    for (x, y) in a.top_k().iter().zip(b.top_k()) {
+        assert_eq!(
+            x.est_seconds, y.est_seconds,
+            "estimates must be bit-identical"
+        );
+        assert_eq!(x.analysis, y.analysis, "plans must be identical");
+        assert_eq!(x.measured, y.measured, "measurements must be identical");
+    }
+}
+
+#[test]
+fn search_is_thread_count_invariant() {
+    for chain in small_chains() {
+        let baseline = engine()
+            .search(&chain, &SearchConfig::default().with_threads(1))
+            .unwrap();
+        for threads in [2, 3, 4, 8] {
+            let parallel = engine()
+                .search(&chain, &SearchConfig::default().with_threads(threads))
+                .unwrap();
+            assert_same_top_k(&baseline, &parallel);
+        }
+    }
+}
+
+#[test]
+fn profiled_search_is_thread_count_invariant() {
+    for chain in small_chains() {
+        let mut p1 = FakeProfiler::default();
+        let baseline = engine()
+            .search_with_profiler(&chain, &SearchConfig::default().with_threads(1), &mut p1)
+            .unwrap();
+        for threads in [2, 4] {
+            let mut p = FakeProfiler::default();
+            let parallel = engine()
+                .search_with_profiler(
+                    &chain,
+                    &SearchConfig::default().with_threads(threads),
+                    &mut p,
+                )
+                .unwrap();
+            assert_same_top_k(&baseline, &parallel);
+            assert_eq!(p.calls, p1.calls, "forked call accounting must match");
+        }
+    }
+}
+
+#[test]
+fn brute_force_is_thread_count_invariant() {
+    // Keep this one to the two cheapest chains: brute force profiles
+    // every feasible candidate.
+    for chain in &small_chains()[..2] {
+        let mut p1 = FakeProfiler::default();
+        let (seq_best, seq_profiled) = engine()
+            .brute_force(chain, &SearchConfig::default().with_threads(1), &mut p1)
+            .unwrap();
+        for threads in [2, 4] {
+            let mut p = FakeProfiler::default();
+            let (par_best, par_profiled) = engine()
+                .brute_force(
+                    chain,
+                    &SearchConfig::default().with_threads(threads),
+                    &mut p,
+                )
+                .unwrap();
+            assert_eq!(seq_profiled, par_profiled, "same feasible set profiled");
+            assert_eq!(p.calls as u64, par_profiled);
+            assert_eq!(seq_best.analysis, par_best.analysis, "same winning plan");
+            assert_eq!(seq_best.measured, par_best.measured);
+        }
+    }
+}
+
+#[test]
+fn prefilter_on_and_off_agree_for_every_small_chain() {
+    for chain in small_chains() {
+        for threads in [1, 4] {
+            let on = engine()
+                .search(
+                    &chain,
+                    &SearchConfig::default()
+                        .with_threads(threads)
+                        .with_prefilter(true),
+                )
+                .unwrap();
+            let off = engine()
+                .search(
+                    &chain,
+                    &SearchConfig::default()
+                        .with_threads(threads)
+                        .with_prefilter(false),
+                )
+                .unwrap();
+            assert_same_top_k(&on, &off);
+        }
+    }
+}
+
+#[test]
+fn prefilter_never_prunes_the_cost_model_optimum() {
+    // The rank-1 plan of a prefiltered top-1 search must equal the true
+    // minimum-cost plan found by an exhaustive unfiltered scan.
+    let all = LoopSchedule::enumerate_all();
+    for chain in small_chains() {
+        let config = SearchConfig {
+            top_k: 1,
+            ..SearchConfig::default()
+        };
+        let guided = engine().search(&chain, &config).unwrap();
+
+        let stream = CandidateStream::build(&chain, &config.prune, &all);
+        let analyzer = DataflowAnalyzer::new(MachineParams::h100_sxm());
+        let cost_model = CostModel::new(MachineParams::h100_sxm());
+        let mut best = f64::INFINITY;
+        for cand in &stream {
+            if let Ok(a) = analyzer.analyze(&chain, cand.schedule, cand.cluster, cand.tile) {
+                best = best.min(cost_model.evaluate(&a).est_s);
+            }
+        }
+        assert_eq!(
+            guided.best().est_seconds,
+            best,
+            "{}: prefiltered search missed the optimum",
+            chain.dims()
+        );
+    }
+}
+
+#[test]
+fn lower_bound_is_admissible_for_every_feasible_candidate() {
+    let all = LoopSchedule::enumerate_all();
+    let analyzer = DataflowAnalyzer::new(MachineParams::h100_sxm());
+    let cost_model = CostModel::new(MachineParams::h100_sxm());
+    for chain in small_chains() {
+        let stream = CandidateStream::build(&chain, &SearchConfig::default().prune, &all);
+        let mut checked = 0u64;
+        for cand in &stream {
+            let Ok(analysis) = analyzer.analyze(&chain, cand.schedule, cand.cluster, cand.tile)
+            else {
+                continue;
+            };
+            let lb = cost_model
+                .lower_bound(&chain, cand.schedule, cand.cluster, cand.tile)
+                .expect("feasible candidates must have a bound");
+            let est = cost_model.evaluate(&analysis).est_s;
+            assert!(
+                lb <= est,
+                "{}: inadmissible bound {lb} > est {est} for {}",
+                chain.dims(),
+                analysis.plan().summary()
+            );
+            checked += 1;
+        }
+        assert!(
+            checked > 100,
+            "too few feasible candidates ({checked}) to be meaningful"
+        );
+    }
+}
+
+#[test]
+fn candidate_stream_iteration_matches_for_each_order() {
+    let all = LoopSchedule::enumerate_all();
+    let chain = ChainSpec::standard_ffn(64, 64, 64, 64, Activation::Relu);
+    let stream = CandidateStream::build(&chain, &SearchConfig::default().prune, &all);
+    let mut from_callback = Vec::new();
+    stream.for_each(|s, c, t| {
+        from_callback.push((s.name(), c, t));
+        true
+    });
+    let from_iter: Vec<_> = stream
+        .iter()
+        .map(|cand| (cand.schedule.name(), cand.cluster, cand.tile))
+        .collect();
+    assert_eq!(from_callback, from_iter);
+    // seq really is the position in the total order.
+    for (i, cand) in stream.iter().enumerate() {
+        assert_eq!(cand.seq, i as u64);
+    }
+    // Random access agrees with iteration.
+    let mid = stream.len() / 2;
+    let direct = stream.get(mid).unwrap();
+    let via_iter = stream.iter().nth(mid as usize).unwrap();
+    assert_eq!(direct.schedule.name(), via_iter.schedule.name());
+    assert_eq!(direct.cluster, via_iter.cluster);
+    assert_eq!(direct.tile, via_iter.tile);
+    assert!(stream.get(stream.len()).is_none());
+}

@@ -175,11 +175,7 @@ impl ChainDims {
 
 impl fmt::Display for ChainDims {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "M={} N={} K={} L={}",
-            self.m, self.n, self.k, self.l
-        )
+        write!(f, "M={} N={} K={} L={}", self.m, self.n, self.k, self.l)
     }
 }
 

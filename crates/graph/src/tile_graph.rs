@@ -82,13 +82,10 @@ impl TileGraph {
     /// # Panics
     ///
     /// Panics if any partition count is zero.
-    pub fn expand(
-        kind: ChainKind,
-        cls_m: usize,
-        cls_n: usize,
-        cls_k: usize,
-        cls_l: usize,
-    ) -> Self {
+    // Index loops mirror the paper's (i, j, p, q) tile coordinates; the
+    // iterator forms clippy suggests obscure that correspondence.
+    #[allow(clippy::needless_range_loop)]
+    pub fn expand(kind: ChainKind, cls_m: usize, cls_n: usize, cls_k: usize, cls_l: usize) -> Self {
         assert!(
             cls_m > 0 && cls_n > 0 && cls_k > 0 && cls_l > 0,
             "cluster partition counts must be positive"

@@ -435,10 +435,8 @@ struct RowCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flashfuser_core::{
-        BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams,
-    };
     use flashfuser_comm::ClusterShape;
+    use flashfuser_core::{BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams};
     use flashfuser_graph::ChainSpec;
     use flashfuser_tensor::Activation;
 

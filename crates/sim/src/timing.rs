@@ -114,7 +114,12 @@ impl TimingModel {
 
         let compute_s = plan.chain.total_flops() as f64 / p.peak_flops / wave_eff;
         let mut stage_times = vec![compute_s];
-        for level in [MemLevel::Smem, MemLevel::Dsm, MemLevel::L2, MemLevel::Global] {
+        for level in [
+            MemLevel::Smem,
+            MemLevel::Dsm,
+            MemLevel::L2,
+            MemLevel::Global,
+        ] {
             let v = analysis.volume(level);
             if v > 0 {
                 stage_times.push(v as f64 / (p.bandwidth(level, cluster_size) * bw_util));
@@ -221,6 +226,23 @@ impl PlanProfiler for SimProfiler {
             dsm_bytes: m.dsm_bytes,
         }
     }
+
+    /// The simulator's measurements are a pure (deterministic) function
+    /// of the plan, so the search engine may profile candidates from
+    /// worker threads, each with its own clone.
+    fn fork(&self) -> Option<Box<dyn PlanProfiler + Send>> {
+        Some(Box::new(SimProfiler {
+            analyzer: self.analyzer.clone(),
+            timer: self.timer.clone(),
+            profiled: 0,
+        }))
+    }
+
+    /// Folds a worker's call count back into [`SimProfiler::profiled`],
+    /// keeping Table VIII accounting exact under parallel profiling.
+    fn join(&mut self, profiled: u64) {
+        self.profiled += profiled;
+    }
 }
 
 /// Convenience: the cost model's *analytical* estimate for the same
@@ -232,16 +254,12 @@ pub fn cost_model_estimate(params: &MachineParams, analysis: &DataflowAnalysis) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flashfuser_core::{BlockTile, LoopSchedule, SearchConfig, SearchEngine};
     use flashfuser_comm::ClusterShape;
+    use flashfuser_core::{BlockTile, LoopSchedule, SearchConfig, SearchEngine};
     use flashfuser_graph::{ChainSpec, Dim};
     use flashfuser_tensor::Activation;
 
-    fn analysis_for(
-        chain: &ChainSpec,
-        cluster: ClusterShape,
-        tile: BlockTile,
-    ) -> DataflowAnalysis {
+    fn analysis_for(chain: &ChainSpec, cluster: ClusterShape, tile: BlockTile) -> DataflowAnalysis {
         let s = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
         DataflowAnalyzer::new(MachineParams::h100_sxm())
             .analyze(chain, &s, cluster, tile)

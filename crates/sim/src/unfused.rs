@@ -214,14 +214,16 @@ mod tests {
         // unfused traffic.
         assert!(full.global_bytes > chain.unfused_global_bytes());
         assert_eq!(full.kernels.len(), 2);
-        assert!(unfused_time(
-            &ChainSpec::gated_ffn(128, 8192, 2048, 2048, Activation::Silu),
-            &p,
-            1.0
-        )
-        .kernels
-        .len()
-            == 4);
+        assert!(
+            unfused_time(
+                &ChainSpec::gated_ffn(128, 8192, 2048, 2048, Activation::Silu),
+                &p,
+                1.0
+            )
+            .kernels
+            .len()
+                == 4
+        );
     }
 
     #[test]

@@ -5,13 +5,85 @@
 //! machines. Values are drawn uniformly from `[-1, 1)`, matching the
 //! magnitude regime of normalised transformer activations and keeping f32
 //! accumulation error small relative to tile sums.
+//!
+//! The generator is a self-contained [SplitMix64] stream (no external
+//! crates): fast, well-distributed for data generation, and trivially
+//! portable, which is all the repository needs — nothing here is
+//! cryptographic.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
 
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+
+/// A SplitMix64 pseudo-random stream.
+///
+/// # Example
+///
+/// ```
+/// use flashfuser_tensor::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn next_f32_range(&mut self, lo: f32, hi: f32) -> f32 {
+        let x = lo + (self.next_f64() as f32) * (hi - lo);
+        // f32 rounding can land exactly on the open upper bound.
+        if x >= hi {
+            lo
+        } else {
+            x
+        }
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty index range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Picks one element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.next_index(items.len())]
+    }
+}
 
 /// Creates a `rows x cols` matrix with uniform `[-1, 1)` entries drawn from
-/// a [`StdRng`] seeded with `seed`.
+/// a [`SplitMix64`] stream seeded with `seed`.
 ///
 /// # Example
 ///
@@ -23,11 +95,7 @@ use rand::{RngExt, SeedableRng};
 /// assert_eq!(a, b); // fully deterministic
 /// ```
 pub fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let data = (0..rows * cols)
-        .map(|_| rng.random_range(-1.0f32..1.0))
-        .collect();
-    Matrix::from_vec(rows, cols, data).expect("generated data length matches shape")
+    seeded_matrix_range(rows, cols, seed, -1.0, 1.0)
 }
 
 /// Creates a matrix of uniform `[lo, hi)` entries from `seed`.
@@ -37,9 +105,9 @@ pub fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
 /// Panics if `lo >= hi`.
 pub fn seeded_matrix_range(rows: usize, cols: usize, seed: u64, lo: f32, hi: f32) -> Matrix {
     assert!(lo < hi, "empty value range");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let data = (0..rows * cols)
-        .map(|_| rng.random_range(lo..hi))
+        .map(|_| rng.next_f32_range(lo, hi))
         .collect();
     Matrix::from_vec(rows, cols, data).expect("generated data length matches shape")
 }
@@ -77,6 +145,25 @@ mod tests {
         assert!(m.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
         let m2 = seeded_matrix_range(8, 8, 9, 5.0, 6.0);
         assert!(m2.as_slice().iter().all(|&x| (5.0..6.0).contains(&x)));
+    }
+
+    #[test]
+    fn stream_covers_unit_interval() {
+        let mut rng = SplitMix64::new(3);
+        let draws: Vec<f64> = (0..4096).map(|_| rng.next_f64()).collect();
+        assert!(draws.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn pick_and_index_bounded() {
+        let mut rng = SplitMix64::new(11);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(rng.pick(&items)));
+            assert!(rng.next_index(5) < 5);
+        }
     }
 
     #[test]

@@ -46,8 +46,8 @@ impl TileGrid {
     ) -> Result<Self, ShapeError> {
         if tile_rows == 0
             || tile_cols == 0
-            || rows % tile_rows != 0
-            || cols % tile_cols != 0
+            || !rows.is_multiple_of(tile_rows)
+            || !cols.is_multiple_of(tile_cols)
             || rows == 0
             || cols == 0
         {

@@ -33,8 +33,7 @@ pub struct E2eReport {
 fn non_ffn_layer_time(model: &ModelSpec, m: usize, params: &MachineParams) -> f64 {
     let attn_flops = model.attention_flops(m, m) as f64;
     let attn_bytes = model.attention_bytes(m, m) as f64;
-    let attn = (attn_flops / (params.peak_flops * 0.92))
-        .max(attn_bytes / (params.hbm_bw * 0.92))
+    let attn = (attn_flops / (params.peak_flops * 0.92)).max(attn_bytes / (params.hbm_bw * 0.92))
         + 6.0 * params.kernel_launch_s;
     let misc_bytes = (4 * m as u64 * model.hidden as u64 * 2) as f64;
     attn + misc_bytes / (params.hbm_bw * 0.92) + 2.0 * params.kernel_launch_s

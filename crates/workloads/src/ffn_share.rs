@@ -18,8 +18,7 @@ pub fn ffn_time_share(model: &ModelSpec, m: usize, params: &MachineParams) -> f6
     let attn_flops = model.attention_flops(m, m) as f64;
     let attn_bytes = model.attention_bytes(m, m) as f64;
     // Four projection launches plus two batched attention GEMMs.
-    let attn = (attn_flops / (params.peak_flops * 0.90))
-        .max(attn_bytes / (params.hbm_bw * 0.90))
+    let attn = (attn_flops / (params.peak_flops * 0.90)).max(attn_bytes / (params.hbm_bw * 0.90))
         + 6.0 * params.kernel_launch_s;
     // Norms/residuals/rotary: two passes over the token activations.
     let d = model.hidden as u64;

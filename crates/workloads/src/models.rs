@@ -25,11 +25,23 @@ impl ModelSpec {
     /// consumes.
     pub fn ffn_chain(&self, m: usize) -> ChainSpec {
         if self.gated {
-            ChainSpec::gated_ffn(m, self.ffn_hidden, self.hidden, self.hidden, Activation::Silu)
-                .named(self.name)
+            ChainSpec::gated_ffn(
+                m,
+                self.ffn_hidden,
+                self.hidden,
+                self.hidden,
+                Activation::Silu,
+            )
+            .named(self.name)
         } else {
-            ChainSpec::standard_ffn(m, self.ffn_hidden, self.hidden, self.hidden, Activation::Gelu)
-                .named(self.name)
+            ChainSpec::standard_ffn(
+                m,
+                self.ffn_hidden,
+                self.hidden,
+                self.hidden,
+                Activation::Gelu,
+            )
+            .named(self.name)
         }
     }
 

@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --release --example conv_chain`.
 
-use flashfuser::prelude::*;
 use flashfuser::graph::ConvChainSpec;
+use flashfuser::prelude::*;
 use flashfuser::tensor::rng::seeded_matrix;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,11 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Timing on the real Table V geometry (C5).
     let c5 = ConvChainSpec::new(64, 56, 56, 64, 256, 3, 1).to_chain();
     let mut profiler = SimProfiler::new(params.clone());
-    let best = engine
-        .search_with_profiler(&c5, &SearchConfig::default(), &mut profiler)?;
+    let best = engine.search_with_profiler(&c5, &SearchConfig::default(), &mut profiler)?;
     let fused_s = best.best().measured.unwrap().seconds;
     let unfused = unfused_time(&c5, &params, 0.90);
-    println!("C5: fused {:.2} us vs unfused {:.2} us ({:.2}x)",
-        fused_s * 1e6, unfused.seconds * 1e6, unfused.seconds / fused_s);
+    println!(
+        "C5: fused {:.2} us vs unfused {:.2} us ({:.2}x)",
+        fused_s * 1e6,
+        unfused.seconds * 1e6,
+        unfused.seconds / fused_s
+    );
     Ok(())
 }

@@ -7,7 +7,10 @@ use flashfuser::workloads::{e2e_speedup, ffn_time_share, model_zoo};
 
 fn main() {
     let params = MachineParams::h100_sxm();
-    println!("{:<12}{:>12}{:>14}{:>12}", "model", "FFN share", "FFN speedup", "E2E");
+    println!(
+        "{:<12}{:>12}{:>14}{:>12}",
+        "model", "FFN share", "FFN speedup", "E2E"
+    );
     for model in model_zoo() {
         let share = ffn_time_share(&model, 512, &params);
         let r = e2e_speedup(&model, 128, &params);

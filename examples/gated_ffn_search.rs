@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --release --example gated_ffn_search`.
 
-use flashfuser::prelude::*;
 use flashfuser::core::prune::{count_cascade, PruneConfig};
+use flashfuser::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let chain = ChainSpec::gated_ffn(128, 8192, 2048, 2048, Activation::Silu).named("S4");
@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ranked.analysis.plan().summary()
         );
     }
-    println!("\nsearch stats: {} candidates considered, {} feasible, {:.2} s analysis",
-        result.stats().considered, result.stats().feasible, result.stats().analysis_seconds);
+    println!(
+        "\nsearch stats: {} candidates considered, {} feasible, {:.2} s analysis",
+        result.stats().considered,
+        result.stats().feasible,
+        result.stats().analysis_seconds
+    );
     Ok(())
 }

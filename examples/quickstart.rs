@@ -8,8 +8,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Llama-2-7B gated FFN subgraph (Table VI, S3).
     let chain = ChainSpec::gated_ffn(128, 11008, 4096, 4096, Activation::Silu).named("S3");
     println!("workload: {chain}");
-    println!("intermediate: {} KB (SMEM limit: 227 KB)",
-        chain.dims().intermediate_bytes_f16() / 1024);
+    println!(
+        "intermediate: {} KB (SMEM limit: 227 KB)",
+        chain.dims().intermediate_bytes_f16() / 1024
+    );
 
     // Search for the best fused plan (Algorithm 2) and profile the
     // top-K finalists on the machine model.
@@ -24,9 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compare against the unfused execution.
     let unfused = unfused_time(&chain, &params, 0.90);
-    println!("unfused:    {:.2} us  -> speedup {:.2}x",
+    println!(
+        "unfused:    {:.2} us  -> speedup {:.2}x",
         unfused.seconds * 1e6,
-        unfused.seconds / best.measured.unwrap().seconds);
+        unfused.seconds / best.measured.unwrap().seconds
+    );
 
     // Functional check on a scaled-down instance of the same shape
     // family: the fused interpreter must reproduce the reference.
@@ -42,8 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fused_out = execute_fused(&small_plan, &inputs, &mut counters)?;
     let reference = small.reference_output(&inputs)?;
     assert!(reference.approx_eq(&fused_out, 1e-3)?);
-    println!("functional check: fused result matches reference (max err {:.2e})",
-        reference.max_abs_diff(&fused_out)?);
+    println!(
+        "functional check: fused result matches reference (max err {:.2e})",
+        reference.max_abs_diff(&fused_out)?
+    );
     println!("traffic: {counters}");
     Ok(())
 }

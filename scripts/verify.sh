@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: formatting, lints, the full test suite, and a
+# reduced-mode run of the search benchmarks. CI runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== clippy -D warnings (core + its dependency graph) =="
+cargo clippy -q -p flashfuser-core --all-targets -- -D warnings
+
+echo "== cargo build --release (benches included) =="
+cargo build --release -q --workspace
+cargo check -q --workspace --benches
+
+echo "== cargo test -q (workspace) =="
+cargo test -q --workspace
+
+echo "== tab8_search_time (quick mode) =="
+FLASHFUSER_QUICK=1 cargo run --release -q -p flashfuser-bench --bin tab8_search_time
+
+echo "== bench_search (quick mode, emits BENCH_search.json) =="
+FLASHFUSER_QUICK=1 cargo run --release -q -p flashfuser-bench --bin bench_search
+
+echo "verify: OK"

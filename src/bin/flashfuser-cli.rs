@@ -16,8 +16,9 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .filter_map(|a| a.parse().ok())
         .collect();
-    if dims.len() != 4 {
+    if dims.len() != 4 || dims.contains(&0) {
         eprintln!("usage: flashfuser-cli <M> <N> <K> <L> [--gated] [--a100]");
+        eprintln!("       dimensions must be positive integers");
         std::process::exit(2);
     }
     let gated = args.iter().any(|a| a == "--gated");

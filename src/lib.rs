@@ -59,7 +59,9 @@ pub struct Compiled {
 }
 
 /// Runs the full FlashFuser pipeline on one chain with default settings
-/// (H100 cluster limit 16, DSM spill, top-K = 11).
+/// (top-K = 11, DSM spill, parallel search with the lower-bound
+/// prefilter). The cluster limit — and hence DSM availability — follows
+/// the target device: 16 on H100, 1 on the A100 preset.
 ///
 /// # Errors
 ///
@@ -68,7 +70,13 @@ pub struct Compiled {
 pub fn compile(chain: &ChainSpec, params: &MachineParams) -> Result<Compiled, SearchError> {
     let engine = SearchEngine::new(params.clone());
     let mut profiler = SimProfiler::new(params.clone());
-    let result = engine.search_with_profiler(chain, &SearchConfig::default(), &mut profiler)?;
+    let mut config = SearchConfig::default();
+    config.prune.max_cluster = params.max_cluster;
+    if params.max_cluster <= 1 {
+        // Pre-Hopper: no DSM pool to spill into.
+        config.prune.lowest_spill = flashfuser_core::MemLevel::Smem;
+    }
+    let result = engine.search_with_profiler(chain, &config, &mut profiler)?;
     let best = result.best();
     let measured = best.measured.expect("profiled search always measures");
     Ok(Compiled {

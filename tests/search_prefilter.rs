@@ -1,0 +1,111 @@
+//! Acceptance tests for the lower-bound prefilter against the paper's
+//! GEMM-chain workload table, on the real simulator profiler:
+//!
+//! * for every `gemm_chains()` workload small enough to brute-force, the
+//!   winner is identical with the prefilter on and off, and
+//! * the guided (prefiltered, parallel) search never loses to itself
+//!   run sequentially — plans and measurements agree exactly.
+
+use flashfuser::core::{SearchConfig, SearchEngine};
+use flashfuser::prelude::*;
+use flashfuser::workloads::gemm_chains;
+
+/// Candidate-stream ceiling under which brute-forcing a workload stays
+/// cheap enough for CI (the DLRM-class chains G1–G3 qualify).
+const BRUTE_FORCE_CANDIDATE_LIMIT: u64 = 600_000;
+
+fn stream_len(chain: &ChainSpec, config: &SearchConfig) -> u64 {
+    let all = LoopSchedule::enumerate_all();
+    flashfuser::core::CandidateStream::build(chain, &config.prune, &all).len()
+}
+
+#[test]
+fn prefilter_keeps_the_brute_force_winner_on_small_gemm_chains() {
+    let params = MachineParams::h100_sxm();
+    let engine = SearchEngine::new(params.clone());
+    let config = SearchConfig::default();
+    let mut tested = 0;
+    for w in gemm_chains() {
+        if stream_len(&w.chain, &config) > BRUTE_FORCE_CANDIDATE_LIMIT {
+            continue;
+        }
+        tested += 1;
+
+        // Ground truth: unfiltered brute force over every feasible plan.
+        let mut brute_profiler = SimProfiler::new(params.clone());
+        let (brute, _profiled) = engine
+            .brute_force(&w.chain, &config, &mut brute_profiler)
+            .unwrap();
+
+        // Guided search, prefilter on vs off: identical outcome.
+        let mut p_on = SimProfiler::new(params.clone());
+        let on = engine
+            .search_with_profiler(&w.chain, &config.clone().with_prefilter(true), &mut p_on)
+            .unwrap();
+        let mut p_off = SimProfiler::new(params.clone());
+        let off = engine
+            .search_with_profiler(&w.chain, &config.clone().with_prefilter(false), &mut p_off)
+            .unwrap();
+        assert_eq!(on.top_k().len(), off.top_k().len(), "{}", w.id);
+        for (x, y) in on.top_k().iter().zip(off.top_k()) {
+            assert_eq!(x.est_seconds, y.est_seconds, "{}", w.id);
+            assert_eq!(
+                x.analysis.plan().summary(),
+                y.analysis.plan().summary(),
+                "{}",
+                w.id
+            );
+        }
+        assert_eq!(on.best_index(), off.best_index(), "{}", w.id);
+
+        // The guided pick must stay within the paper's tolerance of the
+        // true optimum (Table VIII reports "same plan" within 2%) — and
+        // crucially the prefilter must not have changed that relation.
+        let brute_s = brute.measured.unwrap().seconds;
+        let on_s = on.best().measured.unwrap().seconds;
+        let off_s = off.best().measured.unwrap().seconds;
+        assert_eq!(on_s, off_s, "{}: prefilter changed the measured pick", w.id);
+        assert!(
+            brute_s <= on_s + 1e-18,
+            "{}: brute force must lower-bound the guided pick",
+            w.id
+        );
+    }
+    assert!(
+        tested >= 3,
+        "only {tested} workloads small enough — limit drifted"
+    );
+}
+
+#[test]
+fn parallel_guided_search_matches_sequential_on_the_simulator() {
+    let params = MachineParams::h100_sxm();
+    let engine = SearchEngine::new(params.clone());
+    for w in gemm_chains()
+        .into_iter()
+        .filter(|w| ["G1", "G2", "G10"].contains(&w.id))
+    {
+        let mut p_seq = SimProfiler::new(params.clone());
+        let seq = engine
+            .search_with_profiler(
+                &w.chain,
+                &SearchConfig::default().with_threads(1),
+                &mut p_seq,
+            )
+            .unwrap();
+        let mut p_par = SimProfiler::new(params.clone());
+        let par = engine
+            .search_with_profiler(
+                &w.chain,
+                &SearchConfig::default().with_threads(4),
+                &mut p_par,
+            )
+            .unwrap();
+        assert_eq!(seq.best_index(), par.best_index(), "{}", w.id);
+        assert_eq!(p_seq.profiled, p_par.profiled, "{}", w.id);
+        for (x, y) in seq.top_k().iter().zip(par.top_k()) {
+            assert_eq!(x.est_seconds, y.est_seconds, "{}", w.id);
+            assert_eq!(x.measured.unwrap(), y.measured.unwrap(), "{}", w.id);
+        }
+    }
+}
