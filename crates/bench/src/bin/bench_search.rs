@@ -18,7 +18,7 @@
 //! `BENCH_search.quick.json` (untracked) so a verify run never clobbers
 //! the committed full-run baseline.
 
-use flashfuser_bench::h100;
+use flashfuser_bench::{env_threads, h100, quick_mode};
 use flashfuser_core::{LoopSchedule, SearchConfig, SearchEngine, SearchResult, SearchStats};
 use flashfuser_sim::SimProfiler;
 use flashfuser_workloads::gemm_chains;
@@ -87,7 +87,7 @@ fn json_record(r: &ChainRecord) -> String {
 fn main() {
     let params = h100();
     let engine = SearchEngine::new(params.clone());
-    let quick = std::env::var("FLASHFUSER_QUICK").is_ok_and(|v| v == "1");
+    let quick = quick_mode();
     let ids: &[&str] = if quick { &["G3"] } else { &["G3", "G4", "G5"] };
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let all = LoopSchedule::enumerate_all();
@@ -108,7 +108,8 @@ fn main() {
             flashfuser_core::CandidateStream::build(&w.chain, &SearchConfig::default().prune, &all);
         let candidates = stream.len();
         let (seq, seq_wall_s) = run_once(&engine, &w.chain, 1);
-        let (par, par_wall_s) = run_once(&engine, &w.chain, 0);
+        // FLASHFUSER_THREADS pins the parallel run; 0 = all cores.
+        let (par, par_wall_s) = run_once(&engine, &w.chain, env_threads());
         let identical = identical_top_k(&seq, &par);
         assert!(
             identical,

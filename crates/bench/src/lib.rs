@@ -72,6 +72,23 @@ pub fn h100() -> MachineParams {
     MachineParams::h100_sxm()
 }
 
+/// `true` when `FLASHFUSER_QUICK=1`: benches restrict themselves to the
+/// smallest chain and write to `*.quick.json` (the verify-gate mode).
+pub fn quick_mode() -> bool {
+    std::env::var("FLASHFUSER_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// The worker-thread override from `FLASHFUSER_THREADS`, or `0` (all
+/// cores) when unset/unparseable. Honored by the bench bins so CI and
+/// operators can pin parallelism without editing code; search results
+/// are identical for every value.
+pub fn env_threads() -> usize {
+    std::env::var("FLASHFUSER_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

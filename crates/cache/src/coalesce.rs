@@ -1,0 +1,242 @@
+//! In-flight request coalescing ("single-flight").
+//!
+//! When several threads ask to compile the same key concurrently, only
+//! the first (the *leader*) runs the expensive fusion search; the
+//! others block on a condvar and receive a clone of the leader's
+//! result. This is what keeps a thundering herd of identical requests —
+//! the common case for a serving workload — from running N identical
+//! searches before the first one lands in the cache.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// State of one flight's result slot.
+#[derive(Debug)]
+enum FlightState<V> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader published its value.
+    Done(V),
+    /// The leader panicked before publishing; followers must retry.
+    Abandoned,
+}
+
+/// One in-progress computation; followers wait on `ready`.
+#[derive(Debug)]
+struct Flight<V> {
+    slot: Mutex<FlightState<V>>,
+    ready: Condvar,
+}
+
+/// Coalesces concurrent computations per key.
+#[derive(Debug, Default)]
+pub struct InFlight<K, V> {
+    flights: Mutex<HashMap<K, Arc<Flight<V>>>>,
+}
+
+/// Deregisters the leader's flight on drop — including the unwind
+/// path. If the leader never published (panicked mid-compute), the
+/// slot is marked [`FlightState::Abandoned`] and all waiters are woken
+/// so they can retry instead of deadlocking on a flight that will
+/// never complete.
+struct LeaderGuard<'a, K: Eq + Hash, V> {
+    flights: &'a Mutex<HashMap<K, Arc<Flight<V>>>>,
+    flight: &'a Arc<Flight<V>>,
+    key: &'a K,
+}
+
+impl<K: Eq + Hash, V> Drop for LeaderGuard<'_, K, V> {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.flight.slot.lock().expect("flight slot poisoned");
+            if matches!(*slot, FlightState::Pending) {
+                *slot = FlightState::Abandoned;
+            }
+        }
+        self.flight.ready.notify_all();
+        self.flights
+            .lock()
+            .expect("in-flight map poisoned")
+            .remove(self.key);
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> InFlight<K, V> {
+    /// Creates an empty coalescer.
+    pub fn new() -> Self {
+        Self {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Runs `compute` for `key`, or waits for the already-running
+    /// computation of the same key. Returns the value and `true` when
+    /// this call was the leader (actually ran `compute`).
+    ///
+    /// The leader's value is handed to every waiter by clone; the
+    /// flight is deregistered before `run` returns, so a *later* call
+    /// with the same key computes afresh (the caller's cache, not this
+    /// structure, is responsible for remembering results). If the
+    /// leader panics, the panic propagates to the leader's caller and
+    /// waiting followers elect a new leader and compute afresh —
+    /// nobody deadlocks on an abandoned flight.
+    pub fn run<F: FnOnce() -> V>(&self, key: K, compute: F) -> (V, bool) {
+        // Only one loop iteration can win leadership (the flight map is
+        // re-checked under its lock), so `compute` runs at most once.
+        let mut compute = Some(compute);
+        loop {
+            let flight = {
+                let mut flights = self.flights.lock().expect("in-flight map poisoned");
+                if let Some(existing) = flights.get(&key) {
+                    Err(Arc::clone(existing))
+                } else {
+                    let flight = Arc::new(Flight {
+                        slot: Mutex::new(FlightState::Pending),
+                        ready: Condvar::new(),
+                    });
+                    flights.insert(key.clone(), Arc::clone(&flight));
+                    Ok(flight)
+                }
+            };
+            match flight {
+                Ok(flight) => {
+                    // Leader: compute without holding any lock. The
+                    // guard deregisters the flight even on unwind.
+                    let guard = LeaderGuard {
+                        flights: &self.flights,
+                        flight: &flight,
+                        key: &key,
+                    };
+                    let value = (compute.take().expect("leadership is won once"))();
+                    *flight.slot.lock().expect("flight slot poisoned") =
+                        FlightState::Done(value.clone());
+                    drop(guard); // notifies waiters + removes the entry
+                    return (value, true);
+                }
+                Err(flight) => {
+                    // Follower: wait outside the map lock.
+                    let mut slot = flight.slot.lock().expect("flight slot poisoned");
+                    loop {
+                        match &*slot {
+                            FlightState::Done(v) => return (v.clone(), false),
+                            // Leader died: retry (possibly as leader).
+                            FlightState::Abandoned => break,
+                            FlightState::Pending => {
+                                slot = flight.ready.wait(slot).expect("flight wait poisoned");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of keys currently in flight (diagnostics).
+    pub fn len(&self) -> usize {
+        self.flights.lock().expect("in-flight map poisoned").len()
+    }
+
+    /// `true` when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_calls_each_compute() {
+        let inflight: InFlight<u32, u64> = InFlight::new();
+        let runs = AtomicU64::new(0);
+        let (v1, lead1) = inflight.run(1, || runs.fetch_add(1, Ordering::SeqCst) + 100);
+        let (v2, lead2) = inflight.run(1, || runs.fetch_add(1, Ordering::SeqCst) + 100);
+        // No concurrency: both are leaders (the flight ends with run()).
+        assert!(lead1 && lead2);
+        assert_eq!((v1, v2), (100, 101));
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+        assert!(inflight.is_empty());
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        const THREADS: usize = 8;
+        let inflight: InFlight<u32, u64> = InFlight::new();
+        let runs = AtomicU64::new(0);
+        let gate = Barrier::new(THREADS);
+        let leaders = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    gate.wait();
+                    let (value, leader) = inflight.run(7, || {
+                        // Let followers pile up behind the flight.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        42u64
+                    });
+                    assert_eq!(value, 42);
+                    if leader {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        // Exactly one leader; with the 50 ms window every other thread
+        // coalesced instead of recomputing. (>= 1 run is guaranteed;
+        // == 1 is what coalescing buys and what we assert.)
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        assert!(inflight.is_empty());
+    }
+
+    #[test]
+    fn panicking_leader_does_not_strand_followers() {
+        let inflight: Arc<InFlight<u32, u64>> = Arc::new(InFlight::new());
+        let gate = Arc::new(Barrier::new(2));
+        let doomed = {
+            let inflight = Arc::clone(&inflight);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                inflight.run(1, || {
+                    gate.wait(); // follower is now queuing up behind us
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    panic!("leader dies mid-compute");
+                })
+            })
+        };
+        gate.wait();
+        // The follower must not deadlock: it retries after the leader
+        // abandons the flight and computes the value itself.
+        let (value, _) = inflight.run(1, || 7u64);
+        assert_eq!(value, 7);
+        assert!(doomed.join().is_err(), "leader's panic propagates");
+        assert!(inflight.is_empty(), "abandoned flight was deregistered");
+        // And later calls behave normally.
+        assert_eq!(inflight.run(1, || 9u64), (9, true));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let inflight: InFlight<u32, u64> = InFlight::new();
+        let runs = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for key in 0..4u32 {
+                let inflight = &inflight;
+                let runs = &runs;
+                scope.spawn(move || {
+                    let (v, _) = inflight.run(key, || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        u64::from(key) * 10
+                    });
+                    assert_eq!(v, u64::from(key) * 10);
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 4);
+    }
+}

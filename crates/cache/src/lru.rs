@@ -1,0 +1,163 @@
+//! A small hand-rolled LRU map.
+//!
+//! Capacity-bounded `HashMap` with a monotone recency stamp per entry;
+//! inserting beyond capacity evicts the least-recently-*used* entry
+//! (both `get` and `insert` refresh recency). Eviction scans for the
+//! minimum stamp — O(n), which is the right trade at plan-cache sizes
+//! (hundreds of entries, entry values are `Arc`s) and keeps the
+//! structure trivially correct with zero unsafe and zero dependencies.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A least-recently-used map with a fixed capacity.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    map: HashMap<K, (V, u64)>,
+    capacity: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// Creates an LRU holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        Self {
+            map: HashMap::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let tick = self.next_tick();
+        match self.map.get_mut(key) {
+            Some((value, stamp)) => {
+                *stamp = tick;
+                Some(&*value)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used
+    /// entry if the map is at capacity. Returns the evicted `(key,
+    /// value)` pair, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        let tick = self.next_tick();
+        let replaced = self.map.insert(key, (value, tick)).is_some();
+        if replaced || self.map.len() <= self.capacity {
+            return None;
+        }
+        // Over capacity: evict the minimum stamp. The just-inserted
+        // entry holds the maximum stamp, so it is never the victim.
+        let victim = self
+            .map
+            .iter()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(k, _)| k.clone())
+            .expect("map is non-empty");
+        let (value, _) = self.map.remove(&victim).expect("victim exists");
+        self.evictions += 1;
+        Some((victim, value))
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// `true` if `key` is cached (does *not* refresh recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_in_order() {
+        let mut lru = Lru::new(3);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.insert("c", 3);
+        // Touch "a": "b" becomes the oldest.
+        assert_eq!(lru.get(&"a"), Some(&1));
+        let evicted = lru.insert("d", 4).unwrap();
+        assert_eq!(evicted, ("b", 2));
+        // Now "c" is the oldest (a was touched, d is fresh).
+        let evicted = lru.insert("e", 5).unwrap();
+        assert_eq!(evicted, ("c", 3));
+        // Then "a".
+        let evicted = lru.insert("f", 6).unwrap();
+        assert_eq!(evicted, ("a", 1));
+        assert_eq!(lru.evictions(), 3);
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut lru = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        // Replacing "a" must not evict anything and must refresh it.
+        assert!(lru.insert("a", 10).is_none());
+        assert_eq!(lru.insert("c", 3).unwrap(), ("b", 2));
+        assert_eq!(lru.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn get_miss_does_not_disturb() {
+        let mut lru = Lru::new(2);
+        lru.insert("a", 1);
+        assert_eq!(lru.get(&"zzz"), None);
+        assert_eq!(lru.len(), 1);
+        assert!(lru.contains(&"a"));
+        assert!(!lru.is_empty());
+        assert_eq!(lru.capacity(), 2);
+    }
+
+    #[test]
+    fn capacity_one_always_replaces() {
+        let mut lru = Lru::new(1);
+        assert!(lru.insert("a", 1).is_none());
+        assert_eq!(lru.insert("b", 2).unwrap(), ("a", 1));
+        assert_eq!(lru.insert("c", 3).unwrap(), ("b", 2));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        Lru::<u32, u32>::new(0);
+    }
+}

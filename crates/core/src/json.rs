@@ -1,0 +1,382 @@
+//! A minimal hand-rolled JSON reader/writer for plan persistence.
+//!
+//! The workspace has zero external crates (see DESIGN.md, "offline-only
+//! dependencies"), so the on-disk plan cache cannot use `serde`. This
+//! module implements exactly the JSON subset the cache format needs:
+//!
+//! * objects, arrays, strings, booleans, `null`;
+//! * **unsigned integers only** — every number in the format is a
+//!   `u64` (floating-point fields are persisted as their exact IEEE-754
+//!   bit patterns, which both avoids float-parsing ambiguity and makes
+//!   round-trips bit-identical by construction).
+//!
+//! The parser is a straightforward recursive-descent over bytes with a
+//! depth limit; it rejects anything outside this subset (floats,
+//! negative numbers, exponents) rather than silently coercing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser (cache files are ~4
+/// levels deep; this guards against stack exhaustion on corrupt input).
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value (cache-format subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (the only number form in the format).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object. Key order is normalised (BTreeMap) — the format never
+    /// relies on member order.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The value as `u64`, if it is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map, if it is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Member `key` of an object value, if present.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+}
+
+/// Why a document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document (cache-format subset).
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed input, unsupported number forms
+/// (floats, negatives, exponents), excessive nesting, or trailing
+/// garbage after the document.
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.uint(),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-') => Err(self.err("negative numbers are not part of the cache format")),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn uint(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("floats are not part of the cache format (use bit patterns)"));
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
+        s.parse::<u64>()
+            .map(JsonValue::UInt)
+            .map_err(|_| self.err("integer out of u64 range"))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape outside BMP scalar range"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged; the input is a &str so it is
+                    // valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = vec![];
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            if map.insert(key, value).is_some() {
+                return Err(self.err("duplicate object key"));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_cache_format_subset() {
+        let v = parse(r#"{"a": [1, 2, 3], "b": {"c": "x", "d": true}, "e": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("e"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn u64_extremes_round_trip() {
+        let v = parse(&format!("{{\"x\": {}}}", u64::MAX)).unwrap();
+        assert_eq!(v.get("x").unwrap().as_u64(), Some(u64::MAX));
+        let v = parse("0").unwrap();
+        assert_eq!(v.as_u64(), Some(0));
+    }
+
+    #[test]
+    fn rejects_floats_negatives_and_overflow() {
+        assert!(parse("1.5").is_err());
+        assert!(parse("1e3").is_err());
+        assert!(parse("-1").is_err());
+        assert!(parse("18446744073709551616").is_err()); // u64::MAX + 1
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\": 1} extra").is_err());
+        assert!(parse("{\"a\": 1, \"a\": 2}").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "quote\" back\\ nl\n tab\t ctrl\u{1} ünïcode";
+        let doc = format!("\"{}\"", escape(original));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escape_parses() {
+        let v = parse("\"A\\u00e9A\"").unwrap();
+        assert_eq!(v.as_str(), Some("A\u{e9}A"));
+        assert!(parse(r#""\u12""#).is_err());
+        assert!(parse(r#""\ud800""#).is_err()); // lone surrogate
+    }
+}

@@ -30,7 +30,9 @@
 //! ```
 
 pub mod analyzer;
+pub mod codec;
 pub mod cost;
+pub mod json;
 pub mod machine;
 pub mod mapping;
 pub mod plan;
@@ -43,6 +45,7 @@ pub mod space;
 pub mod tiling;
 
 pub use analyzer::{AnalysisError, DataflowAnalysis, DataflowAnalyzer};
+pub use codec::{decode_record, encode_record, CodecError, PlanRecord};
 pub use cost::{CostBreakdown, CostModel};
 pub use machine::{MachineParams, MemLevel};
 pub use mapping::{ResourceMapping, TensorMapping, TensorRole};
@@ -51,5 +54,8 @@ pub use profiler::{PlanProfiler, ProfileOutcome};
 pub use prune::{Candidate, CandidateIter, CandidateStream, PruneConfig, PruneStats};
 pub use runtime::KernelCache;
 pub use schedule::LoopSchedule;
-pub use search::{RankedPlan, SearchConfig, SearchEngine, SearchError, SearchResult, SearchStats};
+pub use search::{
+    available_threads, RankedPlan, SearchConfig, SearchEngine, SearchError, SearchResult,
+    SearchStats,
+};
 pub use tiling::{hardware_aware_tiles, BlockTile};

@@ -247,6 +247,35 @@ impl MachineParams {
     pub fn machine_balance(&self) -> f64 {
         self.peak_flops / self.hbm_peak_bw
     }
+
+    /// Stable content fingerprint of the machine description, folding
+    /// every capacity/bandwidth/latency field (floats by exact bit
+    /// pattern). Part of the plan-cache key: a plan searched for one
+    /// machine must never be served for another, and editing any
+    /// modelled parameter invalidates previously cached plans.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = flashfuser_graph::StableHasher::new();
+        h.write_str(self.name);
+        h.write_usize(self.num_sms);
+        h.write_f64_bits(self.clock_hz);
+        h.write_f64_bits(self.peak_flops);
+        h.write_u64(self.reg_bytes_per_sm);
+        h.write_u64(self.smem_bytes_per_sm);
+        h.write_u64(self.l2_bytes);
+        h.write_usize(self.max_cluster);
+        h.write_f64_bits(self.reg_bw);
+        h.write_f64_bits(self.smem_bw);
+        h.write_f64_bits(self.dsm_bw_cls2);
+        h.write_f64_bits(self.l2_bw);
+        h.write_f64_bits(self.hbm_bw);
+        h.write_f64_bits(self.hbm_peak_bw);
+        h.write_f64_bits(self.dsm_latency_cls2_cycles);
+        h.write_f64_bits(self.dsm_latency_slope_cycles);
+        h.write_f64_bits(self.global_latency_cycles);
+        h.write_f64_bits(self.barrier_cycles);
+        h.write_f64_bits(self.kernel_launch_s);
+        h.finish()
+    }
 }
 
 impl Default for MachineParams {

@@ -106,6 +106,14 @@ impl TensorMapping {
         }
     }
 
+    /// Rebuilds a mapping from its exact `(level, bytes)` allocation
+    /// list — the inverse of [`TensorMapping::allocations`], used when
+    /// deserialising persisted plans. The list is taken verbatim, so a
+    /// round trip through it is bit-identical.
+    pub fn from_allocations(allocations: Vec<(MemLevel, u64)>) -> TensorMapping {
+        TensorMapping { allocations }
+    }
+
     /// Bytes allocated at `level`.
     pub fn bytes_at(&self, level: MemLevel) -> u64 {
         self.allocations

@@ -118,8 +118,28 @@ impl SearchConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            available_threads()
         }
+    }
+
+    /// Stable content fingerprint of every field that can change the
+    /// search *result*. Part of the plan-cache key.
+    ///
+    /// `threads` is deliberately excluded: the parallel merge is
+    /// deterministic, so the result is identical for every thread count
+    /// and a plan searched on one host stays valid on another. The
+    /// prefilter knobs are included — provably result-neutral today,
+    /// but they are exactly the escape hatch for when the cost model
+    /// and the bound drift, at which point they must key the cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = flashfuser_graph::StableHasher::new();
+        h.write_usize(self.top_k);
+        h.write_usize(self.prune.max_cluster);
+        h.write_usize(self.prune.lowest_spill.index());
+        h.write_u8(u8::from(self.prune.allow_inter_cluster_reduce));
+        h.write_u8(u8::from(self.prefilter));
+        h.write_f64_bits(self.prefilter_relax);
+        h.finish()
     }
 }
 
@@ -600,6 +620,13 @@ impl SearchEngine {
             .with_lowest_spill(prune.lowest_spill)
             .with_inter_cluster_reduce(prune.allow_inter_cluster_reduce)
     }
+}
+
+/// Every available core, falling back to 1 when parallelism cannot be
+/// queried — the single resolver behind every "`0` means all cores"
+/// knob (search workers, batch workers).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Resolves the worker count for a stream: the configured thread count,

@@ -44,6 +44,19 @@ impl Dim {
             Dim::L => 'l',
         }
     }
+
+    /// The dimension for a (case-insensitive) schedule letter, or `None`
+    /// for anything outside `mnkl` — the inverse of [`Dim::letter`],
+    /// used when parsing persisted schedule names.
+    pub fn from_letter(c: char) -> Option<Dim> {
+        match c.to_ascii_lowercase() {
+            'm' => Some(Dim::M),
+            'n' => Some(Dim::N),
+            'k' => Some(Dim::K),
+            'l' => Some(Dim::L),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Dim {
@@ -189,6 +202,15 @@ mod tests {
         assert_eq!(Dim::L.index(), 3);
         let name: String = Dim::ALL.iter().map(|d| d.letter()).collect();
         assert_eq!(name, "mnkl");
+    }
+
+    #[test]
+    fn letters_round_trip() {
+        for d in Dim::ALL {
+            assert_eq!(Dim::from_letter(d.letter()), Some(d));
+            assert_eq!(Dim::from_letter(d.letter().to_ascii_uppercase()), Some(d));
+        }
+        assert_eq!(Dim::from_letter('x'), None);
     }
 
     #[test]

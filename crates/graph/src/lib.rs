@@ -27,11 +27,13 @@
 pub mod chain;
 pub mod conv;
 pub mod dims;
+pub mod fingerprint;
 pub mod op;
 pub mod tile_graph;
 
 pub use chain::{ChainKind, ChainSpec};
 pub use conv::ConvChainSpec;
 pub use dims::{ChainDims, Dim};
+pub use fingerprint::StableHasher;
 pub use op::{OpGraph, OpKind, OpNode};
 pub use tile_graph::TileGraph;

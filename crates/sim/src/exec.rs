@@ -222,8 +222,8 @@ impl Interp<'_> {
         }
         for t_l in 0..tl {
             let mut e_acc = vec![vec![Matrix::zeros(t.m, t.l)]; blocks];
-            for t_n in 0..tn {
-                self.gemm1_accumulate(&strip[t_n], row, t_n, t_l, 1, &mut e_acc, counters)?;
+            for (t_n, c_tiles) in strip.iter().enumerate() {
+                self.gemm1_accumulate(c_tiles, row, t_n, t_l, 1, &mut e_acc, counters)?;
             }
             self.reduce_and_store_single(row, t_l, &e_acc, e, counters)?;
         }

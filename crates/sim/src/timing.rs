@@ -110,7 +110,7 @@ impl TimingModel {
         let wave_eff = blocks as f64 / (waves * sms) as f64;
         // Fewer resident blocks than SMs cannot saturate the memory
         // system either.
-        let bw_util = (blocks as f64 / sms as f64).min(1.0).max(0.05);
+        let bw_util = (blocks as f64 / sms as f64).clamp(0.05, 1.0);
 
         let compute_s = plan.chain.total_flops() as f64 / p.peak_flops / wave_eff;
         let mut stage_times = vec![compute_s];

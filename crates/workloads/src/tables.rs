@@ -38,10 +38,22 @@ pub fn gemm_chains() -> Vec<Workload> {
         .collect()
 }
 
+/// One Table V row: `(id, in_ch, h, w, out_ch1, out_ch2, k1, k2)`.
+type ConvRow = (
+    &'static str,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+);
+
 /// Table V: convolution chains C1–C8 from ResNet blocks, lowered to GEMM
 /// chains via im2col.
 pub fn conv_chains() -> Vec<Workload> {
-    let rows: [(&str, usize, usize, usize, usize, usize, usize, usize); 8] = [
+    let rows: [ConvRow; 8] = [
         ("C1", 64, 56, 56, 256, 64, 1, 1),
         ("C2", 128, 28, 28, 512, 128, 1, 1),
         ("C3", 256, 14, 14, 1024, 256, 1, 1),

@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: formatting, lints, the full test suite, and a
-# reduced-mode run of the search benchmarks. CI runs exactly this script.
+# Tier-1 verification gate: formatting, lints, the full test suite, and
+# reduced-mode runs of the search + cache benchmarks. CI runs exactly
+# this script.
+#
+# Environment knobs (both honored, never hardcoded):
+#   FLASHFUSER_QUICK    1 (default here) = quick bench mode, writes
+#                       *.quick.json; set 0 to run the full-size chains
+#                       and refresh the committed BENCH_*.json baselines.
+#   FLASHFUSER_THREADS  worker-thread override for the bench bins
+#                       (0/unset = all cores; results are identical for
+#                       every value — only wall-clock changes).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+export FLASHFUSER_QUICK="${FLASHFUSER_QUICK:-1}"
+export FLASHFUSER_THREADS="${FLASHFUSER_THREADS:-}"
 
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== clippy -D warnings (core + its dependency graph) =="
-cargo clippy -q -p flashfuser-core --all-targets -- -D warnings
+echo "== clippy -D warnings (workspace, all targets) =="
+cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release (benches included) =="
 cargo build --release -q --workspace
@@ -17,10 +29,19 @@ cargo check -q --workspace --benches
 echo "== cargo test -q (workspace) =="
 cargo test -q --workspace
 
-echo "== tab8_search_time (quick mode) =="
-FLASHFUSER_QUICK=1 cargo run --release -q -p flashfuser-bench --bin tab8_search_time
+# Run a bench bin, failing the gate loudly if it panics or exits
+# non-zero (a panicking bench must never look like a pass).
+run_bench() {
+    local bin="$1"
+    echo "== ${bin} (FLASHFUSER_QUICK=${FLASHFUSER_QUICK}, FLASHFUSER_THREADS=${FLASHFUSER_THREADS:-auto}) =="
+    if ! cargo run --release -q -p flashfuser-bench --bin "${bin}"; then
+        echo "verify: FAIL — bench bin '${bin}' exited non-zero (panic or gate violation)" >&2
+        exit 1
+    fi
+}
 
-echo "== bench_search (quick mode, emits BENCH_search.json) =="
-FLASHFUSER_QUICK=1 cargo run --release -q -p flashfuser-bench --bin bench_search
+run_bench tab8_search_time
+run_bench bench_search
+run_bench bench_cache
 
 echo "verify: OK"

@@ -1,42 +1,188 @@
-//! A small command-line driver around [`flashfuser::compile`].
+//! The FlashFuser command-line driver.
 //!
 //! ```text
-//! flashfuser-cli <M> <N> <K> <L> [--gated] [--a100]
+//! flashfuser-cli compile <M> <N> <K> <L> [--gated] [--a100] [--cache-dir DIR]
+//! flashfuser-cli batch [--a100] [--cache-dir DIR] [--workers N] [--repeat R] <SPEC>...
 //! ```
 //!
-//! Prints the selected plan, its simulated time, and the comparison
-//! against the unfused execution.
+//! `compile` runs the full pipeline for one chain and prints the
+//! selected plan, its simulated time and the comparison against the
+//! unfused execution. With `--cache-dir` the search result is persisted
+//! (and reused on the next invocation — try running the same command
+//! twice). `batch` compiles many chains through the plan cache in one
+//! go, deduplicating identical graphs and sharding distinct ones across
+//! worker threads.
+//!
+//! The bare legacy form `flashfuser-cli <M> <N> <K> <L> [flags]` is
+//! still accepted and treated as `compile`.
 
 use flashfuser::prelude::*;
+use std::process::ExitCode;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let dims: Vec<usize> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter_map(|a| a.parse().ok())
-        .collect();
-    if dims.len() != 4 || dims.contains(&0) {
-        eprintln!("usage: flashfuser-cli <M> <N> <K> <L> [--gated] [--a100]");
-        eprintln!("       dimensions must be positive integers");
-        std::process::exit(2);
+const HELP: &str = "\
+flashfuser-cli — fusion compiler for two-GEMM operator chains
+
+USAGE:
+    flashfuser-cli compile <M> <N> <K> <L> [OPTIONS]
+    flashfuser-cli batch <SPEC>... [OPTIONS]
+    flashfuser-cli --help
+
+SUBCOMMANDS:
+    compile   Search the fusion plan for one chain and report it
+    batch     Compile many chains through the plan cache in one call:
+              identical graphs are searched once, distinct graphs are
+              sharded across worker threads
+
+SPEC (batch): MxNxKxL with an optional ':gated' suffix,
+              e.g. 128x3072x768x768 or 128x11008x4096x4096:gated
+
+OPTIONS:
+    --gated            Gated-FFN (SwiGLU) chain instead of standard FFN
+                       (compile only; in batch use the ':gated' suffix)
+    --a100             Target the simulated A100 (no DSM) instead of H100
+    --cache-dir DIR    Persist compiled plans under DIR and reuse them on
+                       later runs (content-addressed; invalidates itself
+                       when the machine or search config changes)
+    --workers N        Batch worker threads (default: all cores)
+    --repeat R         Compile the batch list R times over (demonstrates
+                       dedup + warm-cache hit rates; default 1)
+    -h, --help         Print this help
+
+EXAMPLES:
+    flashfuser-cli compile 128 16384 4096 4096
+    flashfuser-cli compile 128 11008 4096 4096 --gated --cache-dir /tmp/ff-plans
+    flashfuser-cli batch 128x3072x768x768 128x16384x4096x4096 --repeat 3
+";
+
+struct CommonOpts {
+    a100: bool,
+    cache_dir: Option<String>,
+    workers: usize,
+    repeat: usize,
+    gated: bool,
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("run 'flashfuser-cli --help' for usage");
+    ExitCode::from(2)
+}
+
+/// Splits flags from positionals, consuming flag values.
+fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
+    let mut opts = CommonOpts {
+        a100: false,
+        cache_dir: None,
+        workers: 0,
+        repeat: 1,
+        gated: false,
+    };
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--gated" => opts.gated = true,
+            "--a100" => opts.a100 = true,
+            "--cache-dir" | "--workers" | "--repeat" => {
+                let flag = args[i].clone();
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or_else(|| format!("{flag} requires a value"))?;
+                match flag.as_str() {
+                    "--cache-dir" => opts.cache_dir = Some(value.clone()),
+                    "--workers" => {
+                        opts.workers = value
+                            .parse()
+                            .map_err(|_| format!("--workers: '{value}' is not a number"))?;
+                    }
+                    "--repeat" => {
+                        opts.repeat = value
+                            .parse()
+                            .map_err(|_| format!("--repeat: '{value}' is not a number"))?;
+                        if opts.repeat == 0 {
+                            return Err("--repeat must be at least 1".to_string());
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            _ => positional.push(args[i].clone()),
+        }
+        i += 1;
     }
-    let gated = args.iter().any(|a| a == "--gated");
-    let params = if args.iter().any(|a| a == "--a100") {
+    Ok((opts, positional))
+}
+
+fn machine(opts: &CommonOpts) -> MachineParams {
+    if opts.a100 {
         MachineParams::a100_sxm()
     } else {
         MachineParams::h100_sxm()
+    }
+}
+
+fn compiler(opts: &CommonOpts) -> Result<Compiler, String> {
+    let mut options = flashfuser::CompilerOptions::new();
+    if let Some(dir) = &opts.cache_dir {
+        options = options.with_cache_dir(dir);
+    }
+    options.batch_workers = opts.workers;
+    Compiler::with_options(machine(opts), options)
+        .map_err(|e| format!("cannot open cache dir: {e}"))
+}
+
+/// Parses a batch spec `MxNxKxL[:gated]`.
+fn parse_spec(spec: &str, default_gated: bool) -> Result<ChainSpec, String> {
+    let (dims_part, gated) = match spec.strip_suffix(":gated") {
+        Some(head) => (head, true),
+        None => (spec, default_gated),
     };
-    let chain = if gated {
+    let dims: Vec<usize> = dims_part
+        .split('x')
+        .map(|p| p.parse().map_err(|_| ()))
+        .collect::<Result<_, _>>()
+        .map_err(|()| format!("bad spec '{spec}': expected MxNxKxL[:gated]"))?;
+    if dims.len() != 4 || dims.contains(&0) {
+        return Err(format!(
+            "bad spec '{spec}': need 4 positive dims, got {dims:?}"
+        ));
+    }
+    Ok(if gated {
+        ChainSpec::gated_ffn(dims[0], dims[1], dims[2], dims[3], Activation::Silu)
+    } else {
+        ChainSpec::standard_ffn(dims[0], dims[1], dims[2], dims[3], Activation::Relu)
+    })
+}
+
+fn cmd_compile(args: &[String]) -> ExitCode {
+    let (opts, positional) = match parse_opts(args) {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    let dims: Vec<usize> = positional.iter().filter_map(|a| a.parse().ok()).collect();
+    if dims.len() != 4 || dims.contains(&0) || positional.len() != 4 {
+        return usage_error("compile needs exactly 4 positive dimensions <M> <N> <K> <L>");
+    }
+    let chain = if opts.gated {
         ChainSpec::gated_ffn(dims[0], dims[1], dims[2], dims[3], Activation::Silu)
     } else {
         ChainSpec::standard_ffn(dims[0], dims[1], dims[2], dims[3], Activation::Relu)
     };
+    let params = machine(&opts);
+    let compiler = match compiler(&opts) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
     println!("device:   {}", params.name);
     println!("workload: {chain}");
-    match flashfuser::compile(&chain, &params) {
+    let t0 = std::time::Instant::now();
+    match compiler.compile(&chain) {
         Ok(compiled) => {
+            let compile_s = t0.elapsed().as_secs_f64();
             let unfused = unfused_time(&chain, &params, 0.90);
+            let stats = compiler.cache_stats();
             println!("plan:     {}", compiled.plan.summary());
             println!(
                 "fused:    {:.2} us ({} feasible candidates searched)",
@@ -53,10 +199,102 @@ fn main() {
                 compiled.global_bytes as f64 / 1e6,
                 unfused.global_bytes as f64 / 1e6
             );
+            println!(
+                "compile:  {:.3} s ({})",
+                compile_s,
+                if stats.hits() > 0 {
+                    "plan cache hit"
+                } else {
+                    "full search"
+                }
+            );
+            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("no fused plan: {e}");
-            std::process::exit(1);
+            ExitCode::FAILURE
         }
+    }
+}
+
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let (opts, positional) = match parse_opts(args) {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    if positional.is_empty() {
+        return usage_error("batch needs at least one MxNxKxL[:gated] spec");
+    }
+    let mut chains = Vec::new();
+    for spec in &positional {
+        match parse_spec(spec, opts.gated) {
+            Ok(chain) => chains.push(chain),
+            Err(e) => return usage_error(&e),
+        }
+    }
+    let batch: Vec<ChainSpec> = (0..opts.repeat).flat_map(|_| chains.clone()).collect();
+    let params = machine(&opts);
+    let compiler = match compiler(&opts) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    println!("device: {}", params.name);
+    println!(
+        "batch:  {} request(s), {} spec(s) x {} repeat(s)",
+        batch.len(),
+        chains.len(),
+        opts.repeat
+    );
+    let t0 = std::time::Instant::now();
+    let results = compiler.compile_batch(&batch);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut failures = 0usize;
+    for (chain, result) in batch.iter().zip(&results).take(chains.len()) {
+        match result {
+            Ok(c) => println!(
+                "  {chain}: {} ({:.2} us)",
+                c.plan.summary(),
+                c.measured_seconds * 1e6
+            ),
+            Err(e) => {
+                println!("  {chain}: FAILED ({e})");
+                failures += 1;
+            }
+        }
+    }
+    let stats = compiler.cache_stats();
+    println!(
+        "batch compiled in {:.3} s: {} search(es) for {} request(s); cache: {}",
+        wall_s,
+        compiler.searches_run(),
+        batch.len(),
+        stats
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("-h" | "--help" | "help") => {
+            print!("{HELP}");
+            if args.is_empty() {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        // Legacy form: `flashfuser-cli <M> <N> <K> <L> [flags]`, with
+        // flags accepted in any position (`--a100 128 ...` included).
+        Some(first) if first.parse::<usize>().is_ok() || first.starts_with("--") => {
+            cmd_compile(&args)
+        }
+        Some(other) => usage_error(&format!("unknown subcommand '{other}'")),
     }
 }

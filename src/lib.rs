@@ -2,9 +2,17 @@
 //! inter-core connection (DSM), reproduced in Rust on a simulated
 //! H100-class GPU.
 //!
-//! This is the facade crate: it re-exports every subsystem and offers a
-//! [`compile`] convenience entry point that runs the full pipeline
-//! (enumerate → prune → analyze → rank → profile) for one chain.
+//! This is the facade crate: it re-exports every subsystem and offers
+//! three compilation entry points:
+//!
+//! * [`compile`] — one chain, one full search (enumerate → prune →
+//!   analyze → rank → profile), no caching;
+//! * [`Compiler`] — a reusable front door with a content-addressed plan
+//!   cache (in-memory LRU + optional on-disk store) and in-flight
+//!   coalescing, for serving workloads where repeated graphs dominate;
+//! * [`compile_batch`] — batch compilation that dedupes identical
+//!   graphs within the batch and shards distinct ones across worker
+//!   threads.
 //!
 //! # Quickstart
 //!
@@ -19,10 +27,27 @@
 //! # }
 //! ```
 //!
+//! # Cached compilation
+//!
+//! ```
+//! use flashfuser::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let compiler = Compiler::new(MachineParams::h100_sxm());
+//! let chain = ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Relu);
+//! let cold = compiler.compile(&chain)?;
+//! let warm = compiler.compile(&chain)?; // cache hit: no search runs
+//! assert_eq!(cold.plan, warm.plan); // bit-identical
+//! assert_eq!(compiler.searches_run(), 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! The repository layout, modelling decisions and per-experiment index
 //! live in `DESIGN.md`; measured-vs-paper numbers in `EXPERIMENTS.md`.
 
 pub use flashfuser_baselines as baselines;
+pub use flashfuser_cache as cache;
 pub use flashfuser_comm as comm;
 pub use flashfuser_core as core;
 pub use flashfuser_graph as graph;
@@ -30,12 +55,22 @@ pub use flashfuser_sim as sim;
 pub use flashfuser_tensor as tensor;
 pub use flashfuser_workloads as workloads;
 
-use flashfuser_core::{FusedPlan, MachineParams, SearchConfig, SearchEngine, SearchError};
+use flashfuser_cache::{CacheStats, InFlight, PlanCache, PlanKey};
+use flashfuser_core::codec::PlanRecord;
+use flashfuser_core::{
+    FusedPlan, MachineParams, MemLevel, SearchConfig, SearchEngine, SearchError,
+};
 use flashfuser_graph::ChainSpec;
 use flashfuser_sim::SimProfiler;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// The most common imports, bundled.
 pub mod prelude {
+    pub use crate::{Compiled, Compiler, CompilerOptions};
+    pub use flashfuser_cache::{CacheStats, PlanCache, PlanKey};
     pub use flashfuser_comm::ClusterShape;
     pub use flashfuser_core::{
         BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams, SearchConfig, SearchEngine,
@@ -46,7 +81,7 @@ pub mod prelude {
 }
 
 /// The result of [`compile`]: the selected plan and its measured cost.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Compiled {
     /// The winning fused execution plan.
     pub plan: FusedPlan,
@@ -58,10 +93,22 @@ pub struct Compiled {
     pub feasible_candidates: u64,
 }
 
+/// The default search configuration for a machine: top-K = 11, DSM
+/// spill, parallel search with the lower-bound prefilter; SMEM-only
+/// spill on devices without a DSM pool (cluster limit 1).
+pub fn default_config_for(params: &MachineParams) -> SearchConfig {
+    let mut config = SearchConfig::default();
+    config.prune.max_cluster = params.max_cluster;
+    if params.max_cluster <= 1 {
+        // Pre-Hopper: no DSM pool to spill into.
+        config.prune.lowest_spill = MemLevel::Smem;
+    }
+    config
+}
+
 /// Runs the full FlashFuser pipeline on one chain with default settings
-/// (top-K = 11, DSM spill, parallel search with the lower-bound
-/// prefilter). The cluster limit — and hence DSM availability — follows
-/// the target device: 16 on H100, 1 on the A100 preset.
+/// (see [`default_config_for`]). Every call searches from scratch; use
+/// a [`Compiler`] to amortise across repeated graphs.
 ///
 /// # Errors
 ///
@@ -70,12 +117,7 @@ pub struct Compiled {
 pub fn compile(chain: &ChainSpec, params: &MachineParams) -> Result<Compiled, SearchError> {
     let engine = SearchEngine::new(params.clone());
     let mut profiler = SimProfiler::new(params.clone());
-    let mut config = SearchConfig::default();
-    config.prune.max_cluster = params.max_cluster;
-    if params.max_cluster <= 1 {
-        // Pre-Hopper: no DSM pool to spill into.
-        config.prune.lowest_spill = flashfuser_core::MemLevel::Smem;
-    }
+    let config = default_config_for(params);
     let result = engine.search_with_profiler(chain, &config, &mut profiler)?;
     let best = result.best();
     let measured = best.measured.expect("profiled search always measures");
@@ -85,4 +127,308 @@ pub fn compile(chain: &ChainSpec, params: &MachineParams) -> Result<Compiled, Se
         global_bytes: measured.global_bytes,
         feasible_candidates: result.stats().feasible,
     })
+}
+
+/// Compiles a batch of chains with a fresh in-memory [`Compiler`]:
+/// identical graphs are deduplicated within the batch (searched once),
+/// distinct graphs are sharded across worker threads. Results come back
+/// in input order.
+pub fn compile_batch(
+    chains: &[ChainSpec],
+    params: &MachineParams,
+) -> Vec<Result<Compiled, SearchError>> {
+    Compiler::new(params.clone()).compile_batch(chains)
+}
+
+/// Configuration of a [`Compiler`].
+#[derive(Debug, Clone)]
+pub struct CompilerOptions {
+    /// Search configuration; `None` derives [`default_config_for`] the
+    /// target machine. Part of the cache key (minus `threads`).
+    pub config: Option<SearchConfig>,
+    /// In-memory LRU capacity in entries; `0` uses
+    /// [`flashfuser_cache::DEFAULT_CAPACITY`].
+    pub cache_capacity: usize,
+    /// Directory for the persistent plan store; `None` keeps the cache
+    /// memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Worker threads for [`Compiler::compile_batch`]; `0` uses every
+    /// available core. Each worker's inner search divides the remaining
+    /// cores, so a batch never oversubscribes the host.
+    pub batch_workers: usize,
+    /// Coalesce concurrent in-flight searches for the same key so the
+    /// search runs exactly once (`true` in [`Default`]; `false` lets
+    /// every caller search independently — only useful in benchmarks).
+    pub coalesce: bool,
+}
+
+impl CompilerOptions {
+    /// The defaults: derived search config, capacity
+    /// [`flashfuser_cache::DEFAULT_CAPACITY`], memory-only, auto batch
+    /// workers, coalescing on.
+    pub fn new() -> Self {
+        Self {
+            config: None,
+            cache_capacity: 0,
+            cache_dir: None,
+            batch_workers: 0,
+            coalesce: true,
+        }
+    }
+
+    /// This configuration with a persistent cache directory.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+}
+
+impl Default for CompilerOptions {
+    /// Identical to [`CompilerOptions::new`] — in particular,
+    /// coalescing stays **on** under struct-update syntax
+    /// (`CompilerOptions { config, ..Default::default() }`).
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A reusable compilation front door with a content-addressed plan
+/// cache and in-flight coalescing.
+///
+/// Compilation is a pure function of `(graph, machine, search config)`
+/// — PR 1's deterministic search makes that exact — so results are
+/// memoized under [`PlanKey`]. A cache hit returns a plan
+/// **bit-identical** to what a fresh search would produce, including
+/// the measured outcome of the original profiling run.
+///
+/// `Compiler` is `Sync`: share it behind an `Arc` and call
+/// [`Compiler::compile`] from as many threads as you like; concurrent
+/// misses on the same key run one search.
+#[derive(Debug)]
+pub struct Compiler {
+    engine: SearchEngine,
+    config: SearchConfig,
+    cache: PlanCache,
+    inflight: InFlight<PlanKey, Result<Arc<PlanRecord>, SearchError>>,
+    batch_workers: usize,
+    coalesce: bool,
+    searches: AtomicU64,
+    profile_calls: AtomicU64,
+}
+
+impl Compiler {
+    /// A compiler with default options (memory-only cache).
+    pub fn new(params: MachineParams) -> Compiler {
+        Self::with_options(params, CompilerOptions::new()).expect("memory-only compiler: no I/O")
+    }
+
+    /// A compiler with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when `options.cache_dir` cannot
+    /// be created.
+    pub fn with_options(params: MachineParams, options: CompilerOptions) -> io::Result<Compiler> {
+        let config = options
+            .config
+            .unwrap_or_else(|| default_config_for(&params));
+        let capacity = if options.cache_capacity == 0 {
+            flashfuser_cache::DEFAULT_CAPACITY
+        } else {
+            options.cache_capacity
+        };
+        let cache = match &options.cache_dir {
+            Some(dir) => PlanCache::with_disk(capacity, dir)?,
+            None => PlanCache::in_memory(capacity),
+        };
+        Ok(Compiler {
+            engine: SearchEngine::new(params),
+            config,
+            cache,
+            inflight: InFlight::new(),
+            batch_workers: options.batch_workers,
+            coalesce: options.coalesce,
+            searches: AtomicU64::new(0),
+            profile_calls: AtomicU64::new(0),
+        })
+    }
+
+    /// The machine this compiler targets.
+    pub fn params(&self) -> &MachineParams {
+        self.engine.params()
+    }
+
+    /// The search configuration in use (part of the cache key).
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// The cache key this compiler derives for `chain`.
+    pub fn key_for(&self, chain: &ChainSpec) -> PlanKey {
+        PlanKey::derive(chain, self.engine.params(), &self.config)
+    }
+
+    /// Cache counter snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of actual fusion searches this compiler has executed
+    /// (cache hits and coalesced waits do not count).
+    pub fn searches_run(&self) -> u64 {
+        self.searches.load(Ordering::Relaxed)
+    }
+
+    /// Total profiler invocations across all searches (the call
+    /// accounting coalescing tests assert on).
+    pub fn profile_calls(&self) -> u64 {
+        self.profile_calls.load(Ordering::Relaxed)
+    }
+
+    /// Compiles one chain, consulting the cache first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::NoFeasiblePlan`] when no fusion plan
+    /// exists (negative results are *not* cached).
+    pub fn compile(&self, chain: &ChainSpec) -> Result<Compiled, SearchError> {
+        let record = self.compile_record(chain, None)?;
+        Ok(self.to_compiled(chain, &record))
+    }
+
+    /// Compiles a batch: dedupes content-identical chains, then shards
+    /// the distinct keys across worker threads (each worker splitting
+    /// the remaining cores for its inner search). Results are returned
+    /// in input order; duplicates share one search.
+    pub fn compile_batch(&self, chains: &[ChainSpec]) -> Vec<Result<Compiled, SearchError>> {
+        let keys: Vec<PlanKey> = chains.iter().map(|c| self.key_for(c)).collect();
+        // Dedupe: first occurrence of each key claims a slot.
+        let mut slot_of = std::collections::HashMap::new();
+        let mut unique = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            slot_of.entry(*key).or_insert_with(|| {
+                unique.push(i);
+                unique.len() - 1
+            });
+        }
+        let workers = self.batch_worker_count(unique.len());
+        let inner_threads = (self.config.effective_threads() / workers.max(1)).max(1);
+        let results: Vec<OnceLock<Result<Arc<PlanRecord>, SearchError>>> =
+            (0..unique.len()).map(|_| OnceLock::new()).collect();
+        if workers <= 1 {
+            for (slot, &i) in unique.iter().enumerate() {
+                let outcome = self.compile_record(&chains[i], None);
+                results[slot].set(outcome).expect("slot set once");
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= unique.len() {
+                            break;
+                        }
+                        let outcome =
+                            self.compile_record(&chains[unique[slot]], Some(inner_threads));
+                        results[slot].set(outcome).expect("slot claimed once");
+                    });
+                }
+            });
+        }
+        chains
+            .iter()
+            .zip(&keys)
+            .map(|(chain, key)| {
+                let slot = slot_of[key];
+                match results[slot].get().expect("every slot filled") {
+                    Ok(record) => Ok(self.to_compiled(chain, record)),
+                    Err(e) => Err(e.clone()),
+                }
+            })
+            .collect()
+    }
+
+    /// Worker count for a batch of `unique` distinct keys.
+    fn batch_worker_count(&self, unique: usize) -> usize {
+        let configured = if self.batch_workers > 0 {
+            self.batch_workers
+        } else {
+            flashfuser_core::available_threads()
+        };
+        configured.min(unique).max(1)
+    }
+
+    /// The cached-or-searched record for `chain`.
+    fn compile_record(
+        &self,
+        chain: &ChainSpec,
+        threads_override: Option<usize>,
+    ) -> Result<Arc<PlanRecord>, SearchError> {
+        let key = self.key_for(chain);
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(hit);
+        }
+        let search = || -> Result<Arc<PlanRecord>, SearchError> {
+            // Double-check: a leader that finished between our lookup
+            // and this flight may already have populated the cache.
+            // Untracked so one logical request counts one miss.
+            if let Some(hit) = self.cache.get_untracked(&key) {
+                return Ok(hit);
+            }
+            let record = Arc::new(self.search_record(chain, threads_override)?);
+            self.cache.put(key, Arc::clone(&record));
+            Ok(record)
+        };
+        if self.coalesce {
+            self.inflight.run(key, search).0
+        } else {
+            search()
+        }
+    }
+
+    /// Runs one full search (the cold path).
+    fn search_record(
+        &self,
+        chain: &ChainSpec,
+        threads_override: Option<usize>,
+    ) -> Result<PlanRecord, SearchError> {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        let mut config = self.config.clone();
+        if let Some(threads) = threads_override {
+            // Thread count never changes the result (deterministic
+            // merge), so batch workers may split the cores freely.
+            config.threads = threads;
+        }
+        let mut profiler = SimProfiler::new(self.engine.params().clone());
+        let result = self
+            .engine
+            .search_with_profiler(chain, &config, &mut profiler)?;
+        self.profile_calls
+            .fetch_add(profiler.profiled, Ordering::Relaxed);
+        let best = result.best();
+        let measured = best.measured.expect("profiled search always measures");
+        Ok(PlanRecord {
+            plan: best.analysis.plan().clone(),
+            seconds: measured.seconds,
+            global_bytes: measured.global_bytes,
+            dsm_bytes: measured.dsm_bytes,
+            feasible: result.stats().feasible,
+        })
+    }
+
+    /// Projects a record onto the caller's chain. The key guarantees
+    /// content equality; only metadata (the workload name) can differ,
+    /// and the caller's version wins — which is exactly what a fresh
+    /// search of `chain` would have produced.
+    fn to_compiled(&self, chain: &ChainSpec, record: &PlanRecord) -> Compiled {
+        let mut plan = record.plan.clone();
+        plan.chain = chain.clone();
+        Compiled {
+            plan,
+            measured_seconds: record.seconds,
+            global_bytes: record.global_bytes,
+            feasible_candidates: record.feasible,
+        }
+    }
 }

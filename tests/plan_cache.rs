@@ -1,0 +1,224 @@
+//! Integration tests of the plan cache + batch compilation front door
+//! (ISSUE 2): warm hits must be bit-identical to fresh searches, the
+//! disk tier must survive compiler restarts, keys must invalidate on
+//! machine/config changes, batches must dedupe, and concurrent misses
+//! must coalesce into exactly one search.
+
+use flashfuser::prelude::*;
+use flashfuser::{Compiler, CompilerOptions};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn g3() -> ChainSpec {
+    // DLRM-2 (Table VII): the smallest searchable paper chain.
+    ChainSpec::standard_ffn(128, 512, 416, 256, Activation::Relu).named("G3")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ff-plan-cache-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_hit_is_bit_identical_and_skips_the_search() {
+    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let chain = g3();
+    let cold = compiler.compile(&chain).unwrap();
+    let warm = compiler.compile(&chain).unwrap();
+    assert_eq!(compiler.searches_run(), 1, "second compile must be a hit");
+    assert_eq!(cold.plan, warm.plan);
+    assert_eq!(
+        cold.measured_seconds.to_bits(),
+        warm.measured_seconds.to_bits()
+    );
+    assert_eq!(cold.global_bytes, warm.global_bytes);
+    assert_eq!(cold.feasible_candidates, warm.feasible_candidates);
+    // And both agree with an uncached from-scratch compile.
+    let scratch = flashfuser::compile(&chain, &MachineParams::h100_sxm()).unwrap();
+    assert_eq!(scratch.plan, warm.plan);
+    assert_eq!(
+        scratch.measured_seconds.to_bits(),
+        warm.measured_seconds.to_bits()
+    );
+}
+
+#[test]
+fn disk_store_round_trips_across_compiler_restarts() {
+    let dir = temp_dir("restart");
+    let chain = g3();
+    let params = MachineParams::h100_sxm();
+    let cold = {
+        let compiler =
+            Compiler::with_options(params.clone(), CompilerOptions::new().with_cache_dir(&dir))
+                .unwrap();
+        compiler.compile(&chain).unwrap()
+    };
+    // A fresh compiler (empty memory tier) must be served from disk,
+    // bit-identically, without searching.
+    let compiler =
+        Compiler::with_options(params, CompilerOptions::new().with_cache_dir(&dir)).unwrap();
+    let warm = compiler.compile(&chain).unwrap();
+    assert_eq!(compiler.searches_run(), 0);
+    assert_eq!(compiler.cache_stats().disk_hits, 1);
+    assert_eq!(cold.plan, warm.plan);
+    assert_eq!(
+        cold.measured_seconds.to_bits(),
+        warm.measured_seconds.to_bits()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn machine_change_invalidates_the_key() {
+    let dir = temp_dir("machine");
+    let chain = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu);
+    {
+        let h100 = Compiler::with_options(
+            MachineParams::h100_sxm(),
+            CompilerOptions::new().with_cache_dir(&dir),
+        )
+        .unwrap();
+        h100.compile(&chain).unwrap();
+    }
+    // Same chain, same disk dir, different machine: must re-search.
+    let a100 = Compiler::with_options(
+        MachineParams::a100_sxm(),
+        CompilerOptions::new().with_cache_dir(&dir),
+    )
+    .unwrap();
+    a100.compile(&chain).unwrap();
+    assert_eq!(a100.searches_run(), 1);
+    assert_eq!(a100.cache_stats().disk_hits, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn config_change_invalidates_the_key() {
+    let dir = temp_dir("config");
+    let chain = g3();
+    let params = MachineParams::h100_sxm();
+    {
+        let compiler =
+            Compiler::with_options(params.clone(), CompilerOptions::new().with_cache_dir(&dir))
+                .unwrap();
+        compiler.compile(&chain).unwrap();
+    }
+    let mut options = CompilerOptions::new().with_cache_dir(&dir);
+    let mut config = flashfuser::default_config_for(&params);
+    config.top_k = 5; // result-relevant: different finalist set
+    options.config = Some(config);
+    let compiler = Compiler::with_options(params.clone(), options).unwrap();
+    compiler.compile(&chain).unwrap();
+    assert_eq!(
+        compiler.searches_run(),
+        1,
+        "top_k=5 must miss the top_k=11 entry"
+    );
+
+    // Thread count is result-neutral and must NOT invalidate.
+    let mut options = CompilerOptions::new().with_cache_dir(&dir);
+    options.config = Some(flashfuser::default_config_for(&params).with_threads(3));
+    let compiler = Compiler::with_options(params, options).unwrap();
+    compiler.compile(&chain).unwrap();
+    assert_eq!(compiler.searches_run(), 0, "threads must not key the cache");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn workload_names_are_metadata_not_identity() {
+    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let first = compiler.compile(&g3()).unwrap();
+    // Content-identical chain under another name: hits, and the
+    // returned plan carries the *requested* name — exactly what a
+    // fresh search of it would produce.
+    let renamed = ChainSpec::standard_ffn(128, 512, 416, 256, Activation::Relu).named("other");
+    let second = compiler.compile(&renamed).unwrap();
+    assert_eq!(compiler.searches_run(), 1);
+    assert_eq!(second.plan.chain.name(), "other");
+    assert_eq!(first.plan.summary(), second.plan.summary());
+}
+
+#[test]
+fn batch_dedupes_and_preserves_input_order() {
+    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let a = g3();
+    let b = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu).named("B");
+    // 6 requests, 2 unique graphs, interleaved.
+    let batch = vec![
+        a.clone(),
+        b.clone(),
+        a.clone(),
+        a.clone(),
+        b.clone(),
+        a.clone(),
+    ];
+    let results = compiler.compile_batch(&batch);
+    assert_eq!(results.len(), 6);
+    assert_eq!(compiler.searches_run(), 2, "2 unique graphs -> 2 searches");
+    let plans: Vec<_> = results
+        .iter()
+        .map(|r| r.as_ref().unwrap().plan.clone())
+        .collect();
+    // Order: result i belongs to request i.
+    for (i, request) in batch.iter().enumerate() {
+        assert_eq!(&plans[i].chain, request, "result {i} out of order");
+    }
+    assert_eq!(plans[0].summary(), plans[2].summary());
+    // Batch results equal per-request compiles, bit for bit.
+    let single = flashfuser::compile(&b, &MachineParams::h100_sxm()).unwrap();
+    assert_eq!(single.plan, plans[1]);
+}
+
+#[test]
+fn free_function_compile_batch_matches_compile() {
+    let params = MachineParams::h100_sxm();
+    let batch = vec![g3(), g3()];
+    let results = flashfuser::compile_batch(&batch, &params);
+    let reference = flashfuser::compile(&g3(), &params).unwrap();
+    for r in &results {
+        let r = r.as_ref().unwrap();
+        assert_eq!(r.plan, reference.plan);
+        assert_eq!(
+            r.measured_seconds.to_bits(),
+            reference.measured_seconds.to_bits()
+        );
+    }
+}
+
+#[test]
+fn concurrent_compiles_coalesce_into_one_search() {
+    const THREADS: usize = 8;
+    // Reference: the profiler calls one search makes (= top-K width).
+    let reference = Compiler::new(MachineParams::h100_sxm());
+    reference.compile(&g3()).unwrap();
+    let calls_per_search = reference.profile_calls();
+    assert!(calls_per_search > 0);
+
+    let compiler = Arc::new(Compiler::new(MachineParams::h100_sxm()));
+    let gate = Arc::new(std::sync::Barrier::new(THREADS));
+    let plans: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let compiler = Arc::clone(&compiler);
+                let gate = Arc::clone(&gate);
+                scope.spawn(move || {
+                    gate.wait();
+                    compiler.compile(&g3()).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // The herd coalesced: one search, one search's worth of profiler
+    // calls — not 8x.
+    assert_eq!(compiler.searches_run(), 1);
+    assert_eq!(compiler.profile_calls(), calls_per_search);
+    for pair in plans.windows(2) {
+        assert_eq!(pair[0].plan, pair[1].plan);
+        assert_eq!(
+            pair[0].measured_seconds.to_bits(),
+            pair[1].measured_seconds.to_bits()
+        );
+    }
+}

@@ -48,7 +48,7 @@ fn feasible_plans_compute_the_reference() {
         let n = dim_size(&mut rng);
         let k = dim_size(&mut rng);
         let l = dim_size(&mut rng);
-        let gated = rng.next_u64() % 2 == 0;
+        let gated = rng.next_u64().is_multiple_of(2);
         let schedule = rng.pick(&schedules).clone();
         let cluster = *rng.pick(&clusters);
         let seed = rng.next_u64() % 1000;
