@@ -21,6 +21,13 @@
 //!
 //! Cached plans are **bit-identical** to freshly searched plans — the
 //! property `bench_cache` asserts and CI gates.
+//!
+//! Whole-graph compilation reuses [`PlanKey`] unchanged: every fused
+//! segment of a partitioned `OpGraph` is keyed by its *recovered*
+//! chain's canonical fingerprint, so a model whose layers repeat one
+//! FFN shape searches once and hits `layers - 1` times, and different
+//! models sharing a shape share entries — across processes when the
+//! disk tier is configured.
 
 pub mod coalesce;
 pub mod lru;

@@ -130,6 +130,24 @@ impl CostModel {
         }
     }
 
+    /// An optimistic whole-chain bound used by the graph partitioner to
+    /// score a prospective fused segment *before any search runs*: the
+    /// roofline maximum of perfect-occupancy tensor-core time and the
+    /// chain's minimum fused HBM traffic
+    /// ([`ChainSpec::fused_min_global_bytes`]) at full achievable
+    /// bandwidth.
+    ///
+    /// Both terms underestimate their counterparts in
+    /// [`CostModel::evaluate`] (which derates by occupancy and only adds
+    /// tiers and latency on top), so the score never overstates the
+    /// value of fusing a segment — the same admissibility philosophy as
+    /// the candidate-level [`CostModel::lower_bound`], one level up.
+    pub fn chain_lower_bound(&self, chain: &ChainSpec) -> f64 {
+        let compute_s = chain.total_flops() as f64 / self.params.peak_flops;
+        let hbm_s = chain.fused_min_global_bytes() as f64 / self.params.hbm_bw;
+        compute_s.max(hbm_s)
+    }
+
     /// An *admissible* lower bound on [`CostModel::evaluate`]`.est_s` for
     /// one candidate, computable from the plan geometry alone — no
     /// dataflow analysis, no resource mapping, no allocation.

@@ -16,6 +16,12 @@
 //!    "profiled on hardware" through the [`PlanProfiler`] abstraction
 //!    (implemented by the `flashfuser-sim` machine model).
 //!
+//! One level above the per-chain pipeline, [`segment`] partitions an
+//! arbitrary operator DAG into fusible chains and unfused remainders
+//! (a DP over topological cut points scored by
+//! [`CostModel::chain_lower_bound`]) — the entry point whole-graph
+//! compilation builds on.
+//!
 //! # Example
 //!
 //! ```
@@ -41,6 +47,7 @@ pub mod prune;
 pub mod runtime;
 pub mod schedule;
 pub mod search;
+pub mod segment;
 pub mod space;
 pub mod tiling;
 
@@ -58,4 +65,5 @@ pub use search::{
     available_threads, RankedPlan, SearchConfig, SearchEngine, SearchError, SearchResult,
     SearchStats,
 };
+pub use segment::{partition_graph, GraphPartition, PartitionError, Segment, UnfusedPricer};
 pub use tiling::{hardware_aware_tiles, BlockTile};

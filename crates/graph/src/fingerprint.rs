@@ -134,6 +134,7 @@ fn kind_tag(kind: &OpKind) -> u64 {
         OpKind::Activation(_) => 3,
         OpKind::Elementwise(_) => 4,
         OpKind::Output => 5,
+        OpKind::Transpose => 6,
     }
 }
 
@@ -150,7 +151,7 @@ fn kind_payload(kind: &OpKind) -> u64 {
         // hashing the name avoids depending on discriminant order.
         OpKind::Activation(a) => h.write_str(&a.to_string()),
         OpKind::Elementwise(op) => h.write_str(&op.to_string()),
-        OpKind::Matmul | OpKind::Output => {}
+        OpKind::Matmul | OpKind::Transpose | OpKind::Output => {}
     }
     h.finish()
 }

@@ -10,6 +10,9 @@
 //! * [`OpGraph`] — a small operator DAG used to express and validate the
 //!   chain structure (and to host TASO-style graph substitutions in the
 //!   baselines crate).
+//! * [`segment`] — shape inference, unfused per-op pricing, and the
+//!   pattern matcher that recovers typed chains from an arbitrary DAG
+//!   (the front half of whole-graph compilation).
 //! * [`tile_graph`] — expansion of a chain + cluster geometry into the
 //!   per-tile dataflow graph of the paper's Figure 8.
 //!
@@ -29,6 +32,7 @@ pub mod conv;
 pub mod dims;
 pub mod fingerprint;
 pub mod op;
+pub mod segment;
 pub mod tile_graph;
 
 pub use chain::{ChainKind, ChainSpec};
@@ -36,4 +40,5 @@ pub use conv::ConvChainSpec;
 pub use dims::{ChainDims, Dim};
 pub use fingerprint::StableHasher;
 pub use op::{OpGraph, OpKind, OpNode};
+pub use segment::{match_chains, ChainMatch, GraphShapeError, OpCost};
 pub use tile_graph::TileGraph;

@@ -25,6 +25,10 @@ pub enum OpKind {
     Activation(Activation),
     /// Binary element-wise combiner of the two predecessor nodes.
     Elementwise(BinaryOp),
+    /// Matrix transpose of the predecessor node (`[r,c]` → `[c,r]`).
+    /// Used when lowering attention score GEMMs (`Q x K^T`); pure data
+    /// movement, never fused.
+    Transpose,
     /// Graph output marker.
     Output,
 }
@@ -36,6 +40,7 @@ impl fmt::Display for OpKind {
             OpKind::Matmul => write!(f, "matmul"),
             OpKind::Activation(a) => write!(f, "{a}"),
             OpKind::Elementwise(op) => write!(f, "{op}"),
+            OpKind::Transpose => write!(f, "transpose"),
             OpKind::Output => write!(f, "output"),
         }
     }
@@ -104,7 +109,7 @@ impl OpGraph {
         let arity_ok = match kind {
             OpKind::Input(..) => inputs.is_empty(),
             OpKind::Matmul | OpKind::Elementwise(_) => inputs.len() == 2,
-            OpKind::Activation(_) | OpKind::Output => inputs.len() == 1,
+            OpKind::Activation(_) | OpKind::Transpose | OpKind::Output => inputs.len() == 1,
         };
         assert!(arity_ok, "wrong arity for {kind}: {} inputs", inputs.len());
         self.push(OpNode {

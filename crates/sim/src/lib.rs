@@ -32,4 +32,6 @@ pub mod unfused;
 pub use counters::TrafficCounters;
 pub use exec::{execute_fused, ExecError};
 pub use timing::{KernelMeasurement, SimProfiler, TimingModel};
-pub use unfused::{execute_unfused, unfused_time, UnfusedReport};
+pub use unfused::{
+    execute_unfused, unfused_op_time, unfused_time, UnfusedKernelPricer, UnfusedReport,
+};

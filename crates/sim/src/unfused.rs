@@ -78,6 +78,51 @@ pub fn execute_unfused(
     Ok(e)
 }
 
+/// Seconds for one stand-alone kernel with the given FLOP/byte
+/// footprint: bound by `max(compute, traffic / HBM-bandwidth)` at the
+/// derated `efficiency`, plus one launch overhead. This is the
+/// per-kernel model [`unfused_time`] sums over a chain, exposed on its
+/// own so remainder operators of a partitioned graph (element-wise
+/// glue, transposes, attention GEMMs) are priced by exactly the same
+/// rule.
+pub fn unfused_op_time(flops: u64, bytes: u64, params: &MachineParams, efficiency: f64) -> f64 {
+    assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency in (0,1]");
+    let compute = flops as f64 / (params.peak_flops * efficiency);
+    let memory = bytes as f64 / (params.hbm_bw * efficiency);
+    compute.max(memory) + params.kernel_launch_s
+}
+
+/// [`flashfuser_core::UnfusedPricer`] backed by the unfused kernel
+/// model: the hook the graph partitioner uses to price everything the
+/// fusion engine does not cover. Stand-alone operators go through
+/// [`unfused_op_time`]; whole chains through [`unfused_time`] (so the
+/// fallback bar includes the split-K round trips a library GEMM would
+/// really pay).
+#[derive(Debug, Clone)]
+pub struct UnfusedKernelPricer {
+    params: MachineParams,
+    efficiency: f64,
+}
+
+impl UnfusedKernelPricer {
+    /// A pricer for `params` at the given kernel `efficiency`
+    /// (cuBLAS-class ≈ 0.9; see [`unfused_time`]).
+    pub fn new(params: MachineParams, efficiency: f64) -> Self {
+        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency in (0,1]");
+        Self { params, efficiency }
+    }
+}
+
+impl flashfuser_core::UnfusedPricer for UnfusedKernelPricer {
+    fn op_seconds(&self, cost: flashfuser_graph::OpCost) -> f64 {
+        unfused_op_time(cost.flops, cost.bytes, &self.params, self.efficiency)
+    }
+
+    fn chain_seconds(&self, chain: &ChainSpec) -> f64 {
+        unfused_time(chain, &self.params, self.efficiency).seconds
+    }
+}
+
 /// Split-K factor a library GEMM uses for a narrow `M x R` reduction:
 /// with few output rows the only way to fill the GPU is to parallelise
 /// the reduction, writing f32 partial tiles to global memory and
@@ -109,9 +154,7 @@ pub fn unfused_time(chain: &ChainSpec, params: &MachineParams, efficiency: f64) 
 
     let mut kernel = |name: &'static str, flops: u64, bytes: u64| -> (&'static str, f64) {
         global_bytes += bytes;
-        let compute = flops as f64 / (params.peak_flops * efficiency);
-        let memory = bytes as f64 / (params.hbm_bw * efficiency);
-        (name, compute.max(memory) + params.kernel_launch_s)
+        (name, unfused_op_time(flops, bytes, params, efficiency))
     };
 
     // Split-K: s f32 partial tiles written + read back (4 bytes/elem =
@@ -231,5 +274,36 @@ mod tests {
     fn bad_efficiency_panics() {
         let chain = ChainSpec::standard_ffn(16, 32, 32, 32, Activation::Relu);
         unfused_time(&chain, &MachineParams::h100_sxm(), 0.0);
+    }
+
+    #[test]
+    fn op_time_is_roofline_plus_launch() {
+        let p = MachineParams::h100_sxm();
+        // Pure launch.
+        assert_eq!(unfused_op_time(0, 0, &p, 1.0), p.kernel_launch_s);
+        // Memory-bound: doubling bytes doubles the traffic term.
+        let t1 = unfused_op_time(0, 1 << 30, &p, 1.0) - p.kernel_launch_s;
+        let t2 = unfused_op_time(0, 1 << 31, &p, 1.0) - p.kernel_launch_s;
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_pricer_agrees_with_the_chain_model() {
+        use flashfuser_core::UnfusedPricer as _;
+        let p = MachineParams::h100_sxm();
+        let pricer = UnfusedKernelPricer::new(p.clone(), 0.92);
+        let chain = ChainSpec::standard_ffn(128, 8192, 2048, 2048, Activation::Relu);
+        assert_eq!(
+            pricer.chain_seconds(&chain),
+            unfused_time(&chain, &p, 0.92).seconds
+        );
+        let cost = flashfuser_graph::OpCost {
+            flops: 1 << 30,
+            bytes: 1 << 20,
+        };
+        assert_eq!(
+            pricer.op_seconds(cost),
+            unfused_op_time(cost.flops, cost.bytes, &p, 0.92)
+        );
     }
 }

@@ -5,7 +5,8 @@
 //!   G1–G10).
 //! * [`models`] — the transformer model zoo (GPT, LLaMA, OPT, BERT,
 //!   Qwen) with layer shapes, used for Table I and the end-to-end
-//!   evaluation.
+//!   evaluation; [`ModelSpec::graph`] lowers whole decoder layers into
+//!   operator DAGs for whole-graph compilation.
 //! * [`ffn_share`] — the Table I estimator: fraction of inference time
 //!   spent in FFN layers.
 //! * [`e2e`] — the end-to-end inference timing model behind Figs. 16/17.

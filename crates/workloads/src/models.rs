@@ -1,8 +1,15 @@
 //! The transformer model zoo used by Table I and the end-to-end
 //! evaluation (Figs. 16/17).
+//!
+//! Besides the closed-form accounting ([`ModelSpec::attention_flops`]
+//! etc.) the zoo can lower whole decoder layers into [`OpGraph`]s
+//! ([`ModelSpec::graph`]), which is what lets the end-to-end figures
+//! run through the whole-graph compiler
+//! (`flashfuser::Compiler::compile_graph`) instead of closed-form math.
 
-use flashfuser_graph::ChainSpec;
-use flashfuser_tensor::Activation;
+use flashfuser_graph::op::NodeId;
+use flashfuser_graph::{ChainSpec, OpGraph, OpKind};
+use flashfuser_tensor::{Activation, BinaryOp};
 
 /// Architecture parameters of one decoder/encoder model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +69,81 @@ impl ModelSpec {
         let m = m as u64;
         let seq = seq as u64;
         4 * d * d * 2 + 6 * m * d * 2 + 2 * seq * d * 2 + 2 * m * seq * 2
+    }
+
+    /// Lowers one decoder layer onto `x` (the `[m, hidden]` residual
+    /// stream) inside `g`, returning the layer's output node.
+    ///
+    /// The layer is attention + FFN + element-wise remainder:
+    ///
+    /// * attention — Q/K/V projections, `Q x K^T` scores (via a
+    ///   `Transpose` node), a softmax stand-in (one element-wise pass;
+    ///   attention is never fused, so only its FLOP/byte pricing
+    ///   matters), the context GEMM and the output projection;
+    /// * the FFN as the canonical two-GEMM chain expansion
+    ///   ([`OpGraph::append_chain`] of [`ModelSpec::ffn_chain`]), which
+    ///   the graph partitioner recovers and fuses;
+    /// * residual adds after both halves.
+    ///
+    /// Sequence length equals `m` (every resident token attends over
+    /// the whole batch window), matching the closed-form accounting in
+    /// [`crate::e2e`].
+    fn lower_layer(&self, g: &mut OpGraph, x: NodeId, layer: usize, m: usize) -> NodeId {
+        let d = self.hidden;
+        let l = |part: &str| format!("l{layer}.{part}");
+        let wq = g.add_input(&l("Wq"), d, d);
+        let wk = g.add_input(&l("Wk"), d, d);
+        let wv = g.add_input(&l("Wv"), d, d);
+        let wo = g.add_input(&l("Wo"), d, d);
+        let q = g.add_node(OpKind::Matmul, vec![x, wq], &l("q"));
+        let k = g.add_node(OpKind::Matmul, vec![x, wk], &l("k"));
+        let v = g.add_node(OpKind::Matmul, vec![x, wv], &l("v"));
+        let kt = g.add_node(OpKind::Transpose, vec![k], &l("kT"));
+        let scores = g.add_node(OpKind::Matmul, vec![q, kt], &l("scores"));
+        let probs = g.add_node(
+            OpKind::Activation(Activation::Identity),
+            vec![scores],
+            &l("softmax"),
+        );
+        let ctx = g.add_node(OpKind::Matmul, vec![probs, v], &l("ctx"));
+        let attn = g.add_node(OpKind::Matmul, vec![ctx, wo], &l("attn"));
+        let resid1 = g.add_node(
+            OpKind::Elementwise(BinaryOp::Add),
+            vec![attn, x],
+            &l("resid1"),
+        );
+        let ffn = g.append_chain(&self.ffn_chain(m), resid1, &l("ffn"));
+        g.add_node(
+            OpKind::Elementwise(BinaryOp::Add),
+            vec![ffn, resid1],
+            &l("resid2"),
+        )
+    }
+
+    /// Lowers `layers` decoder layers for `m` resident tokens into an
+    /// operator DAG ending in an `Output` marker — the whole-graph
+    /// compilation input. Every layer's FFN is a recoverable fused
+    /// chain of identical shape, so a plan cache serves layers 2..n
+    /// from layer 1's search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is zero.
+    pub fn graph(&self, m: usize, layers: usize) -> OpGraph {
+        assert!(layers > 0, "a model graph needs at least one layer");
+        let mut g = OpGraph::new();
+        let mut x = g.add_input("tokens", m, self.hidden);
+        for layer in 0..layers {
+            x = self.lower_layer(&mut g, x, layer, m);
+        }
+        g.add_node(OpKind::Output, vec![x], "out");
+        g
+    }
+
+    /// One decoder layer as an operator DAG ([`ModelSpec::graph`] with
+    /// `layers = 1`).
+    pub fn layer_graph(&self, m: usize) -> OpGraph {
+        self.graph(m, 1)
     }
 }
 
@@ -169,5 +251,38 @@ mod tests {
             assert!(m.gated);
             assert!(m.hidden >= 5120);
         }
+    }
+
+    #[test]
+    fn layer_graph_is_well_shaped_and_counts_attention_gemms() {
+        let bert = &model_zoo()[3];
+        let g = bert.layer_graph(128);
+        let shapes = g.infer_shapes().unwrap();
+        // The residual stream ends at [m, hidden].
+        assert_eq!(*shapes.last().unwrap(), (128, bert.hidden));
+        // 6 attention GEMMs (q/k/v, scores, ctx, out) + 2 FFN GEMMs.
+        assert_eq!(g.matmul_count(), 8);
+        let gated = &model_zoo()[1]; // LLaMA-1B
+        assert_eq!(gated.layer_graph(128).matmul_count(), 9);
+    }
+
+    #[test]
+    fn model_graph_ffns_are_recoverable_per_layer() {
+        let model = &model_zoo()[4]; // GPT-2
+        let g = model.graph(64, 3);
+        let matches = flashfuser_graph::match_chains(&g).unwrap();
+        assert_eq!(matches.len(), 3, "one fusible FFN per layer");
+        for m in &matches {
+            // Names are metadata; the structure is exactly the layer's
+            // FFN chain.
+            assert_eq!(m.chain, model.ffn_chain(64).named(""));
+            assert_eq!(m.chain.fingerprint(), model.ffn_chain(64).fingerprint());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layer_graph_panics() {
+        model_zoo()[0].graph(128, 0);
     }
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: formatting, lints, the full test suite, and
-# reduced-mode runs of the search + cache benchmarks. CI runs exactly
-# this script.
+# Tier-1 verification gate: formatting, lints, rustdoc (warnings
+# fatal), the full test suite, and reduced-mode runs of the search +
+# cache benchmarks. CI runs exactly this script.
 #
 # Environment knobs (both honored, never hardcoded):
 #   FLASHFUSER_QUICK    1 (default here) = quick bench mode, writes
@@ -21,6 +21,9 @@ cargo fmt --check
 
 echo "== clippy -D warnings (workspace, all targets) =="
 cargo clippy -q --workspace --all-targets -- -D warnings
+
+echo "== cargo doc (RUSTDOCFLAGS=-D warnings, no deps) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
 echo "== cargo build --release (benches included) =="
 cargo build --release -q --workspace

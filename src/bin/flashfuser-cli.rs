@@ -3,6 +3,7 @@
 //! ```text
 //! flashfuser-cli compile <M> <N> <K> <L> [--gated] [--a100] [--cache-dir DIR]
 //! flashfuser-cli batch [--a100] [--cache-dir DIR] [--workers N] [--repeat R] <SPEC>...
+//! flashfuser-cli graph <MODEL> <M> [--layers N] [--a100] [--cache-dir DIR]
 //! ```
 //!
 //! `compile` runs the full pipeline for one chain and prints the
@@ -11,20 +12,26 @@
 //! (and reused on the next invocation — try running the same command
 //! twice). `batch` compiles many chains through the plan cache in one
 //! go, deduplicating identical graphs and sharding distinct ones across
-//! worker threads.
+//! worker threads. `graph` lowers a transformer model from the zoo into
+//! a whole operator DAG, partitions it into fusible chains + unfused
+//! remainders, and prints the stitched plan — layers that repeat a
+//! shape hit the plan cache after the first search.
 //!
 //! The bare legacy form `flashfuser-cli <M> <N> <K> <L> [flags]` is
-//! still accepted and treated as `compile`.
+//! still accepted and treated as `compile`; every other first token
+//! must be one of the subcommands above (model names only appear after
+//! `graph`).
 
 use flashfuser::prelude::*;
 use std::process::ExitCode;
 
 const HELP: &str = "\
-flashfuser-cli — fusion compiler for two-GEMM operator chains
+flashfuser-cli — fusion compiler for operator chains and model graphs
 
 USAGE:
     flashfuser-cli compile <M> <N> <K> <L> [OPTIONS]
     flashfuser-cli batch <SPEC>... [OPTIONS]
+    flashfuser-cli graph <MODEL> <M> [OPTIONS]
     flashfuser-cli --help
 
 SUBCOMMANDS:
@@ -32,6 +39,10 @@ SUBCOMMANDS:
     batch     Compile many chains through the plan cache in one call:
               identical graphs are searched once, distinct graphs are
               sharded across worker threads
+    graph     Lower <MODEL> (a model-zoo name, e.g. GPT-2 or LLaMA-1B)
+              with <M> resident tokens into an operator DAG, partition
+              it into fusible chains + unfused remainders, and print
+              the stitched whole-graph plan
 
 SPEC (batch): MxNxKxL with an optional ':gated' suffix,
               e.g. 128x3072x768x768 or 128x11008x4096x4096:gated
@@ -46,12 +57,16 @@ OPTIONS:
     --workers N        Batch worker threads (default: all cores)
     --repeat R         Compile the batch list R times over (demonstrates
                        dedup + warm-cache hit rates; default 1)
+    --layers N         Layers to lower for 'graph' (default 2, so the
+                       second layer demonstrates a plan-cache hit)
+    --dry-run          Parse and validate, print what would run, exit
     -h, --help         Print this help
 
 EXAMPLES:
     flashfuser-cli compile 128 16384 4096 4096
     flashfuser-cli compile 128 11008 4096 4096 --gated --cache-dir /tmp/ff-plans
     flashfuser-cli batch 128x3072x768x768 128x16384x4096x4096 --repeat 3
+    flashfuser-cli graph GPT-2 128 --layers 2
 ";
 
 struct CommonOpts {
@@ -60,6 +75,8 @@ struct CommonOpts {
     workers: usize,
     repeat: usize,
     gated: bool,
+    layers: usize,
+    dry_run: bool,
 }
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -76,6 +93,8 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
         workers: 0,
         repeat: 1,
         gated: false,
+        layers: 2,
+        dry_run: false,
     };
     let mut positional = Vec::new();
     let mut i = 0;
@@ -83,7 +102,8 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
         match args[i].as_str() {
             "--gated" => opts.gated = true,
             "--a100" => opts.a100 = true,
-            "--cache-dir" | "--workers" | "--repeat" => {
+            "--dry-run" => opts.dry_run = true,
+            "--cache-dir" | "--workers" | "--repeat" | "--layers" => {
                 let flag = args[i].clone();
                 i += 1;
                 let value = args
@@ -102,6 +122,14 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
                             .map_err(|_| format!("--repeat: '{value}' is not a number"))?;
                         if opts.repeat == 0 {
                             return Err("--repeat must be at least 1".to_string());
+                        }
+                    }
+                    "--layers" => {
+                        opts.layers = value
+                            .parse()
+                            .map_err(|_| format!("--layers: '{value}' is not a number"))?;
+                        if opts.layers == 0 {
+                            return Err("--layers must be at least 1".to_string());
                         }
                     }
                     _ => unreachable!(),
@@ -171,6 +199,10 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         ChainSpec::standard_ffn(dims[0], dims[1], dims[2], dims[3], Activation::Relu)
     };
     let params = machine(&opts);
+    if opts.dry_run {
+        println!("dry-run: would compile {chain} on {}", params.name);
+        return ExitCode::SUCCESS;
+    }
     let compiler = match compiler(&opts) {
         Ok(c) => c,
         Err(e) => return usage_error(&e),
@@ -234,6 +266,14 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     }
     let batch: Vec<ChainSpec> = (0..opts.repeat).flat_map(|_| chains.clone()).collect();
     let params = machine(&opts);
+    if opts.dry_run {
+        println!(
+            "dry-run: would batch-compile {} request(s) on {}",
+            batch.len(),
+            params.name
+        );
+        return ExitCode::SUCCESS;
+    }
     let compiler = match compiler(&opts) {
         Ok(c) => c,
         Err(e) => return usage_error(&e),
@@ -277,6 +317,122 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     }
 }
 
+/// Looks a model up in the zoo (Table I + large models), ignoring case.
+fn find_model(name: &str) -> Option<flashfuser::workloads::ModelSpec> {
+    flashfuser::workloads::model_zoo()
+        .into_iter()
+        .chain(flashfuser::workloads::large_model_zoo())
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+fn cmd_graph(args: &[String]) -> ExitCode {
+    let (opts, positional) = match parse_opts(args) {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    let [model_name, m_arg] = positional.as_slice() else {
+        return usage_error("graph needs exactly <MODEL> <M> (a zoo model name and a token count)");
+    };
+    let Some(model) = find_model(model_name) else {
+        let names: Vec<&str> = flashfuser::workloads::model_zoo()
+            .iter()
+            .chain(&flashfuser::workloads::large_model_zoo())
+            .map(|m| m.name)
+            .collect();
+        return usage_error(&format!(
+            "unknown model '{model_name}'; available: {}",
+            names.join(", ")
+        ));
+    };
+    let m: usize = match m_arg.parse() {
+        Ok(m) if m > 0 => m,
+        _ => return usage_error(&format!("<M>: '{m_arg}' is not a positive token count")),
+    };
+    let params = machine(&opts);
+    if opts.dry_run {
+        println!(
+            "dry-run: would lower {} x{} layer(s) at m={m} and compile the graph on {}",
+            model.name, opts.layers, params.name
+        );
+        return ExitCode::SUCCESS;
+    }
+    let compiler = match compiler(&opts) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    let graph = model.graph(m, opts.layers);
+    println!("device: {}", params.name);
+    println!(
+        "model:  {} (hidden {}, ffn {}{}) — lowering {} of {} layer(s), m={m}",
+        model.name,
+        model.hidden,
+        model.ffn_hidden,
+        if model.gated { ", gated" } else { "" },
+        opts.layers,
+        model.layers,
+    );
+    println!(
+        "graph:  {} node(s), {} matmul(s)",
+        graph.len(),
+        graph.matmul_count()
+    );
+    let t0 = std::time::Instant::now();
+    let plan = match compiler.compile_graph(&graph) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("cannot compile graph: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall_s = t0.elapsed().as_secs_f64();
+    println!("segments:");
+    for (i, segment) in plan.segments.iter().enumerate() {
+        match segment {
+            CompiledSegment::Fused(f) => {
+                let how = if f.fell_back {
+                    "fell back to unfused"
+                } else if f.searched {
+                    "searched"
+                } else {
+                    "plan cache hit"
+                };
+                println!(
+                    "  {:>2}. fused   {:>10.2} us  {} ({how})",
+                    i + 1,
+                    f.stitched_seconds() * 1e6,
+                    f.compiled.plan.summary(),
+                );
+            }
+            CompiledSegment::Unfused(u) => {
+                let first = &graph.node(u.nodes[0]).label;
+                let last = &graph
+                    .node(*u.nodes.last().expect("non-empty segment"))
+                    .label;
+                println!(
+                    "  {:>2}. unfused {:>10.2} us  {} kernel(s): {first} .. {last}",
+                    i + 1,
+                    u.seconds * 1e6,
+                    u.nodes.len(),
+                );
+            }
+        }
+    }
+    println!(
+        "stitched: {:.2} us vs {:.2} us all-unfused -> speedup {:.2}x",
+        plan.seconds * 1e6,
+        plan.unfused_seconds * 1e6,
+        plan.speedup()
+    );
+    println!(
+        "compile:  {:.3} s, {} search(es) for {} fused segment(s); cache: {}",
+        wall_s,
+        compiler.searches_run(),
+        plan.fused_segments().count(),
+        compiler.cache_stats()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -290,6 +446,7 @@ fn main() -> ExitCode {
         }
         Some("compile") => cmd_compile(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("graph") => cmd_graph(&args[1..]),
         // Legacy form: `flashfuser-cli <M> <N> <K> <L> [flags]`, with
         // flags accepted in any position (`--a100 128 ...` included).
         Some(first) if first.parse::<usize>().is_ok() || first.starts_with("--") => {

@@ -3,7 +3,7 @@
 //! H100-class GPU.
 //!
 //! This is the facade crate: it re-exports every subsystem and offers
-//! three compilation entry points:
+//! four compilation entry points:
 //!
 //! * [`compile`] — one chain, one full search (enumerate → prune →
 //!   analyze → rank → profile), no caching;
@@ -12,7 +12,12 @@
 //!   coalescing, for serving workloads where repeated graphs dominate;
 //! * [`compile_batch`] — batch compilation that dedupes identical
 //!   graphs within the batch and shards distinct ones across worker
-//!   threads.
+//!   threads;
+//! * [`Compiler::compile_graph`] — whole-graph compilation: an
+//!   arbitrary operator DAG is partitioned into fusible chains and
+//!   unfused remainders, every chain goes through the cached per-chain
+//!   path, and the stitched [`GraphPlan`] comes back with end-to-end
+//!   timing.
 //!
 //! # Quickstart
 //!
@@ -43,6 +48,30 @@
 //! # }
 //! ```
 //!
+//! # Whole-graph compilation
+//!
+//! ```
+//! use flashfuser::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let compiler = Compiler::new(MachineParams::h100_sxm());
+//!
+//! // Two FFN layers of the same shape, as an operator DAG.
+//! let layer = ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Gelu);
+//! let mut g = OpGraph::new();
+//! let x = g.add_input("tokens", 128, 256);
+//! let l1 = g.append_chain(&layer, x, "l1");
+//! let l2 = g.append_chain(&layer, l1, "l2");
+//! g.add_node(OpKind::Output, vec![l2], "out");
+//!
+//! let plan = compiler.compile_graph(&g)?;
+//! assert_eq!(plan.fused_segments().count(), 2); // both layers fused
+//! assert_eq!(compiler.searches_run(), 1); // layer 2 hit the plan cache
+//! assert!(plan.seconds > 0.0 && plan.seconds < plan.unfused_seconds);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! The repository layout, modelling decisions and per-experiment index
 //! live in `DESIGN.md`; measured-vs-paper numbers in `EXPERIMENTS.md`.
 
@@ -57,11 +86,14 @@ pub use flashfuser_workloads as workloads;
 
 use flashfuser_cache::{CacheStats, InFlight, PlanCache, PlanKey};
 use flashfuser_core::codec::PlanRecord;
+use flashfuser_core::segment::{partition_graph, PartitionError, Segment};
 use flashfuser_core::{
     FusedPlan, MachineParams, MemLevel, SearchConfig, SearchEngine, SearchError,
 };
-use flashfuser_graph::ChainSpec;
-use flashfuser_sim::SimProfiler;
+use flashfuser_graph::op::NodeId;
+use flashfuser_graph::{ChainSpec, OpGraph};
+use flashfuser_sim::{SimProfiler, UnfusedKernelPricer};
+use std::fmt;
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -69,13 +101,16 @@ use std::sync::{Arc, OnceLock};
 
 /// The most common imports, bundled.
 pub mod prelude {
-    pub use crate::{Compiled, Compiler, CompilerOptions};
+    pub use crate::{
+        Compiled, CompiledSegment, Compiler, CompilerOptions, FusedSegment, GraphPlan,
+        UnfusedSegment,
+    };
     pub use flashfuser_cache::{CacheStats, PlanCache, PlanKey};
     pub use flashfuser_comm::ClusterShape;
     pub use flashfuser_core::{
         BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams, SearchConfig, SearchEngine,
     };
-    pub use flashfuser_graph::{ChainDims, ChainSpec, Dim};
+    pub use flashfuser_graph::{match_chains, ChainDims, ChainSpec, Dim, OpGraph, OpKind};
     pub use flashfuser_sim::{execute_fused, unfused_time, SimProfiler, TrafficCounters};
     pub use flashfuser_tensor::{Activation, Matrix};
 }
@@ -430,5 +465,227 @@ impl Compiler {
             global_bytes: record.global_bytes,
             feasible_candidates: record.feasible,
         }
+    }
+
+    /// Compiles an arbitrary operator DAG into a stitched [`GraphPlan`].
+    ///
+    /// The graph is partitioned by
+    /// [`flashfuser_core::segment::partition_graph`]: fusible two-GEMM
+    /// chains are recovered by pattern matching (validated against the
+    /// canonical chain forms via content fingerprints), segment
+    /// boundaries come from a DP over topological cut points scored by
+    /// the cost model's admissible chain bound, and everything else is
+    /// priced as stand-alone unfused kernels at [`UNFUSED_EFFICIENCY`].
+    /// Each fused segment then goes through [`Compiler::compile`] — so
+    /// segments share the plan cache, and models whose layers repeat a
+    /// shape search once and hit `layers - 1` times.
+    ///
+    /// Two fallbacks keep the stitched plan no worse than the unfused
+    /// baseline (the paper's §IV-C3 binning rule, applied per segment):
+    /// a segment whose *measured* fused time loses to its unfused bar
+    /// is stitched at the unfused time (`fell_back`), and a segment
+    /// with no feasible fused plan is emitted as an unfused segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphCompileError::Partition`] when the graph is
+    /// ill-shaped or has no compute nodes.
+    pub fn compile_graph(&self, graph: &OpGraph) -> Result<GraphPlan, GraphCompileError> {
+        let pricer = UnfusedKernelPricer::new(self.engine.params().clone(), UNFUSED_EFFICIENCY);
+        let partition = partition_graph(graph, self.engine.params(), &pricer)?;
+        let mut segments = Vec::with_capacity(partition.segments.len());
+        let mut seconds = 0.0;
+        let mut unfused_seconds = 0.0;
+        let mut global_bytes = 0u64;
+        for segment in partition.segments {
+            match segment {
+                Segment::Fused {
+                    chain,
+                    nodes,
+                    unfused_seconds: bar,
+                    ..
+                } => {
+                    let before = self.searches_run();
+                    match self.compile(&chain) {
+                        Ok(compiled) => {
+                            let searched = self.searches_run() > before;
+                            let fell_back = compiled.measured_seconds >= bar;
+                            seconds += compiled.measured_seconds.min(bar);
+                            global_bytes += if fell_back {
+                                chain.unfused_global_bytes()
+                            } else {
+                                compiled.global_bytes
+                            };
+                            unfused_seconds += bar;
+                            segments.push(CompiledSegment::Fused(Box::new(FusedSegment {
+                                chain,
+                                compiled,
+                                nodes,
+                                unfused_seconds: bar,
+                                fell_back,
+                                searched,
+                            })));
+                        }
+                        Err(SearchError::NoFeasiblePlan) => {
+                            seconds += bar;
+                            unfused_seconds += bar;
+                            let bytes = chain.unfused_global_bytes();
+                            global_bytes += bytes;
+                            segments.push(CompiledSegment::Unfused(UnfusedSegment {
+                                nodes,
+                                seconds: bar,
+                                bytes,
+                            }));
+                        }
+                    }
+                }
+                Segment::Unfused {
+                    nodes,
+                    est_seconds,
+                    bytes,
+                } => {
+                    seconds += est_seconds;
+                    unfused_seconds += est_seconds;
+                    global_bytes += bytes;
+                    segments.push(CompiledSegment::Unfused(UnfusedSegment {
+                        nodes,
+                        seconds: est_seconds,
+                        bytes,
+                    }));
+                }
+            }
+        }
+        Ok(GraphPlan {
+            segments,
+            seconds,
+            unfused_seconds,
+            global_bytes,
+        })
+    }
+}
+
+/// Kernel efficiency assumed for unfused remainder kernels and the
+/// per-segment fallback bar: tuned-but-unfused, SGLang-class — the same
+/// derate the end-to-end baseline in `flashfuser_workloads::e2e` uses.
+pub const UNFUSED_EFFICIENCY: f64 = 0.92;
+
+/// A fused segment of a [`GraphPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedSegment {
+    /// The recovered chain this segment compiles.
+    pub chain: ChainSpec,
+    /// The per-chain compilation result (bit-identical to a direct
+    /// [`Compiler::compile`] of `chain`).
+    pub compiled: Compiled,
+    /// Graph nodes the fused kernel replaces.
+    pub nodes: Vec<NodeId>,
+    /// The unfused bar the fused plan had to beat.
+    pub unfused_seconds: f64,
+    /// `true` when the measured fused time lost to the bar and the
+    /// stitched total uses the unfused time instead.
+    pub fell_back: bool,
+    /// `true` when compiling this segment ran a search; `false` when it
+    /// was served from the plan cache (or coalesced).
+    pub searched: bool,
+}
+
+impl FusedSegment {
+    /// The seconds this segment contributes to the stitched total.
+    pub fn stitched_seconds(&self) -> f64 {
+        self.compiled.measured_seconds.min(self.unfused_seconds)
+    }
+}
+
+/// A run of operators left as stand-alone unfused kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnfusedSegment {
+    /// The covered graph nodes, in topological order.
+    pub nodes: Vec<NodeId>,
+    /// Summed kernel seconds.
+    pub seconds: f64,
+    /// Summed global bytes.
+    pub bytes: u64,
+}
+
+/// One stitched segment of a compiled graph. The fused variant is
+/// boxed: it carries a whole [`FusedPlan`], which would otherwise
+/// dominate the size of every segment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledSegment {
+    /// Compiled through the fusion engine.
+    Fused(Box<FusedSegment>),
+    /// Priced as stand-alone kernels.
+    Unfused(UnfusedSegment),
+}
+
+impl CompiledSegment {
+    /// The seconds this segment contributes to [`GraphPlan::seconds`].
+    pub fn seconds(&self) -> f64 {
+        match self {
+            CompiledSegment::Fused(f) => f.stitched_seconds(),
+            CompiledSegment::Unfused(u) => u.seconds,
+        }
+    }
+
+    /// The graph nodes this segment covers.
+    pub fn nodes(&self) -> &[NodeId] {
+        match self {
+            CompiledSegment::Fused(f) => &f.nodes,
+            CompiledSegment::Unfused(u) => &u.nodes,
+        }
+    }
+}
+
+/// The result of [`Compiler::compile_graph`]: per-segment plans plus
+/// stitched end-to-end figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphPlan {
+    /// Segments in topological order, covering every compute node once.
+    pub segments: Vec<CompiledSegment>,
+    /// Stitched end-to-end seconds (fused segments at their measured
+    /// time, capped by the per-segment fallback; remainders unfused).
+    pub seconds: f64,
+    /// The all-unfused baseline for the same graph.
+    pub unfused_seconds: f64,
+    /// Global-memory bytes the stitched execution moves.
+    pub global_bytes: u64,
+}
+
+impl GraphPlan {
+    /// The fused segments, in order.
+    pub fn fused_segments(&self) -> impl Iterator<Item = &FusedSegment> {
+        self.segments.iter().filter_map(|s| match s {
+            CompiledSegment::Fused(f) => Some(f.as_ref()),
+            CompiledSegment::Unfused(_) => None,
+        })
+    }
+
+    /// End-to-end speedup over the all-unfused baseline (≥ 1 by the
+    /// per-segment fallback).
+    pub fn speedup(&self) -> f64 {
+        self.unfused_seconds / self.seconds
+    }
+}
+
+/// Why [`Compiler::compile_graph`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphCompileError {
+    /// The graph could not be partitioned (ill-shaped or empty).
+    Partition(PartitionError),
+}
+
+impl fmt::Display for GraphCompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphCompileError::Partition(e) => write!(f, "cannot partition graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphCompileError {}
+
+impl From<PartitionError> for GraphCompileError {
+    fn from(e: PartitionError) -> Self {
+        GraphCompileError::Partition(e)
     }
 }

@@ -1,0 +1,114 @@
+//! The CLI's documented surface must stay honest: every invocation
+//! shown in `--help` and in `README.md` has to parse (exercised with
+//! `--dry-run`, which validates arguments and exits before any search).
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_flashfuser-cli"))
+        .args(args)
+        .output()
+        .expect("spawn flashfuser-cli")
+}
+
+/// Extracts concrete `flashfuser-cli ...` invocations from free text:
+/// lines that start with the binary name (optionally after a `$ `
+/// shell prompt) and contain no `<placeholders>`, `[optional]`
+/// brackets, or prose (an em dash). Returns the argument vectors
+/// (binary name stripped).
+fn documented_invocations(text: &str) -> Vec<Vec<String>> {
+    text.lines()
+        .map(|l| l.trim().trim_start_matches("$ ").trim())
+        .filter(|l| l.starts_with("flashfuser-cli "))
+        .filter(|l| !l.contains('<') && !l.contains('[') && !l.contains('—'))
+        .map(|l| l.split_whitespace().skip(1).map(String::from).collect())
+        .collect()
+}
+
+#[test]
+fn help_prints_every_subcommand_and_exits_zero() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "compile",
+        "batch",
+        "graph",
+        "--dry-run",
+        "--layers",
+        "EXAMPLES",
+    ] {
+        assert!(text.contains(needle), "--help must mention {needle}");
+    }
+}
+
+#[test]
+fn no_arguments_prints_help_and_fails() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("USAGE"));
+}
+
+#[test]
+fn every_help_example_parses() {
+    let help = String::from_utf8(run(&["--help"]).stdout).unwrap();
+    let invocations = documented_invocations(&help);
+    assert!(
+        invocations.len() >= 4,
+        "expected the EXAMPLES section, found {invocations:?}"
+    );
+    for args in invocations {
+        let mut args: Vec<&str> = args.iter().map(String::as_str).collect();
+        args.push("--dry-run");
+        let out = run(&args);
+        assert!(
+            out.status.success(),
+            "documented invocation failed to parse: {args:?}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn every_readme_example_parses() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md exists at the repository root");
+    let invocations = documented_invocations(&readme);
+    assert!(
+        !invocations.is_empty(),
+        "README.md must document CLI usage with at least one concrete invocation"
+    );
+    for args in invocations {
+        let mut args: Vec<&str> = args.iter().map(String::as_str).collect();
+        args.push("--dry-run");
+        let out = run(&args);
+        assert!(
+            out.status.success(),
+            "README invocation failed to parse: {args:?}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn legacy_positional_form_still_parses_as_compile() {
+    let out = run(&["128", "512", "416", "256", "--dry-run"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("would compile"), "{text}");
+}
+
+#[test]
+fn graph_rejects_unknown_models_with_the_zoo_list() {
+    let out = run(&["graph", "not-a-model", "128", "--dry-run"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown model"));
+    assert!(err.contains("GPT-2"), "error must list available models");
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}

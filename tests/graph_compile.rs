@@ -1,0 +1,150 @@
+//! Integration tests of whole-graph compilation (ISSUE 3): the
+//! partitioner must recover the exact typed chains from round-tripped
+//! operator DAGs, and a multi-layer model graph's segment plans must be
+//! bit-identical to direct `ChainSpec` compiles — with the plan cache
+//! serving every layer after the first.
+
+use flashfuser::prelude::*;
+use flashfuser::workloads::{gemm_chains, ModelSpec};
+use flashfuser_core::segment::{partition_graph, Segment};
+use flashfuser_sim::UnfusedKernelPricer;
+
+/// A two-layer toy model small enough to search in a test.
+fn tiny_model(gated: bool) -> ModelSpec {
+    ModelSpec {
+        name: "tiny",
+        layers: 2,
+        hidden: 256,
+        ffn_hidden: 1024,
+        gated,
+    }
+}
+
+#[test]
+fn partitioner_recovers_g1_to_g5_exactly() {
+    let params = MachineParams::h100_sxm();
+    let pricer = UnfusedKernelPricer::new(params.clone(), flashfuser::UNFUSED_EFFICIENCY);
+    for workload in gemm_chains().into_iter().take(5) {
+        let chain = workload.chain;
+        let graph = chain.to_op_graph();
+        // The matcher recovers exactly one chain, equal to the original
+        // up to the workload name (metadata).
+        let matches = match_chains(&graph).unwrap();
+        assert_eq!(matches.len(), 1, "{}: expected one match", workload.id);
+        let unnamed = chain.clone().named("");
+        assert_eq!(matches[0].chain, unnamed, "{}", workload.id);
+        assert_eq!(
+            matches[0].chain.fingerprint(),
+            chain.fingerprint(),
+            "{}: fingerprints must agree (names are metadata)",
+            workload.id
+        );
+        // The DP turns the whole graph into that single fused segment.
+        let partition = partition_graph(&graph, &params, &pricer).unwrap();
+        assert_eq!(partition.segments.len(), 1, "{}", workload.id);
+        match &partition.segments[0] {
+            Segment::Fused { chain: c, .. } => assert_eq!(*c, unnamed, "{}", workload.id),
+            other => panic!("{}: expected a fused segment, got {other:?}", workload.id),
+        }
+    }
+}
+
+#[test]
+fn two_layer_graph_segments_are_bit_identical_to_direct_compiles() {
+    let model = tiny_model(false);
+    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let plan = compiler.compile_graph(&model.graph(128, 2)).unwrap();
+
+    let fused: Vec<&FusedSegment> = plan.fused_segments().collect();
+    assert_eq!(fused.len(), 2, "one fused FFN per layer");
+    assert_eq!(
+        compiler.searches_run(),
+        1,
+        "layer 2 must be served by the plan cache"
+    );
+    assert!(compiler.cache_stats().hits() >= 1);
+    // Both layers share the chain and therefore the exact plan.
+    assert_eq!(fused[0].compiled, fused[1].compiled);
+    assert!(fused[0].searched && !fused[1].searched);
+
+    // Bit-identical to a direct compile of the same chain on a fresh
+    // compiler (no cache shared with the graph compile).
+    let direct_chain = ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Gelu);
+    assert_eq!(fused[0].chain, direct_chain);
+    let direct = Compiler::new(MachineParams::h100_sxm())
+        .compile(&direct_chain)
+        .unwrap();
+    assert_eq!(direct.plan, fused[0].compiled.plan);
+    assert_eq!(
+        direct.measured_seconds.to_bits(),
+        fused[0].compiled.measured_seconds.to_bits()
+    );
+    assert_eq!(direct.global_bytes, fused[0].compiled.global_bytes);
+}
+
+#[test]
+fn gated_layers_share_the_plan_key_with_direct_compiles() {
+    let model = tiny_model(true);
+    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let plan = compiler.compile_graph(&model.graph(128, 2)).unwrap();
+    assert_eq!(plan.fused_segments().count(), 2);
+    assert_eq!(compiler.searches_run(), 1);
+    for segment in plan.fused_segments() {
+        assert!(segment.chain.kind().is_gated());
+    }
+    // A direct compile of the layer chain on the *same* compiler hits
+    // the segment's cache entry (names are metadata, the key is
+    // content-addressed).
+    let direct = compiler.compile(&model.ffn_chain(128)).unwrap();
+    assert_eq!(compiler.searches_run(), 1, "direct compile must hit");
+    let fused: Vec<&FusedSegment> = plan.fused_segments().collect();
+    assert_eq!(direct.plan.summary(), fused[0].compiled.plan.summary());
+    assert_eq!(
+        direct.measured_seconds.to_bits(),
+        fused[0].compiled.measured_seconds.to_bits()
+    );
+}
+
+#[test]
+fn stitched_totals_are_consistent_and_no_worse_than_unfused() {
+    let model = tiny_model(false);
+    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let graph = model.graph(128, 2);
+    let plan = compiler.compile_graph(&graph).unwrap();
+
+    // Segments cover every compute node exactly once.
+    let mut covered: Vec<usize> = plan
+        .segments
+        .iter()
+        .flat_map(|s| s.nodes().to_vec())
+        .collect();
+    covered.sort_unstable();
+    covered.dedup();
+    let compute = (0..graph.len())
+        .filter(|&id| !matches!(graph.node(id).kind, OpKind::Input(..) | OpKind::Output))
+        .count();
+    assert_eq!(covered.len(), compute);
+
+    // The stitched total is the sum of its parts and beats (or ties)
+    // the all-unfused baseline by construction of the fallback.
+    let sum: f64 = plan.segments.iter().map(|s| s.seconds()).sum();
+    assert!((plan.seconds - sum).abs() < 1e-15);
+    assert!(plan.seconds <= plan.unfused_seconds + 1e-18);
+    assert!(plan.speedup() >= 1.0);
+    assert!(plan.global_bytes > 0);
+    // This model's FFNs are DSM-profitable, so the fused path must
+    // strictly win end to end.
+    assert!(
+        plan.speedup() > 1.01,
+        "expected a real speedup, got {:.3}",
+        plan.speedup()
+    );
+}
+
+#[test]
+fn empty_graph_is_a_partition_error() {
+    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let err = compiler.compile_graph(&OpGraph::new()).unwrap_err();
+    assert!(matches!(err, flashfuser::GraphCompileError::Partition(_)));
+    assert!(err.to_string().contains("partition"));
+}
