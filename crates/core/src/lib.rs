@@ -56,7 +56,7 @@ pub use codec::{decode_record, encode_record, CodecError, PlanRecord};
 pub use cost::{CostBreakdown, CostModel};
 pub use machine::{MachineParams, MemLevel};
 pub use mapping::{ResourceMapping, TensorMapping, TensorRole};
-pub use plan::{FusedPlan, PlanGeometry};
+pub use plan::{FusedPlan, PlanError, PlanGeometry};
 pub use profiler::{PlanProfiler, ProfileOutcome};
 pub use prune::{Candidate, CandidateIter, CandidateStream, PruneConfig, PruneStats};
 pub use runtime::KernelCache;

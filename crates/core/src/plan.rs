@@ -39,6 +39,10 @@ pub enum PlanError {
     /// L-cluster would need the whole intermediate with no path to share
     /// it (pruning Rule 4).
     SpatialLAcrossClusters,
+    /// A plan's stored geometry disagrees with what its own
+    /// `(dims, schedule, cluster, tile)` derive to — the plan was
+    /// hand-built or corrupted (see [`FusedPlan::check_geometry`]).
+    GeometryMismatch,
 }
 
 impl fmt::Display for PlanError {
@@ -55,6 +59,9 @@ impl fmt::Display for PlanError {
             }
             PlanError::SpatialLAcrossClusters => {
                 write!(f, "spatial L spans multiple clusters (no data path for C)")
+            }
+            PlanError::GeometryMismatch => {
+                write!(f, "plan geometry disagrees with its schedule/cluster/tile")
             }
         }
     }
@@ -224,6 +231,28 @@ impl FusedPlan {
         self.geometry.clusters_total() * self.cluster.blocks() as u64
     }
 
+    /// Re-derives the geometry from the plan's own fields and checks it
+    /// against the stored one. Plans produced by
+    /// [`PlanGeometry::derive`]-based paths (the analyzer, the search
+    /// engine) hold this by construction; hand-built or deserialized
+    /// plans may not, and executing such a plan would index tiles out
+    /// of bounds — so executors call this first and surface a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`PlanError`] when the fields no longer
+    /// derive a legal geometry, or [`PlanError::GeometryMismatch`] when
+    /// they derive a *different* one than the plan stores.
+    pub fn check_geometry(&self) -> Result<(), PlanError> {
+        let derived =
+            PlanGeometry::derive(self.chain.dims(), &self.schedule, self.cluster, self.tile)?;
+        if derived != self.geometry {
+            return Err(PlanError::GeometryMismatch);
+        }
+        Ok(())
+    }
+
     /// The slowest memory tier holding reused intermediate data — the
     /// headline property of a plan ("does it need DSM? does it spill to
     /// global?").
@@ -324,6 +353,33 @@ mod tests {
         assert!(g.needs_inter_cluster_reduce());
         let g2 = PlanGeometry::derive(dims(), &sched_m_spatial(), cluster, tile).unwrap();
         assert!(!g2.needs_inter_cluster_reduce());
+    }
+
+    #[test]
+    fn check_geometry_catches_inconsistent_plans() {
+        let chain = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu);
+        let cluster = ClusterShape::new(1, 2, 2, 2).unwrap();
+        let tile = BlockTile::new(64, 64, 32, 64);
+        let geometry =
+            PlanGeometry::derive(chain.dims(), &sched_m_spatial(), cluster, tile).unwrap();
+        let mut plan = FusedPlan {
+            chain,
+            schedule: sched_m_spatial(),
+            cluster,
+            tile,
+            geometry,
+            mapping: ResourceMapping::new(),
+        };
+        plan.check_geometry().unwrap();
+        // Swap in a larger problem: the stored geometry goes stale.
+        plan.chain = ChainSpec::standard_ffn(256, 512, 256, 256, Activation::Relu);
+        assert_eq!(plan.check_geometry(), Err(PlanError::GeometryMismatch));
+        // A problem no tile divides does not even derive.
+        plan.chain = ChainSpec::standard_ffn(100, 512, 256, 256, Activation::Relu);
+        assert!(matches!(
+            plan.check_geometry(),
+            Err(PlanError::Indivisible { dim: Dim::M, .. })
+        ));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   (the front half of whole-graph compilation).
 //! * [`tile_graph`] — expansion of a chain + cluster geometry into the
 //!   per-tile dataflow graph of the paper's Figure 8.
+//! * [`mod@rand_graph`] — seeded random-DAG generation: diverse,
+//!   always-valid graphs for differential fuzzing of the compiler.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@ pub mod conv;
 pub mod dims;
 pub mod fingerprint;
 pub mod op;
+pub mod rand_graph;
 pub mod segment;
 pub mod tile_graph;
 
@@ -40,5 +43,6 @@ pub use conv::ConvChainSpec;
 pub use dims::{ChainDims, Dim};
 pub use fingerprint::StableHasher;
 pub use op::{OpGraph, OpKind, OpNode};
-pub use segment::{match_chains, ChainMatch, GraphShapeError, OpCost};
+pub use rand_graph::{rand_graph, RandGraphConfig};
+pub use segment::{match_chains, recover_chain_io, ChainIo, ChainMatch, GraphShapeError, OpCost};
 pub use tile_graph::TileGraph;

@@ -1,0 +1,257 @@
+//! Seeded random operator-DAG generation for differential fuzzing.
+//!
+//! The whole-graph compiler is only falsifiable if it is fed graphs
+//! nobody hand-wrote. [`rand_graph`] grows a shape-valid [`OpGraph`]
+//! from a [`SplitMix64`] stream: every graph embeds a mix of
+//!
+//! * standard / gated FFN chains ([`crate::OpGraph::append_chain`]) —
+//!   the windows the partitioner should recover and fuse;
+//! * element-wise glue, transposes and bare GEMMs — remainder work the
+//!   partitioner must price unfused;
+//! * residual-style binary nodes that reuse an *earlier* node, creating
+//!   the multi-consumer intermediates that legally block fusion;
+//! * degenerate extents (1, 3, 24, ...) that divide by no legal tile,
+//!   forcing the `NoFeasiblePlan` → unfused fallback path.
+//!
+//! Generation is deterministic per `(seed, config)`: any divergence a
+//! fuzzing run finds is reproducible from its printed seed alone.
+//! Dimensions stay small (≤ 64) so the differential oracle can afford
+//! real `f32` execution of every generated graph.
+
+use crate::chain::ChainSpec;
+use crate::op::{NodeId, OpGraph, OpKind};
+use flashfuser_tensor::rng::SplitMix64;
+use flashfuser_tensor::{Activation, BinaryOp};
+
+/// Tile-friendly extents (multiples of the 16-wide MMA granule): chains
+/// built from these can actually be fused by the search engine.
+const FUSIBLE_DIMS: [usize; 4] = [16, 32, 48, 64];
+
+/// Awkward extents no legal block tile divides — chains built from
+/// these exercise the `NoFeasiblePlan` → unfused fallback.
+const DEGENERATE_DIMS: [usize; 4] = [1, 3, 8, 24];
+
+/// Knobs of the random-graph generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandGraphConfig {
+    /// Approximate number of compute nodes to emit (a trailing chain
+    /// may overshoot by a few nodes).
+    pub ops: usize,
+    /// Probability that one growth step embeds a whole fusible chain
+    /// rather than a single glue operator.
+    pub chain_prob: f64,
+    /// Probability that a freshly drawn extent is degenerate (not a
+    /// multiple of the MMA granule). `0.0` keeps every chain fusible.
+    pub degenerate_prob: f64,
+}
+
+impl RandGraphConfig {
+    /// The fuzzing defaults: ~12 compute nodes, chain-heavy, with a
+    /// modest stream of degenerate extents.
+    pub fn new() -> Self {
+        Self {
+            ops: 12,
+            chain_prob: 0.55,
+            degenerate_prob: 0.2,
+        }
+    }
+
+    /// This configuration with a different target op count.
+    pub fn with_ops(mut self, ops: usize) -> Self {
+        self.ops = ops;
+        self
+    }
+}
+
+impl Default for RandGraphConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Grows a random, always shape-valid operator DAG from `seed`.
+///
+/// The result has at least one compute node, ends in `Output` markers
+/// on every sink, and passes [`crate::OpGraph::infer_shapes`] by
+/// construction.
+///
+/// # Panics
+///
+/// Panics if `config.ops` is zero.
+pub fn rand_graph(seed: u64, config: &RandGraphConfig) -> OpGraph {
+    assert!(config.ops > 0, "a random graph needs at least one op");
+    let mut rng = SplitMix64::new(seed);
+    let mut g = OpGraph::new();
+
+    let dim = |rng: &mut SplitMix64| -> usize {
+        if rng.next_bool(config.degenerate_prob) {
+            *rng.pick(&DEGENERATE_DIMS)
+        } else {
+            *rng.pick(&FUSIBLE_DIMS)
+        }
+    };
+
+    // The spine: the node new work grows from, plus its shape. Shapes
+    // of all nodes are tracked incrementally so every step stays valid.
+    let m0 = dim(&mut rng);
+    let k0 = dim(&mut rng);
+    let mut spine = g.add_input("x", m0, k0);
+    let mut shapes: Vec<(usize, usize)> = vec![(m0, k0)];
+    let sync_shapes = |g: &OpGraph, shapes: &mut Vec<(usize, usize)>| {
+        *shapes = g.infer_shapes().expect("generator only emits valid graphs");
+    };
+
+    let mut compute = 0usize;
+    let mut step = 0usize;
+    while compute < config.ops {
+        step += 1;
+        let (rows, cols) = shapes[spine];
+        if rng.next_bool(config.chain_prob) {
+            // Embed a whole fusible chain on the spine.
+            let n = dim(&mut rng);
+            let l = dim(&mut rng);
+            let act = *rng.pick(&Activation::all());
+            let chain = if rng.next_bool(0.4) {
+                ChainSpec::gated_ffn(rows, n, cols, l, act)
+            } else {
+                ChainSpec::standard_ffn(rows, n, cols, l, act)
+            };
+            spine = g.append_chain(&chain, spine, &format!("s{step}"));
+            compute += if chain.kind().is_gated() { 5 } else { 3 };
+            sync_shapes(&g, &mut shapes);
+            continue;
+        }
+        // One glue operator.
+        match rng.next_index(4) {
+            0 => {
+                // Unary activation on the spine.
+                let act = *rng.pick(&Activation::all());
+                spine = g.add_node(OpKind::Activation(act), vec![spine], &format!("act{step}"));
+                shapes.push((rows, cols));
+            }
+            1 => {
+                // Transpose (pure data movement; swaps the spine shape).
+                spine = g.add_node(OpKind::Transpose, vec![spine], &format!("t{step}"));
+                shapes.push((cols, rows));
+            }
+            2 => {
+                // Residual-style combine with an earlier same-shape node
+                // (multi-consumer when one exists; self-combine — a
+                // duplicate edge — otherwise).
+                let peers: Vec<NodeId> = (0..g.len())
+                    .filter(|&id| shapes[id] == (rows, cols))
+                    .collect();
+                let peer = *rng.pick(&peers);
+                let op = *rng.pick(&[BinaryOp::Add, BinaryOp::Mul, BinaryOp::Max]);
+                spine = g.add_node(
+                    OpKind::Elementwise(op),
+                    vec![spine, peer],
+                    &format!("mix{step}"),
+                );
+                shapes.push((rows, cols));
+            }
+            _ => {
+                // Bare GEMM against a fresh weight input: a matmul the
+                // matcher must leave unfused unless an activation + a
+                // second GEMM later complete a window around it.
+                let n = dim(&mut rng);
+                let w = g.add_input(&format!("w{step}"), cols, n);
+                shapes.push((cols, n));
+                spine = g.add_node(OpKind::Matmul, vec![spine, w], &format!("mm{step}"));
+                shapes.push((rows, n));
+            }
+        }
+        compute += 1;
+    }
+
+    for sink in g.sinks() {
+        g.add_node(OpKind::Output, vec![sink], "out");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::match_chains;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = RandGraphConfig::new();
+        for seed in 0..8 {
+            assert_eq!(rand_graph(seed, &cfg), rand_graph(seed, &cfg));
+        }
+        assert_ne!(rand_graph(1, &cfg), rand_graph(2, &cfg));
+    }
+
+    #[test]
+    fn every_generated_graph_is_shape_valid() {
+        let cfg = RandGraphConfig::new();
+        for seed in 0..64 {
+            let g = rand_graph(seed, &cfg);
+            let shapes = g
+                .infer_shapes()
+                .unwrap_or_else(|e| panic!("seed {seed}: generated graph is ill-shaped: {e}"));
+            assert_eq!(shapes.len(), g.len());
+            assert!(
+                g.len() >= cfg.ops,
+                "seed {seed}: only {} nodes for {} ops requested",
+                g.len(),
+                cfg.ops
+            );
+            // Every sink is an Output marker.
+            for sink in g.sinks() {
+                assert_eq!(g.node(sink).kind, OpKind::Output, "seed {seed}");
+            }
+            // Matching never errors on a valid graph.
+            match_chains(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn population_is_diverse() {
+        let cfg = RandGraphConfig::new().with_ops(16);
+        let (mut with_match, mut with_gated, mut with_transpose, mut with_degenerate) =
+            (0, 0, 0, 0);
+        for seed in 0..64 {
+            let g = rand_graph(seed, &cfg);
+            let matches = match_chains(&g).unwrap();
+            with_match += usize::from(!matches.is_empty());
+            with_gated += usize::from(matches.iter().any(|m| m.chain.kind().is_gated()));
+            with_transpose += usize::from(g.nodes().iter().any(|n| n.kind == OpKind::Transpose));
+            let shapes = g.infer_shapes().unwrap();
+            with_degenerate += usize::from(
+                shapes
+                    .iter()
+                    .any(|&(r, c)| DEGENERATE_DIMS.contains(&r) || DEGENERATE_DIMS.contains(&c)),
+            );
+        }
+        assert!(with_match >= 32, "fusible chains too rare: {with_match}/64");
+        assert!(with_gated >= 8, "gated chains too rare: {with_gated}/64");
+        assert!(
+            with_transpose >= 16,
+            "transposes too rare: {with_transpose}/64"
+        );
+        assert!(
+            with_degenerate >= 16,
+            "degenerate extents too rare: {with_degenerate}/64"
+        );
+    }
+
+    #[test]
+    fn dims_stay_small_enough_to_execute() {
+        let cfg = RandGraphConfig::new().with_ops(24);
+        for seed in 0..32 {
+            let g = rand_graph(seed, &cfg);
+            for &(r, c) in &g.infer_shapes().unwrap() {
+                assert!(r <= 64 && c <= 64, "seed {seed}: oversize tensor {r}x{c}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn zero_ops_panics() {
+        rand_graph(0, &RandGraphConfig::new().with_ops(0));
+    }
+}

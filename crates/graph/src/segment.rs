@@ -225,6 +225,80 @@ impl OpGraph {
     }
 }
 
+/// The boundary nodes of a two-GEMM chain embedded in a larger graph:
+/// everything an executor needs to wire a fused kernel into the
+/// surrounding dataflow (read the activation and weight values, store
+/// the result at the output GEMM's node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainIo {
+    /// The node feeding the chain (`A`).
+    pub input: NodeId,
+    /// The up-projection weight (`B` / `B_up`).
+    pub b_up: NodeId,
+    /// The gate weight (`B_gate`), present only for gated chains.
+    pub b_gate: Option<NodeId>,
+    /// The down-projection weight (`D`).
+    pub d: NodeId,
+    /// The output GEMM (`E`).
+    pub output: NodeId,
+}
+
+/// Structurally recovers the chain I/O roles from its output GEMM `e`:
+/// walks the producer edges exactly the way [`match_chains`] does, but
+/// without the fusibility checks (consumer counts, dedicated weights)
+/// — callers hand it a node that is *already known* to close a chain
+/// (e.g. the last node of a fused segment) and just need the roles
+/// back. Returns `None` when the subgraph under `e` is not shaped like
+/// either chain family.
+pub fn recover_chain_io(g: &OpGraph, e: NodeId) -> Option<ChainIo> {
+    let node = g.node(e);
+    if node.kind != OpKind::Matmul {
+        return None;
+    }
+    let (c, d) = (node.inputs[0], node.inputs[1]);
+    match g.node(c).kind {
+        OpKind::Activation(_) => {
+            let m0 = g.node(c).inputs[0];
+            if g.node(m0).kind != OpKind::Matmul {
+                return None;
+            }
+            Some(ChainIo {
+                input: g.node(m0).inputs[0],
+                b_up: g.node(m0).inputs[1],
+                b_gate: None,
+                d,
+                output: e,
+            })
+        }
+        OpKind::Elementwise(BinaryOp::Mul) => {
+            let (x, y) = (g.node(c).inputs[0], g.node(c).inputs[1]);
+            let (act_node, up) = if matches!(g.node(x).kind, OpKind::Activation(_)) {
+                (x, y)
+            } else {
+                (y, x)
+            };
+            if !matches!(g.node(act_node).kind, OpKind::Activation(_))
+                || g.node(up).kind != OpKind::Matmul
+            {
+                return None;
+            }
+            let gate = g.node(act_node).inputs[0];
+            if g.node(gate).kind != OpKind::Matmul || g.node(up).inputs[0] != g.node(gate).inputs[0]
+            {
+                return None;
+            }
+            Some(ChainIo {
+                input: g.node(up).inputs[0],
+                b_up: g.node(up).inputs[1],
+                b_gate: Some(g.node(gate).inputs[1]),
+                d,
+                output: e,
+            })
+        }
+        _ => None,
+    }
+}
+
 /// One fusible chain recovered from a larger graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChainMatch {
@@ -642,6 +716,35 @@ mod tests {
         assert_eq!(matches.len(), 2);
         assert!(matches[0].nodes.contains(&c));
         assert!(matches[1].nodes.contains(&e2));
+    }
+
+    #[test]
+    fn chain_io_recovered_for_both_families() {
+        let std_chain = ChainSpec::standard_ffn(16, 32, 32, 16, Activation::Relu);
+        let g = std_chain.to_op_graph();
+        let m = &match_chains(&g).unwrap()[0];
+        let io = recover_chain_io(&g, m.output).unwrap();
+        assert_eq!(io.input, m.input);
+        assert_eq!(io.b_up, m.weights[0]);
+        assert_eq!(io.b_gate, None);
+        assert_eq!(io.d, *m.weights.last().unwrap());
+        assert_eq!(io.output, m.output);
+
+        let gated = ChainSpec::gated_ffn(16, 32, 32, 16, Activation::Silu);
+        let g = gated.to_op_graph();
+        let m = &match_chains(&g).unwrap()[0];
+        let io = recover_chain_io(&g, m.output).unwrap();
+        assert_eq!(io.input, m.input);
+        assert_eq!(io.b_gate, Some(m.weights[1]));
+        assert_eq!(io.d, m.weights[2]);
+
+        // A bare GEMM is not a chain.
+        let mut g = OpGraph::new();
+        let a = g.add_input("A", 4, 4);
+        let b = g.add_input("B", 4, 4);
+        let mm = g.add_node(OpKind::Matmul, vec![a, b], "C");
+        assert_eq!(recover_chain_io(&g, mm), None);
+        assert_eq!(recover_chain_io(&g, a), None);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! reconciled against the dataflow analyzer's predictions.
 
 use crate::counters::TrafficCounters;
-use flashfuser_core::{FusedPlan, MemLevel};
+use flashfuser_core::{FusedPlan, MemLevel, PlanError};
 use flashfuser_graph::chain::ChainInputs;
 use flashfuser_graph::Dim;
 use flashfuser_tensor::gemm::matmul_accumulate;
@@ -42,6 +42,10 @@ pub enum ExecError {
     Shape(ShapeError),
     /// A gated chain was executed without its gate weight.
     MissingGateWeight,
+    /// The plan's stored geometry is illegal or stale for its own
+    /// schedule/cluster/tile (hand-built or corrupted plans) — running
+    /// it would index tiles out of bounds, so it is rejected up front.
+    Plan(PlanError),
 }
 
 impl fmt::Display for ExecError {
@@ -49,6 +53,7 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::Shape(e) => write!(f, "{e}"),
             ExecError::MissingGateWeight => write!(f, "gated chain executed without gate weight"),
+            ExecError::Plan(e) => write!(f, "degenerate plan geometry: {e}"),
         }
     }
 }
@@ -58,6 +63,12 @@ impl Error for ExecError {}
 impl From<ShapeError> for ExecError {
     fn from(e: ShapeError) -> Self {
         ExecError::Shape(e)
+    }
+}
+
+impl From<PlanError> for ExecError {
+    fn from(e: PlanError) -> Self {
+        ExecError::Plan(e)
     }
 }
 
@@ -72,6 +83,7 @@ pub fn execute_fused(
     inputs: &ChainInputs,
     counters: &mut TrafficCounters,
 ) -> Result<Matrix, ExecError> {
+    plan.check_geometry()?;
     let dims = plan.chain.dims();
     if inputs.a.shape() != (dims.m, dims.k)
         || inputs.b.shape() != (dims.k, dims.n)
@@ -611,6 +623,42 @@ mod tests {
         assert!(matches!(
             execute_fused(&plan, &inputs, &mut c),
             Err(ExecError::MissingGateWeight)
+        ));
+    }
+
+    #[test]
+    fn corrupted_plan_geometry_is_an_error_not_a_panic() {
+        // A plan whose chain was swapped after analysis (the shape a
+        // hand-built or corrupted cache record would take): the stored
+        // geometry no longer covers the problem, and before the
+        // `check_geometry` gate this indexed tiles out of bounds.
+        let chain = ChainSpec::standard_ffn(32, 64, 48, 64, Activation::Relu);
+        let mut plan = make_plan(
+            &chain,
+            &[Dim::M],
+            &[Dim::N, Dim::L, Dim::K],
+            ClusterShape::single_block(),
+            BlockTile::new(16, 16, 16, 16),
+        );
+        let bigger = ChainSpec::standard_ffn(64, 64, 48, 64, Activation::Relu);
+        plan.chain = bigger.clone();
+        let inputs = bigger.make_inputs(1);
+        let mut c = TrafficCounters::new();
+        assert!(matches!(
+            execute_fused(&plan, &inputs, &mut c),
+            Err(ExecError::Plan(
+                flashfuser_core::PlanError::GeometryMismatch
+            ))
+        ));
+        // A chain no tile divides fails the derivation itself.
+        let odd = ChainSpec::standard_ffn(33, 64, 48, 64, Activation::Relu);
+        plan.chain = odd.clone();
+        let inputs = odd.make_inputs(1);
+        assert!(matches!(
+            execute_fused(&plan, &inputs, &mut c),
+            Err(ExecError::Plan(
+                flashfuser_core::PlanError::Indivisible { .. }
+            ))
         ));
     }
 

@@ -22,15 +22,26 @@
 //! [`microbench`] reproduces the device microbenchmarks of Figs. 4
 //! and 13, and [`unfused`] executes the no-fusion baselines (one kernel
 //! per operator with global-memory round trips).
+//!
+//! On top of the single-chain machinery, [`interp`] evaluates *any*
+//! shape-inferred operator DAG op by op (the differential-fuzzing
+//! oracle), and [`graph_exec`] runs a partitioned whole-graph plan —
+//! fused segments through [`exec`], unfused remainders through the
+//! interpreter — stitching intermediates across segment boundaries
+//! with per-segment traffic counters.
 
 pub mod counters;
 pub mod exec;
+pub mod graph_exec;
+pub mod interp;
 pub mod microbench;
 pub mod timing;
 pub mod unfused;
 
 pub use counters::TrafficCounters;
 pub use exec::{execute_fused, ExecError};
+pub use graph_exec::{execute_graph, ExecSegment, GraphExecError, GraphExecution, SegmentTrace};
+pub use interp::{interpret_graph, seeded_graph_inputs, InterpError};
 pub use timing::{KernelMeasurement, SimProfiler, TimingModel};
 pub use unfused::{
     execute_unfused, unfused_op_time, unfused_time, UnfusedKernelPricer, UnfusedReport,

@@ -80,6 +80,11 @@ impl SplitMix64 {
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         &items[self.next_index(items.len())]
     }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
 }
 
 /// Creates a `rows x cols` matrix with uniform `[-1, 1)` entries drawn from
@@ -154,6 +159,18 @@ mod tests {
         assert!(draws.iter().all(|&x| (0.0..1.0).contains(&x)));
         let mean = draws.iter().sum::<f64>() / draws.len() as f64;
         assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn next_bool_respects_probability_extremes() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..64 {
+            assert!(rng.next_bool(1.0));
+            assert!(!rng.next_bool(0.0));
+        }
+        let hits = (0..4096).filter(|_| rng.next_bool(0.25)).count();
+        let rate = hits as f64 / 4096.0;
+        assert!((rate - 0.25).abs() < 0.05, "rate {rate}");
     }
 
     #[test]

@@ -145,6 +145,28 @@ impl ModelSpec {
     pub fn layer_graph(&self, m: usize) -> OpGraph {
         self.graph(m, 1)
     }
+
+    /// A structurally identical model shrunk to `hidden`: same layer
+    /// count, gatedness and (approximate) FFN expansion ratio, with the
+    /// FFN width rounded up to the 16-wide MMA granule so the scaled
+    /// FFN chain stays fusible. Numeric differential validation runs
+    /// real `f32` tensors through every operator, which is affordable
+    /// at `hidden ≈ 64` but not at production widths — the scaled model
+    /// exercises exactly the same graph structure, partitioning and
+    /// dataflow at a size the oracle can execute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is zero.
+    pub fn scaled_to(&self, hidden: usize) -> ModelSpec {
+        assert!(hidden > 0, "scaled model needs a positive hidden size");
+        let ffn = (self.ffn_hidden * hidden / self.hidden).max(1);
+        ModelSpec {
+            hidden,
+            ffn_hidden: ffn.div_ceil(16) * 16,
+            ..*self
+        }
+    }
 }
 
 /// The models of Table I plus the large models of Fig. 16.
@@ -277,6 +299,34 @@ mod tests {
             // FFN chain.
             assert_eq!(m.chain, model.ffn_chain(64).named(""));
             assert_eq!(m.chain.fingerprint(), model.ffn_chain(64).fingerprint());
+        }
+    }
+
+    #[test]
+    fn scaled_models_keep_structure_and_granule() {
+        for model in model_zoo().into_iter().chain(large_model_zoo()) {
+            let small = model.scaled_to(64);
+            assert_eq!(small.hidden, 64);
+            assert_eq!(small.gated, model.gated);
+            assert_eq!(small.layers, model.layers);
+            assert_eq!(
+                small.ffn_hidden % 16,
+                0,
+                "{}: FFN must stay tileable",
+                model.name
+            );
+            // The expansion ratio survives within rounding.
+            let want = model.ffn_hidden as f64 / model.hidden as f64;
+            let got = small.ffn_hidden as f64 / small.hidden as f64;
+            assert!(
+                (got - want).abs() < 0.3,
+                "{}: ratio {got} vs {want}",
+                model.name
+            );
+            // The scaled layer graph recovers the same chain family.
+            let matches = flashfuser_graph::match_chains(&small.layer_graph(16)).unwrap();
+            assert_eq!(matches.len(), 1, "{}", model.name);
+            assert_eq!(matches[0].chain.kind().is_gated(), model.gated);
         }
     }
 

@@ -47,4 +47,21 @@ run_bench tab8_search_time
 run_bench bench_search
 run_bench bench_cache
 
+# Differential fuzzing smoke: generator -> compiler -> stitched
+# execution vs per-op reference. Any numeric or traffic divergence
+# fails the gate; the seed report names the exact repro invocation.
+if [ "${FLASHFUSER_QUICK}" = "1" ]; then
+    FUZZ_SEEDS=16
+    FUZZ_REPORT=FUZZ_report.quick.json
+else
+    FUZZ_SEEDS=64
+    FUZZ_REPORT=FUZZ_report.json
+fi
+echo "== fuzz-smoke (${FUZZ_SEEDS} seeds) =="
+if ! cargo run --release -q --bin flashfuser-cli -- \
+    fuzz --seeds "${FUZZ_SEEDS}" --report "${FUZZ_REPORT}"; then
+    echo "verify: FAIL — differential fuzzing diverged (see ${FUZZ_REPORT})" >&2
+    exit 1
+fi
+
 echo "verify: OK"

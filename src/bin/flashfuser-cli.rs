@@ -4,6 +4,7 @@
 //! flashfuser-cli compile <M> <N> <K> <L> [--gated] [--a100] [--cache-dir DIR]
 //! flashfuser-cli batch [--a100] [--cache-dir DIR] [--workers N] [--repeat R] <SPEC>...
 //! flashfuser-cli graph <MODEL> <M> [--layers N] [--a100] [--cache-dir DIR]
+//! flashfuser-cli fuzz --seeds <N> [--ops K] [--start S] [--tol T] [--report PATH]
 //! ```
 //!
 //! `compile` runs the full pipeline for one chain and prints the
@@ -15,7 +16,10 @@
 //! worker threads. `graph` lowers a transformer model from the zoo into
 //! a whole operator DAG, partitions it into fusible chains + unfused
 //! remainders, and prints the stitched plan — layers that repeat a
-//! shape hit the plan cache after the first search.
+//! shape hit the plan cache after the first search. `fuzz` drives the
+//! differential oracle: seeded random DAGs are compiled, the stitched
+//! plan is executed against a per-op reference interpreter, and any
+//! divergence is reported with the seed that reproduces it.
 //!
 //! The bare legacy form `flashfuser-cli <M> <N> <K> <L> [flags]` is
 //! still accepted and treated as `compile`; every other first token
@@ -32,6 +36,7 @@ USAGE:
     flashfuser-cli compile <M> <N> <K> <L> [OPTIONS]
     flashfuser-cli batch <SPEC>... [OPTIONS]
     flashfuser-cli graph <MODEL> <M> [OPTIONS]
+    flashfuser-cli fuzz --seeds <N> [OPTIONS]
     flashfuser-cli --help
 
 SUBCOMMANDS:
@@ -43,6 +48,11 @@ SUBCOMMANDS:
               with <M> resident tokens into an operator DAG, partition
               it into fusible chains + unfused remainders, and print
               the stitched whole-graph plan
+    fuzz      Differentially fuzz the compiler: generate seeded random
+              DAGs, compile each, execute the stitched plan and an
+              op-by-op reference on identical inputs, and fail on any
+              numeric or traffic divergence (each line names the seed
+              that reproduces it)
 
 SPEC (batch): MxNxKxL with an optional ':gated' suffix,
               e.g. 128x3072x768x768 or 128x11008x4096x4096:gated
@@ -59,6 +69,12 @@ OPTIONS:
                        dedup + warm-cache hit rates; default 1)
     --layers N         Layers to lower for 'graph' (default 2, so the
                        second layer demonstrates a plan-cache hit)
+    --seeds N          Fuzz: how many seeds to run (required for 'fuzz')
+    --start S          Fuzz: first seed (default 0; rerun one failing
+                       seed with --start S --seeds 1)
+    --ops K            Fuzz: compute ops per generated graph (default 12)
+    --tol T            Fuzz: comparison tolerance (default 1e-3)
+    --report PATH      Fuzz: also write the per-seed report as JSON
     --dry-run          Parse and validate, print what would run, exit
     -h, --help         Print this help
 
@@ -67,6 +83,8 @@ EXAMPLES:
     flashfuser-cli compile 128 11008 4096 4096 --gated --cache-dir /tmp/ff-plans
     flashfuser-cli batch 128x3072x768x768 128x16384x4096x4096 --repeat 3
     flashfuser-cli graph GPT-2 128 --layers 2
+    flashfuser-cli fuzz --seeds 16
+    flashfuser-cli fuzz --seeds 64 --ops 16 --report FUZZ_report.json
 ";
 
 struct CommonOpts {
@@ -77,6 +95,11 @@ struct CommonOpts {
     gated: bool,
     layers: usize,
     dry_run: bool,
+    seeds: Option<u64>,
+    start: u64,
+    ops: usize,
+    tol: f32,
+    report: Option<String>,
 }
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -95,6 +118,11 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
         gated: false,
         layers: 2,
         dry_run: false,
+        seeds: None,
+        start: 0,
+        ops: 12,
+        tol: flashfuser::DEFAULT_TOLERANCE,
+        report: None,
     };
     let mut positional = Vec::new();
     let mut i = 0;
@@ -103,7 +131,8 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
             "--gated" => opts.gated = true,
             "--a100" => opts.a100 = true,
             "--dry-run" => opts.dry_run = true,
-            "--cache-dir" | "--workers" | "--repeat" | "--layers" => {
+            "--cache-dir" | "--workers" | "--repeat" | "--layers" | "--seeds" | "--start"
+            | "--ops" | "--tol" | "--report" => {
                 let flag = args[i].clone();
                 i += 1;
                 let value = args
@@ -111,6 +140,7 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
                     .ok_or_else(|| format!("{flag} requires a value"))?;
                 match flag.as_str() {
                     "--cache-dir" => opts.cache_dir = Some(value.clone()),
+                    "--report" => opts.report = Some(value.clone()),
                     "--workers" => {
                         opts.workers = value
                             .parse()
@@ -130,6 +160,36 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
                             .map_err(|_| format!("--layers: '{value}' is not a number"))?;
                         if opts.layers == 0 {
                             return Err("--layers must be at least 1".to_string());
+                        }
+                    }
+                    "--seeds" => {
+                        let seeds: u64 = value
+                            .parse()
+                            .map_err(|_| format!("--seeds: '{value}' is not a number"))?;
+                        if seeds == 0 {
+                            return Err("--seeds must be at least 1".to_string());
+                        }
+                        opts.seeds = Some(seeds);
+                    }
+                    "--start" => {
+                        opts.start = value
+                            .parse()
+                            .map_err(|_| format!("--start: '{value}' is not a number"))?;
+                    }
+                    "--ops" => {
+                        opts.ops = value
+                            .parse()
+                            .map_err(|_| format!("--ops: '{value}' is not a number"))?;
+                        if opts.ops == 0 {
+                            return Err("--ops must be at least 1".to_string());
+                        }
+                    }
+                    "--tol" => {
+                        opts.tol = value
+                            .parse()
+                            .map_err(|_| format!("--tol: '{value}' is not a number"))?;
+                        if !opts.tol.is_finite() || opts.tol <= 0.0 {
+                            return Err("--tol must be positive".to_string());
                         }
                     }
                     _ => unreachable!(),
@@ -433,6 +493,172 @@ fn cmd_graph(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One seed's outcome, kept for the optional JSON report.
+struct FuzzOutcome {
+    seed: u64,
+    ops: usize,
+    segments: usize,
+    fused: usize,
+    max_err: f32,
+    passed: bool,
+    error: Option<String>,
+}
+
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let (opts, positional) = match parse_opts(args) {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return usage_error(&format!(
+            "fuzz takes no positional arguments, got {positional:?}"
+        ));
+    }
+    let Some(seeds) = opts.seeds else {
+        return usage_error("fuzz requires --seeds N");
+    };
+    let Some(end) = opts.start.checked_add(seeds) else {
+        return usage_error("--start + --seeds overflows the seed space");
+    };
+    let params = machine(&opts);
+    if opts.dry_run {
+        println!(
+            "dry-run: would fuzz seeds {}..{end} ({} graph(s) of ~{} ops, tol {:.1e}) on {}",
+            opts.start, seeds, opts.ops, opts.tol, params.name
+        );
+        return ExitCode::SUCCESS;
+    }
+    let compiler = match compiler(&opts) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    let config = RandGraphConfig::new().with_ops(opts.ops);
+    println!(
+        "device: {}  seeds: {}..{end}  ops/graph: ~{}  tol: {:.1e}",
+        params.name, opts.start, opts.ops, opts.tol
+    );
+    let t0 = std::time::Instant::now();
+    let mut outcomes = Vec::with_capacity(seeds as usize);
+    for seed in opts.start..end {
+        let graph = rand_graph(seed, &config);
+        let repro = format!(
+            "flashfuser-cli fuzz --seeds 1 --start {seed} --ops {}{}",
+            opts.ops,
+            if opts.a100 { " --a100" } else { "" }
+        );
+        let outcome = match validate_graph(&compiler, &graph, seed, opts.tol) {
+            Ok(v) => {
+                let passed = v.passed();
+                let line = format!(
+                    "seed {seed:>6}: {:>2} nodes, {} segment(s) ({} fused), max err {:.2e}",
+                    graph.len(),
+                    v.segments.len(),
+                    v.fused_count(),
+                    v.max_err
+                );
+                if passed {
+                    println!("{line} .. ok");
+                } else {
+                    println!("{line} .. DIVERGED");
+                    for f in v.failures() {
+                        println!(
+                            "    segment {} ({}): max err {:.2e}, global {} vs {} predicted, dsm {} vs {}",
+                            f.index,
+                            if f.fused { "fused" } else { "unfused" },
+                            f.max_err,
+                            f.executed_global,
+                            f.predicted_global,
+                            f.executed_dsm,
+                            f.predicted_dsm,
+                        );
+                    }
+                    println!("    repro: {repro}");
+                }
+                FuzzOutcome {
+                    seed,
+                    ops: graph.len(),
+                    segments: v.segments.len(),
+                    fused: v.fused_count(),
+                    max_err: v.max_err,
+                    passed,
+                    error: None,
+                }
+            }
+            Err(e) => {
+                println!("seed {seed:>6}: ERROR {e}");
+                println!("    repro: {repro}");
+                FuzzOutcome {
+                    seed,
+                    ops: graph.len(),
+                    segments: 0,
+                    fused: 0,
+                    max_err: f32::INFINITY,
+                    passed: false,
+                    error: Some(e.to_string()),
+                }
+            }
+        };
+        outcomes.push(outcome);
+    }
+    let failures = outcomes.iter().filter(|o| !o.passed).count();
+    println!(
+        "fuzzed {} graph(s) in {:.2} s: {} passed, {} diverged",
+        outcomes.len(),
+        t0.elapsed().as_secs_f64(),
+        outcomes.len() - failures,
+        failures
+    );
+    if let Some(path) = &opts.report {
+        if let Err(e) = std::fs::write(path, fuzz_report_json(&opts, &outcomes, failures)) {
+            eprintln!("cannot write report '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report:  {path}");
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Renders the per-seed fuzz report as JSON (hand-rolled, like every
+/// other JSON producer in this repository — no external crates).
+fn fuzz_report_json(opts: &CommonOpts, outcomes: &[FuzzOutcome], failures: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"seeds\": {},\n  \"start\": {},\n  \"ops\": {},\n  \"tolerance\": {:e},\n  \"failures\": {},\n  \"results\": [\n",
+        outcomes.len(),
+        opts.start,
+        opts.ops,
+        opts.tol,
+        failures
+    ));
+    for (i, o) in outcomes.iter().enumerate() {
+        let err = if o.max_err.is_finite() {
+            format!("{:e}", o.max_err)
+        } else {
+            "null".to_string()
+        };
+        out.push_str(&format!(
+            "    {{\"seed\": {}, \"nodes\": {}, \"segments\": {}, \"fused\": {}, \"max_err\": {}, \"passed\": {}{}}}{}\n",
+            o.seed,
+            o.ops,
+            o.segments,
+            o.fused,
+            err,
+            o.passed,
+            o.error
+                .as_ref()
+                .map(|e| format!(", \"error\": \"{}\"", flashfuser::core::json::escape(e)))
+                .unwrap_or_default(),
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -447,6 +673,7 @@ fn main() -> ExitCode {
         Some("compile") => cmd_compile(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("graph") => cmd_graph(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         // Legacy form: `flashfuser-cli <M> <N> <K> <L> [flags]`, with
         // flags accepted in any position (`--a100 128 ...` included).
         Some(first) if first.parse::<usize>().is_ok() || first.starts_with("--") => {

@@ -19,6 +19,13 @@
 //!   path, and the stitched [`GraphPlan`] comes back with end-to-end
 //!   timing.
 //!
+//! Compiled graph plans are *numerically falsifiable*:
+//! [`validate_graph`] executes a plan (fused segments tile-by-tile,
+//! unfused remainders op-by-op) against a per-op reference interpreter
+//! on identical seeded inputs and reconciles per-segment traffic with
+//! the dataflow analyzer — the differential oracle behind the `fuzz`
+//! CLI subcommand.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -99,18 +106,26 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
+pub mod validate;
+
+pub use validate::{
+    validate_graph, GraphValidation, SegmentCheck, ValidateError, DEFAULT_TOLERANCE,
+};
+
 /// The most common imports, bundled.
 pub mod prelude {
     pub use crate::{
-        Compiled, CompiledSegment, Compiler, CompilerOptions, FusedSegment, GraphPlan,
-        UnfusedSegment,
+        validate_graph, Compiled, CompiledSegment, Compiler, CompilerOptions, FusedSegment,
+        GraphPlan, GraphValidation, UnfusedSegment,
     };
     pub use flashfuser_cache::{CacheStats, PlanCache, PlanKey};
     pub use flashfuser_comm::ClusterShape;
     pub use flashfuser_core::{
         BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams, SearchConfig, SearchEngine,
     };
-    pub use flashfuser_graph::{match_chains, ChainDims, ChainSpec, Dim, OpGraph, OpKind};
+    pub use flashfuser_graph::{
+        match_chains, rand_graph, ChainDims, ChainSpec, Dim, OpGraph, OpKind, RandGraphConfig,
+    };
     pub use flashfuser_sim::{execute_fused, unfused_time, SimProfiler, TrafficCounters};
     pub use flashfuser_tensor::{Activation, Matrix};
 }
@@ -493,6 +508,19 @@ impl Compiler {
     pub fn compile_graph(&self, graph: &OpGraph) -> Result<GraphPlan, GraphCompileError> {
         let pricer = UnfusedKernelPricer::new(self.engine.params().clone(), UNFUSED_EFFICIENCY);
         let partition = partition_graph(graph, self.engine.params(), &pricer)?;
+        let shapes = graph
+            .infer_shapes()
+            .expect("partition_graph already validated the shapes");
+        // Per-op global bytes of a node run stood alone — the traffic an
+        // infeasible chain really moves once it degrades to one kernel
+        // per operator (remainder segments are priced identically by the
+        // partitioner, so executed traffic reconciles either way).
+        let op_bytes = |nodes: &[NodeId]| -> u64 {
+            nodes
+                .iter()
+                .map(|&id| graph.op_cost(&shapes, id).bytes)
+                .sum()
+        };
         let mut segments = Vec::with_capacity(partition.segments.len());
         let mut seconds = 0.0;
         let mut unfused_seconds = 0.0;
@@ -529,7 +557,7 @@ impl Compiler {
                         Err(SearchError::NoFeasiblePlan) => {
                             seconds += bar;
                             unfused_seconds += bar;
-                            let bytes = chain.unfused_global_bytes();
+                            let bytes = op_bytes(&nodes);
                             global_bytes += bytes;
                             segments.push(CompiledSegment::Unfused(UnfusedSegment {
                                 nodes,

@@ -112,3 +112,32 @@ fn unknown_subcommand_is_a_usage_error() {
     let out = run(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn fuzz_runs_real_seeds_and_writes_the_report() {
+    let report = std::env::temp_dir().join(format!("ff-fuzz-cli-{}.json", std::process::id()));
+    let report_str = report.to_str().unwrap();
+    let out = run(&["fuzz", "--seeds", "2", "--ops", "6", "--report", report_str]);
+    assert!(
+        out.status.success(),
+        "fuzz diverged:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("0 diverged"), "{text}");
+    let json = std::fs::read_to_string(&report).expect("report written");
+    std::fs::remove_file(&report).ok();
+    assert!(json.contains("\"failures\": 0"), "{json}");
+    assert!(json.contains("\"seed\": 1"), "{json}");
+    assert!(json.contains("\"passed\": true"), "{json}");
+}
+
+#[test]
+fn fuzz_requires_seeds_and_rejects_positionals() {
+    let out = run(&["fuzz"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["fuzz", "12", "--seeds", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["fuzz", "--seeds", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+}

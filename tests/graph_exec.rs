@@ -1,0 +1,118 @@
+//! Differential tests of whole-graph numeric execution (ISSUE 4):
+//! model-zoo layer graphs — scaled to sizes the `f32` oracle can
+//! execute — must agree with the per-op reference interpreter within
+//! tolerance, and the executed fused traffic must reconcile with the
+//! dataflow analyzer segment by segment.
+
+use flashfuser::prelude::*;
+use flashfuser::workloads::{large_model_zoo, model_zoo};
+use flashfuser::DEFAULT_TOLERANCE;
+
+/// Validates one graph and returns the report, failing loudly with the
+/// per-segment diagnostics on divergence.
+fn validate(compiler: &Compiler, graph: &OpGraph, seed: u64, what: &str) -> GraphValidation {
+    let v = flashfuser::validate_graph(compiler, graph, seed, DEFAULT_TOLERANCE)
+        .unwrap_or_else(|e| panic!("{what}: validation errored: {e}"));
+    assert!(
+        v.passed(),
+        "{what}: diverged (max err {:.2e}): {:?}",
+        v.max_err,
+        v.failures().collect::<Vec<_>>()
+    );
+    v
+}
+
+#[test]
+fn every_zoo_layer_graph_validates_at_small_scale() {
+    let compiler = Compiler::new(MachineParams::h100_sxm());
+    for model in model_zoo().into_iter().chain(large_model_zoo()) {
+        let small = model.scaled_to(64);
+        let graph = small.layer_graph(16);
+        let v = validate(&compiler, &graph, 42, model.name);
+        assert!(
+            v.fused_count() >= 1,
+            "{}: the layer's FFN chain should fuse",
+            model.name
+        );
+        // Executed fused traffic must match the analyzer's prediction
+        // exactly (global always; DSM whenever the strip does not
+        // spill).
+        for s in v.segments.iter().filter(|s| s.fused) {
+            assert_eq!(
+                s.executed_global, s.predicted_global,
+                "{}: fused segment {} global traffic",
+                model.name, s.index
+            );
+            if s.dsm_exact {
+                assert_eq!(
+                    s.executed_dsm, s.predicted_dsm,
+                    "{}: fused segment {} DSM traffic",
+                    model.name, s.index
+                );
+            } else {
+                assert!(s.executed_dsm <= s.predicted_dsm, "{}", model.name);
+            }
+        }
+        // Unfused remainders reconcile against the partitioner pricing.
+        for s in v.segments.iter().filter(|s| !s.fused) {
+            assert_eq!(s.executed_global, s.predicted_global, "{}", model.name);
+            assert_eq!(s.executed_dsm, 0, "{}", model.name);
+        }
+    }
+}
+
+#[test]
+fn multi_layer_model_graph_stitches_across_layers() {
+    // Three stacked decoder layers: the plan cache serves layers 2–3,
+    // and the stitched execution still matches the reference end to
+    // end (residual adds cross every segment boundary).
+    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let model = model_zoo()[4].scaled_to(64); // GPT-2, shrunk
+    let graph = model.graph(16, 3);
+    let v = validate(&compiler, &graph, 7, "GPT-2 x3");
+    assert_eq!(v.fused_count(), 3, "one fused FFN per layer");
+    assert_eq!(
+        compiler.searches_run(),
+        1,
+        "layers 2-3 must hit the plan cache"
+    );
+    // Per-layer fused plans are identical, so their traffic is too.
+    let fused: Vec<_> = v.segments.iter().filter(|s| s.fused).collect();
+    assert!(fused.windows(2).all(|w| {
+        w[0].executed_global == w[1].executed_global && w[0].executed_dsm == w[1].executed_dsm
+    }));
+}
+
+#[test]
+fn gated_layer_graph_validates() {
+    // A gated (SwiGLU) layer exercises the two-branch fused dataflow
+    // plus the element-wise combine inside the kernel.
+    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let model = model_zoo()[1].scaled_to(64); // LLaMA-1B, shrunk
+    assert!(model.gated);
+    let graph = model.layer_graph(16);
+    let v = validate(&compiler, &graph, 3, "LLaMA layer");
+    assert!(v.fused_count() >= 1);
+}
+
+#[test]
+fn validation_is_deterministic_per_seed() {
+    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let graph = model_zoo()[3].scaled_to(64).layer_graph(16); // BERT
+    let a = flashfuser::validate_graph(&compiler, &graph, 9, DEFAULT_TOLERANCE).unwrap();
+    let b = flashfuser::validate_graph(&compiler, &graph, 9, DEFAULT_TOLERANCE).unwrap();
+    assert_eq!(a.max_err.to_bits(), b.max_err.to_bits());
+    assert_eq!(a.segments, b.segments);
+}
+
+#[test]
+fn a100_target_validates_without_dsm() {
+    // The A100 machine (no DSM pool, SMEM-only spill) must produce
+    // plans whose execution moves zero DSM bytes.
+    let compiler = Compiler::new(MachineParams::a100_sxm());
+    let graph = model_zoo()[4].scaled_to(64).layer_graph(16);
+    let v = validate(&compiler, &graph, 5, "GPT-2 on A100");
+    for s in &v.segments {
+        assert_eq!(s.executed_dsm, 0, "A100 has no DSM to move bytes over");
+    }
+}
