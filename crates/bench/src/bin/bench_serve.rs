@@ -1,0 +1,334 @@
+//! Serving load benchmark and `BENCH_serve.json` emitter — also the
+//! `serve-smoke` step of `scripts/verify.sh`.
+//!
+//! Starts the compilation service in-process on an ephemeral loopback
+//! port and drives it the way a deployment would:
+//!
+//! 1. **cold pass** — one request per shape in the mix (every one a
+//!    cache miss running a full fusion search);
+//! 2. **warm load** — N client threads x M requests round-robin over
+//!    the same mix (plus a duplicate-heavy `/batch` and periodic
+//!    `/healthz` probes, so the traffic is genuinely mixed), measuring
+//!    client-side latency per request;
+//! 3. **same-key burst** — K concurrent requests for one *new* shape,
+//!    which must trigger exactly one search (single-flight coalescing
+//!    + cache);
+//! 4. **stats + shutdown** — `GET /stats` is parsed with
+//!    `flashfuser_core::json` (the same parser the server uses) and
+//!    the server is shut down through `POST /admin/shutdown`.
+//!
+//! Gates enforced here (the process exits non-zero on violation):
+//!
+//! * zero errors: no 4xx/5xx, no dropped responses, no admission
+//!   rejections at this load (the queue is deep enough);
+//! * cache hit rate over the run ≥ 90 % (the repeated mix hits);
+//! * warm p99 latency < the fastest cold compile; in full mode the
+//!   mean cold compile must additionally be ≥ 100x the warm p99 (the
+//!   ISSUE 5 acceptance bar) — on hosts with ≥ 4 cores. On smaller
+//!   hosts the client-side p99 tail is dominated by the scheduler
+//!   multiplexing client + worker threads over one core, so the bar
+//!   there is 10x (same policy as PR 1's parallel-speedup criterion;
+//!   the record carries `host_threads` so the reader can tell which
+//!   bar applied).
+//! * every response for the probe shape is byte-identical;
+//! * the same-key burst runs exactly one search.
+
+use flashfuser::serve::client;
+use flashfuser::serve::ServeOptions;
+use flashfuser::{service, Compiler, CompilerOptions};
+use flashfuser_bench::{env_threads, h100, quick_mode};
+use flashfuser_core::codec::encode_chain;
+use flashfuser_core::json;
+use flashfuser_graph::ChainSpec;
+use flashfuser_tensor::Activation;
+use flashfuser_workloads::gemm_chains;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One `/compile` request body per shape in the mix.
+fn shape_mix(quick: bool) -> Vec<String> {
+    let ids: &[&str] = if quick {
+        &["G1", "G2", "G3"]
+    } else {
+        &["G4", "G5", "G6", "G8"]
+    };
+    let mut bodies: Vec<String> = gemm_chains()
+        .into_iter()
+        .filter(|w| ids.contains(&w.id))
+        .map(|w| format!("{{\"chain\": {}}}", encode_chain(&w.chain)))
+        .collect();
+    // One conv block (Table V C1/C2) so the im2col lowering path is on
+    // the serving hot path too.
+    bodies.push(if quick {
+        "{\"conv\": {\"dims\": [64, 56, 56, 256, 64, 1, 1]}}".to_string()
+    } else {
+        // Table V C5: the 3x3 first kernel exercises the widest im2col.
+        "{\"conv\": {\"dims\": [64, 56, 56, 64, 256, 3, 1]}}".to_string()
+    });
+    bodies
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn fetch_stats(addr: SocketAddr) -> json::JsonValue {
+    let response = client::get(addr, "/stats").expect("GET /stats");
+    assert_eq!(response.status, 200, "/stats must answer 200");
+    json::parse(response.body_utf8()).expect("stats JSON parses with core::json")
+}
+
+fn stat(doc: &json::JsonValue, section: &str, key: &str) -> u64 {
+    doc.get(section)
+        .and_then(|s| s.get(key))
+        .and_then(json::JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("stats field {section}.{key} missing"))
+}
+
+fn main() {
+    let quick = quick_mode();
+    let params = h100();
+    let threads = env_threads();
+    let workers = if threads > 0 {
+        threads
+    } else if quick {
+        4
+    } else {
+        8
+    };
+    let (clients, per_client) = if quick { (4, 25) } else { (8, 50) };
+    let burst = 8usize;
+
+    let compiler = Arc::new(
+        Compiler::with_options(params, CompilerOptions::new()).expect("memory-only compiler"),
+    );
+    let server = service::start(
+        Arc::clone(&compiler),
+        ("127.0.0.1", 0),
+        ServeOptions {
+            workers,
+            queue_depth: 64,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind an ephemeral loopback port");
+    let addr = server.addr();
+    let mix = shape_mix(quick);
+
+    println!("== serve: loopback load benchmark ==");
+    println!(
+        "addr: {addr}  workers: {workers}  clients: {clients} x {per_client} req  shapes: {} {}",
+        mix.len(),
+        if quick { "(quick mode)" } else { "" }
+    );
+
+    // -- 1. cold pass ---------------------------------------------------
+    let mut cold_us: Vec<u64> = Vec::with_capacity(mix.len());
+    let mut probe_body = Vec::new();
+    for (i, body) in mix.iter().enumerate() {
+        let t0 = Instant::now();
+        let response = client::post(addr, "/compile", body.as_bytes()).expect("cold compile");
+        let us = t0.elapsed().as_micros() as u64;
+        assert_eq!(
+            response.status,
+            200,
+            "cold compile failed: {}",
+            response.body_utf8()
+        );
+        cold_us.push(us);
+        if i == 0 {
+            probe_body = response.body;
+        }
+        println!("  cold shape {i}: {:.2} ms", us as f64 / 1e3);
+    }
+    cold_us.sort_unstable();
+    let cold_min = cold_us[0];
+    let cold_mean = cold_us.iter().sum::<u64>() / cold_us.len() as u64;
+
+    // -- 2. warm load ---------------------------------------------------
+    let latencies = Mutex::new(Vec::<u64>::new());
+    let next = AtomicUsize::new(0);
+    let identical = AtomicBool::new(true);
+    let errors = AtomicUsize::new(0);
+    let total = clients * per_client;
+    let t_load = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let mut local = Vec::with_capacity(per_client);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let shape = i % mix.len();
+                    let t0 = Instant::now();
+                    match client::post(addr, "/compile", mix[shape].as_bytes()) {
+                        Ok(response) if response.status == 200 => {
+                            local.push(t0.elapsed().as_micros() as u64);
+                            if shape == 0 && response.body != probe_body {
+                                identical.store(false, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Every 16th request, interleave a health probe so
+                    // the traffic is mixed, not compile-only.
+                    if i.is_multiple_of(16) && client::get(addr, "/healthz").is_err() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let load_s = t_load.elapsed().as_secs_f64();
+    let mut warm_us = latencies.into_inner().unwrap();
+    warm_us.sort_unstable();
+    let warm_p50 = percentile(&warm_us, 0.50);
+    let warm_p99 = percentile(&warm_us, 0.99);
+    let throughput = total as f64 / load_s;
+
+    // A duplicate-heavy batch (each spec twice) through the same cache.
+    let batch_body = format!(
+        "{{\"requests\": [{}]}}",
+        mix.iter()
+            .chain(mix.iter())
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let response = client::post(addr, "/batch", batch_body.as_bytes()).expect("batch request");
+    assert_eq!(response.status, 200, "batch must succeed");
+
+    // -- 3. same-key burst ----------------------------------------------
+    let burst_chain = ChainSpec::standard_ffn(64, 256, 128, 128, Activation::Gelu).named("burst");
+    let burst_body = format!("{{\"chain\": {}}}", encode_chain(&burst_chain));
+    let searches_before = compiler.searches_run();
+    std::thread::scope(|scope| {
+        for _ in 0..burst {
+            let body = burst_body.as_bytes();
+            scope.spawn(move || {
+                let response = client::post(addr, "/compile", body).expect("burst compile");
+                assert_eq!(response.status, 200);
+            });
+        }
+    });
+    let burst_searches = compiler.searches_run() - searches_before;
+
+    // -- 4. stats + shutdown --------------------------------------------
+    let stats = fetch_stats(addr);
+    let rejected = stat(&stats, "admission", "rejected_busy");
+    let dropped = stat(&stats, "outcomes", "dropped");
+    let bad = stat(&stats, "outcomes", "bad_requests");
+    let coalesced = stat(&stats, "compiler", "coalesced");
+    let mem_hits = stat(&stats, "cache", "mem_hits");
+    let disk_hits = stat(&stats, "cache", "disk_hits");
+    let misses = stat(&stats, "cache", "misses");
+    let hit_rate = (mem_hits + disk_hits) as f64 / (mem_hits + disk_hits + misses).max(1) as f64;
+    let response = client::post(addr, "/admin/shutdown", b"").expect("shutdown control");
+    assert_eq!(response.status, 200);
+    server.wait();
+
+    // -- gates ----------------------------------------------------------
+    let errors = errors.load(Ordering::Relaxed) as u64 + dropped + bad;
+    let bit_identical = identical.load(Ordering::Relaxed);
+    let warm_faster = warm_p99 < cold_min;
+    let cold_over_warm_p99 = cold_mean as f64 / warm_p99.max(1) as f64;
+    let hit_ok = hit_rate >= 0.90;
+    let burst_ok = burst_searches == 1;
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let ratio_target = if host_threads >= 4 { 100.0 } else { 10.0 };
+    let ratio_ok = quick || cold_over_warm_p99 >= ratio_target;
+
+    println!(
+        "cold:  min {:.2} ms, mean {:.2} ms",
+        cold_min as f64 / 1e3,
+        cold_mean as f64 / 1e3
+    );
+    println!(
+        "warm:  p50 {:.2} ms, p99 {:.2} ms, {:.0} req/s over {} requests",
+        warm_p50 as f64 / 1e3,
+        warm_p99 as f64 / 1e3,
+        throughput,
+        total
+    );
+    println!(
+        "cache: {:.1}% hit rate, {} coalesced, burst searches: {}",
+        hit_rate * 100.0,
+        coalesced,
+        burst_searches
+    );
+    println!(
+        "gates: errors={errors} rejected={rejected} bit_identical={bit_identical} \
+         warm_faster={warm_faster} cold/warm_p99={cold_over_warm_p99:.0}x hit_ok={hit_ok} \
+         burst_ok={burst_ok}"
+    );
+
+    let record = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"quick\": {quick},\n",
+            "  \"workers\": {workers}, \"clients\": {clients}, \"requests\": {requests}, ",
+            "\"shapes\": {shapes},\n",
+            "  \"throughput_rps\": {throughput:.1},\n",
+            "  \"cold_min_us\": {cold_min}, \"cold_mean_us\": {cold_mean},\n",
+            "  \"warm_p50_us\": {warm_p50}, \"warm_p99_us\": {warm_p99},\n",
+            "  \"cold_over_warm_p99\": {ratio:.1}, \"ratio_target\": {ratio_target:.0}, ",
+            "\"host_threads\": {host_threads},\n",
+            "  \"hit_rate\": {hit_rate:.3}, \"coalesced\": {coalesced}, ",
+            "\"burst_searches\": {burst_searches},\n",
+            "  \"errors\": {errors}, \"rejected_busy\": {rejected},\n",
+            "  \"bit_identical\": {bit_identical}, \"warm_faster\": {warm_faster}\n",
+            "}}\n",
+        ),
+        quick = quick,
+        workers = workers,
+        clients = clients,
+        requests = total,
+        shapes = mix.len(),
+        throughput = throughput,
+        cold_min = cold_min,
+        cold_mean = cold_mean,
+        warm_p50 = warm_p50,
+        warm_p99 = warm_p99,
+        ratio = cold_over_warm_p99,
+        ratio_target = ratio_target,
+        host_threads = host_threads,
+        hit_rate = hit_rate,
+        coalesced = coalesced,
+        burst_searches = burst_searches,
+        errors = errors,
+        rejected = rejected,
+        bit_identical = bit_identical,
+        warm_faster = warm_faster,
+    );
+    let path = if quick {
+        "BENCH_serve.quick.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    std::fs::write(path, record).expect("write bench record");
+    println!("wrote {path}");
+
+    let pass = errors == 0
+        && rejected == 0
+        && bit_identical
+        && warm_faster
+        && hit_ok
+        && burst_ok
+        && ratio_ok;
+    if !pass {
+        eprintln!("bench_serve: GATE VIOLATION (see {path})");
+        std::process::exit(1);
+    }
+}

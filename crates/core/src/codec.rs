@@ -81,6 +81,25 @@ fn dims4(m: usize, n: usize, k: usize, l: usize) -> String {
     format!("[{m}, {n}, {k}, {l}]")
 }
 
+/// Renders a chain as its canonical JSON object — the same form that
+/// appears inside [`encode_record`] and that the compilation server
+/// accepts in request bodies.
+pub fn encode_chain(chain: &ChainSpec) -> String {
+    let d = chain.dims();
+    let family = if chain.kind().is_gated() {
+        "gated"
+    } else {
+        "standard"
+    };
+    format!(
+        "{{\"family\": \"{family}\", \"activation\": \"{activation}\", \
+         \"name\": \"{name}\", \"dims\": {dims}}}",
+        activation = chain.kind().activation(),
+        name = json::escape(chain.name()),
+        dims = dims4(d.m, d.n, d.k, d.l),
+    )
+}
+
 /// Renders a record as a JSON document (stable layout, trailing
 /// newline).
 pub fn encode_record(r: &PlanRecord) -> String {
@@ -254,6 +273,31 @@ fn parse_schedule(name: &str) -> Result<LoopSchedule, CodecError> {
     Ok(LoopSchedule::new(spatial, temporal))
 }
 
+/// Parses a chain from its canonical JSON object (the `"chain"` member
+/// of a record document, or a server request body's chain spec).
+///
+/// # Errors
+///
+/// Returns [`CodecError::Malformed`] when a field is missing, has the
+/// wrong type, names an unknown family/activation, or carries
+/// non-positive dims.
+pub fn decode_chain(chain_v: &JsonValue) -> Result<ChainSpec, CodecError> {
+    let activation = parse_activation(field_str(chain_v, "activation")?)?;
+    let [m, n, k, l] = usize4(chain_v, "dims")?;
+    if m == 0 || n == 0 || k == 0 || l == 0 {
+        return Err(malformed("chain dims must be positive"));
+    }
+    let chain = match field_str(chain_v, "family")? {
+        "standard" => ChainSpec::standard_ffn(m, n, k, l, activation),
+        "gated" => ChainSpec::gated_ffn(m, n, k, l, activation),
+        other => return Err(malformed(&format!("unknown chain family '{other}'"))),
+    };
+    Ok(match chain_v.get("name").and_then(JsonValue::as_str) {
+        Some(name) => chain.named(name),
+        None => chain,
+    })
+}
+
 /// Parses a record from its JSON document.
 ///
 /// # Errors
@@ -269,19 +313,11 @@ pub fn decode_record(text: &str) -> Result<PlanRecord, CodecError> {
     }
     let plan_v = field(&doc, "plan")?;
 
-    // Chain.
+    // Chain. Record documents always carry a name; `decode_chain`
+    // tolerates its absence for server request bodies.
     let chain_v = field(plan_v, "chain")?;
-    let activation = parse_activation(field_str(chain_v, "activation")?)?;
-    let [m, n, k, l] = usize4(chain_v, "dims")?;
-    if m == 0 || n == 0 || k == 0 || l == 0 {
-        return Err(malformed("chain dims must be positive"));
-    }
-    let chain = match field_str(chain_v, "family")? {
-        "standard" => ChainSpec::standard_ffn(m, n, k, l, activation),
-        "gated" => ChainSpec::gated_ffn(m, n, k, l, activation),
-        other => return Err(malformed(&format!("unknown chain family '{other}'"))),
-    }
-    .named(field_str(chain_v, "name")?);
+    field_str(chain_v, "name")?;
+    let chain = decode_chain(chain_v)?;
 
     // Schedule, cluster, tile.
     let schedule = parse_schedule(field_str(plan_v, "schedule")?)?;
@@ -432,6 +468,37 @@ mod tests {
         // Unknown schedule letter.
         let bad_sched = good.replace("\"schedule\": \"", "\"schedule\": \"X");
         assert!(decode_record(&bad_sched).is_err());
+    }
+
+    #[test]
+    fn chain_object_round_trips_standalone() {
+        for chain in [
+            ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu).named("a\"b"),
+            ChainSpec::gated_ffn(64, 256, 128, 128, Activation::Silu),
+        ] {
+            let doc = encode_chain(&chain);
+            let v = crate::json::parse(&doc).unwrap();
+            assert_eq!(decode_chain(&v).unwrap(), chain);
+        }
+        // Name is optional in the standalone form (server requests)...
+        let v = crate::json::parse(
+            r#"{"family": "standard", "activation": "gelu", "dims": [16, 32, 16, 16]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            decode_chain(&v).unwrap(),
+            ChainSpec::standard_ffn(16, 32, 16, 16, Activation::Gelu)
+        );
+        // ...but zero dims and unknown families stay hard errors.
+        for bad in [
+            r#"{"family": "standard", "activation": "gelu", "dims": [0, 32, 16, 16]}"#,
+            r#"{"family": "mystery", "activation": "gelu", "dims": [16, 32, 16, 16]}"#,
+            r#"{"family": "standard", "activation": "sigmoid", "dims": [16, 32, 16, 16]}"#,
+            r#"{"family": "standard", "activation": "gelu", "dims": [16, 32, 16]}"#,
+        ] {
+            let v = crate::json::parse(bad).unwrap();
+            assert!(matches!(decode_chain(&v), Err(CodecError::Malformed(_))));
+        }
     }
 
     #[test]

@@ -13,13 +13,59 @@
 //! The parser is a straightforward recursive-descent over bytes with a
 //! depth limit; it rejects anything outside this subset (floats,
 //! negative numbers, exponents) rather than silently coercing.
+//!
+//! Since PR 5 this parser also fronts the compilation *server*, which
+//! feeds it bytes from the network. Two consequences:
+//!
+//! * every failure carries a typed [`JsonErrorKind`] so the server can
+//!   map classes of garbage to HTTP statuses without string matching;
+//! * [`parse_with_limits`] lets callers tighten the depth and input
+//!   size caps per trust level ([`ParseLimits::untrusted`] is what the
+//!   server uses; [`parse`] keeps the permissive cache-file defaults).
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Maximum nesting depth accepted by the parser (cache files are ~4
-/// levels deep; this guards against stack exhaustion on corrupt input).
+/// Default maximum nesting depth (cache files are ~4 levels deep; this
+/// guards against stack exhaustion on corrupt input).
 const MAX_DEPTH: usize = 32;
+
+/// Input-dependent parser caps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum nesting depth of arrays/objects.
+    pub max_depth: usize,
+    /// Maximum input length in bytes; longer documents are rejected
+    /// before a single byte is examined.
+    pub max_bytes: usize,
+}
+
+impl ParseLimits {
+    /// The cache-file defaults: depth 32, unbounded size (the disk
+    /// store already bounds file sizes by construction).
+    pub fn cache_file() -> ParseLimits {
+        ParseLimits {
+            max_depth: MAX_DEPTH,
+            max_bytes: usize::MAX,
+        }
+    }
+
+    /// The network defaults: depth 16, 1 MiB — far above anything the
+    /// compilation API legitimately needs, far below anything that
+    /// could hurt.
+    pub fn untrusted() -> ParseLimits {
+        ParseLimits {
+            max_depth: 16,
+            max_bytes: 1024 * 1024,
+        }
+    }
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        Self::cache_file()
+    }
+}
 
 /// A parsed JSON value (cache-format subset).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,9 +132,32 @@ impl JsonValue {
     }
 }
 
+/// The class of a parse failure — what the server keys HTTP statuses
+/// and clients key retry decisions on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// The bytes do not form the grammar (bad token, missing comma...).
+    Syntax,
+    /// The document ended mid-value: a prefix of something valid.
+    Truncated,
+    /// Nesting exceeded the configured depth limit.
+    TooDeep,
+    /// The input exceeded the configured byte limit.
+    TooLarge,
+    /// A number form the cache subset rejects (float, negative,
+    /// exponent, > `u64::MAX`).
+    UnsupportedNumber,
+    /// An object repeated a key.
+    DuplicateKey,
+    /// A complete document followed by more non-whitespace bytes.
+    TrailingData,
+}
+
 /// Why a document failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
+    /// The failure class.
+    pub kind: JsonErrorKind,
     /// Byte offset of the failure.
     pub offset: usize,
     /// Human-readable description.
@@ -103,7 +172,8 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
-/// Parses one JSON document (cache-format subset).
+/// Parses one JSON document (cache-format subset) under the permissive
+/// [`ParseLimits::cache_file`] limits.
 ///
 /// # Errors
 ///
@@ -111,15 +181,39 @@ impl std::error::Error for JsonError {}
 /// (floats, negatives, exponents), excessive nesting, or trailing
 /// garbage after the document.
 pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    parse_with_limits(text, ParseLimits::cache_file())
+}
+
+/// Parses one JSON document under explicit [`ParseLimits`] — the entry
+/// point for untrusted bytes (the compilation server).
+///
+/// # Errors
+///
+/// Returns [`JsonError`] as [`parse`] does, plus
+/// [`JsonErrorKind::TooLarge`] when the input exceeds
+/// `limits.max_bytes` (checked before any byte is examined).
+pub fn parse_with_limits(text: &str, limits: ParseLimits) -> Result<JsonValue, JsonError> {
+    if text.len() > limits.max_bytes {
+        return Err(JsonError {
+            kind: JsonErrorKind::TooLarge,
+            offset: 0,
+            message: format!(
+                "document is {} bytes, limit is {}",
+                text.len(),
+                limits.max_bytes
+            ),
+        });
+    }
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        max_depth: limits.max_depth,
     };
     p.skip_ws();
     let v = p.value(0)?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(p.err("trailing data after document"));
+        return Err(p.err_kind(JsonErrorKind::TrailingData, "trailing data after document"));
     }
     Ok(v)
 }
@@ -127,14 +221,27 @@ pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    max_depth: usize,
 }
 
 impl Parser<'_> {
-    fn err(&self, message: &str) -> JsonError {
+    fn err_kind(&self, kind: JsonErrorKind, message: &str) -> JsonError {
         JsonError {
+            kind,
             offset: self.pos,
             message: message.to_string(),
         }
+    }
+
+    /// A grammar error — reported as [`JsonErrorKind::Truncated`] when
+    /// the input simply ran out, [`JsonErrorKind::Syntax`] otherwise.
+    fn err(&self, message: &str) -> JsonError {
+        let kind = if self.pos >= self.bytes.len() {
+            JsonErrorKind::Truncated
+        } else {
+            JsonErrorKind::Syntax
+        };
+        self.err_kind(kind, message)
     }
 
     fn peek(&self) -> Option<u8> {
@@ -157,8 +264,8 @@ impl Parser<'_> {
     }
 
     fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
-        if depth > MAX_DEPTH {
-            return Err(self.err("nesting too deep"));
+        if depth > self.max_depth {
+            return Err(self.err_kind(JsonErrorKind::TooDeep, "nesting too deep"));
         }
         match self.peek() {
             Some(b'{') => self.object(depth),
@@ -168,7 +275,10 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
             Some(b'n') => self.literal("null", JsonValue::Null),
-            Some(b'-') => Err(self.err("negative numbers are not part of the cache format")),
+            Some(b'-') => Err(self.err_kind(
+                JsonErrorKind::UnsupportedNumber,
+                "negative numbers are not part of the cache format",
+            )),
             _ => Err(self.err("expected a value")),
         }
     }
@@ -188,12 +298,15 @@ impl Parser<'_> {
             self.pos += 1;
         }
         if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
-            return Err(self.err("floats are not part of the cache format (use bit patterns)"));
+            return Err(self.err_kind(
+                JsonErrorKind::UnsupportedNumber,
+                "floats are not part of the cache format (use bit patterns)",
+            ));
         }
         let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
-        s.parse::<u64>()
-            .map(JsonValue::UInt)
-            .map_err(|_| self.err("integer out of u64 range"))
+        s.parse::<u64>().map(JsonValue::UInt).map_err(|_| {
+            self.err_kind(JsonErrorKind::UnsupportedNumber, "integer out of u64 range")
+        })
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
@@ -287,7 +400,7 @@ impl Parser<'_> {
             self.skip_ws();
             let value = self.value(depth + 1)?;
             if map.insert(key, value).is_some() {
-                return Err(self.err("duplicate object key"));
+                return Err(self.err_kind(JsonErrorKind::DuplicateKey, "duplicate object key"));
             }
             self.skip_ws();
             match self.peek() {
@@ -361,7 +474,99 @@ mod tests {
     #[test]
     fn depth_limit_holds() {
         let deep = "[".repeat(100) + &"]".repeat(100);
-        assert!(parse(&deep).is_err());
+        assert_eq!(parse(&deep).unwrap_err().kind, JsonErrorKind::TooDeep);
+    }
+
+    #[test]
+    fn depth_limit_is_exact_and_configurable() {
+        // Depth d nests d arrays; the innermost value sits at depth d.
+        let nested = |d: usize| "[".repeat(d) + "0" + &"]".repeat(d);
+        let limits = ParseLimits {
+            max_depth: 4,
+            max_bytes: usize::MAX,
+        };
+        assert!(parse_with_limits(&nested(4), limits).is_ok());
+        assert_eq!(
+            parse_with_limits(&nested(5), limits).unwrap_err().kind,
+            JsonErrorKind::TooDeep
+        );
+        // Objects count the same way.
+        let deep_obj = "{\"a\": ".repeat(5) + "0" + &"}".repeat(5);
+        assert_eq!(
+            parse_with_limits(&deep_obj, limits).unwrap_err().kind,
+            JsonErrorKind::TooDeep
+        );
+        assert!(parse_with_limits(&nested(16), ParseLimits::untrusted()).is_ok());
+        assert_eq!(
+            parse_with_limits(&nested(17), ParseLimits::untrusted())
+                .unwrap_err()
+                .kind,
+            JsonErrorKind::TooDeep
+        );
+    }
+
+    #[test]
+    fn byte_limit_rejects_before_parsing() {
+        let limits = ParseLimits {
+            max_depth: 32,
+            max_bytes: 8,
+        };
+        assert!(parse_with_limits("[1, 2]", limits).is_ok());
+        let err = parse_with_limits("[1, 2, 3]", limits).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooLarge);
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn every_proper_prefix_of_a_valid_document_errors_cleanly() {
+        // The exact shape of a /compile request body: truncation at any
+        // byte must produce a typed error, never a panic or a success.
+        let doc = r#"{"chain": {"family": "standard", "activation": "relu", "dims": [128, 512, 256, 256], "name": "qé\n"}}"#;
+        assert!(parse(doc).is_ok());
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let err = parse(&doc[..cut]).expect_err("prefix must not parse");
+            assert!(
+                matches!(err.kind, JsonErrorKind::Truncated | JsonErrorKind::Syntax),
+                "prefix of length {cut} gave unexpected kind {:?}",
+                err.kind
+            );
+        }
+        // Whole-document truncation of the *tail* is the common network
+        // case and must be classified Truncated, not Syntax.
+        assert_eq!(
+            parse(&doc[..doc.len() - 2]).unwrap_err().kind,
+            JsonErrorKind::Truncated
+        );
+    }
+
+    #[test]
+    fn error_kinds_are_distinguishable() {
+        assert_eq!(parse("[1,]").unwrap_err().kind, JsonErrorKind::Syntax);
+        assert_eq!(parse("").unwrap_err().kind, JsonErrorKind::Truncated);
+        assert_eq!(parse("{\"a\"").unwrap_err().kind, JsonErrorKind::Truncated);
+        assert_eq!(
+            parse("1.5").unwrap_err().kind,
+            JsonErrorKind::UnsupportedNumber
+        );
+        assert_eq!(
+            parse("-1").unwrap_err().kind,
+            JsonErrorKind::UnsupportedNumber
+        );
+        assert_eq!(
+            parse("18446744073709551616").unwrap_err().kind,
+            JsonErrorKind::UnsupportedNumber
+        );
+        assert_eq!(
+            parse("{\"a\": 1, \"a\": 2}").unwrap_err().kind,
+            JsonErrorKind::DuplicateKey
+        );
+        assert_eq!(
+            parse("{} tail").unwrap_err().kind,
+            JsonErrorKind::TrailingData
+        );
     }
 
     #[test]

@@ -10,6 +10,43 @@
 
 use crate::chain::ChainSpec;
 use flashfuser_tensor::{Activation, Conv2dSpec, Matrix, ShapeError};
+use std::fmt;
+
+/// Why a conv-block geometry cannot lower to a two-GEMM chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvChainError {
+    /// The second convolution's kernel is not 1x1 (it would need a
+    /// second im2col of the intermediate).
+    NonUnitSecondKernel(usize),
+    /// The first convolution's kernel is even (same-padding im2col
+    /// needs an odd kernel, matching `Conv2dSpec::new`).
+    EvenFirstKernel(usize),
+    /// Some extent is zero.
+    ZeroExtent,
+    /// The lowered GEMM extents (`H*W`, `IC*K1*K1`) overflow `usize`.
+    Overflow,
+}
+
+impl fmt::Display for ConvChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvChainError::NonUnitSecondKernel(k2) => write!(
+                f,
+                "only 1x1 second convolutions lower to a two-GEMM chain (Table V), got {k2}x{k2}"
+            ),
+            ConvChainError::EvenFirstKernel(k1) => write!(
+                f,
+                "same-padding im2col requires an odd first kernel, got {k1}x{k1}"
+            ),
+            ConvChainError::ZeroExtent => write!(f, "conv-chain extents must all be positive"),
+            ConvChainError::Overflow => {
+                write!(f, "conv-chain extents overflow the lowered GEMM dims")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConvChainError {}
 
 /// A `conv(k1) -> ReLU -> conv(k2)` block (one Table V row).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,7 +88,53 @@ impl ConvChainSpec {
             k2 == 1,
             "only 1x1 second convolutions lower to a two-GEMM chain (Table V)"
         );
-        Self {
+        match Self::try_new(in_channels, height, width, oc1, oc2, k1, k2) {
+            Ok(spec) => spec,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`ConvChainSpec::new`] — what paths fed by
+    /// untrusted input (the CLI, the compilation server) use instead of
+    /// panicking. Everything [`ConvChainSpec::to_chain`] will compute
+    /// is validated here: the geometry that comes back lowers without
+    /// a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvChainError`] when `k2 != 1`, `k1` is even
+    /// (same-padding im2col needs odd kernels), any extent is zero, or
+    /// the lowered GEMM extents would overflow.
+    pub fn try_new(
+        in_channels: usize,
+        height: usize,
+        width: usize,
+        oc1: usize,
+        oc2: usize,
+        k1: usize,
+        k2: usize,
+    ) -> Result<Self, ConvChainError> {
+        if k2 != 1 {
+            return Err(ConvChainError::NonUnitSecondKernel(k2));
+        }
+        if k1.is_multiple_of(2) {
+            return Err(ConvChainError::EvenFirstKernel(k1));
+        }
+        if [in_channels, height, width, oc1, oc2].contains(&0) {
+            return Err(ConvChainError::ZeroExtent);
+        }
+        // to_chain computes M = (H*W).next_multiple_of(16) and
+        // K = IC*K1*K1; both must stay inside usize.
+        let m = height
+            .checked_mul(width)
+            .and_then(|hw| hw.checked_next_multiple_of(16));
+        let k = k1
+            .checked_mul(k1)
+            .and_then(|kk| kk.checked_mul(in_channels));
+        if m.is_none() || k.is_none() {
+            return Err(ConvChainError::Overflow);
+        }
+        Ok(Self {
             in_channels,
             height,
             width,
@@ -59,7 +142,7 @@ impl ConvChainSpec {
             oc2,
             k1,
             k2,
-        }
+        })
     }
 
     /// The first convolution's geometry.
@@ -175,5 +258,44 @@ mod tests {
     #[should_panic(expected = "1x1 second convolutions")]
     fn non_unit_second_kernel_panics() {
         ConvChainSpec::new(3, 4, 4, 8, 8, 1, 3);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_geometry_without_panicking() {
+        assert_eq!(
+            ConvChainSpec::try_new(3, 4, 4, 8, 8, 1, 3),
+            Err(ConvChainError::NonUnitSecondKernel(3))
+        );
+        assert_eq!(
+            ConvChainSpec::try_new(3, 4, 4, 8, 8, 2, 1),
+            Err(ConvChainError::EvenFirstKernel(2))
+        );
+        assert_eq!(
+            ConvChainSpec::try_new(0, 4, 4, 8, 8, 1, 1),
+            Err(ConvChainError::ZeroExtent)
+        );
+        // H*W (and IC*K1*K1) must not overflow the lowered GEMM dims.
+        let huge = 1usize << 62;
+        assert_eq!(
+            ConvChainSpec::try_new(3, huge, huge, 8, 8, 1, 1),
+            Err(ConvChainError::Overflow)
+        );
+        assert_eq!(
+            ConvChainSpec::try_new(huge, 4, 4, 8, 8, huge | 1, 1),
+            Err(ConvChainError::Overflow)
+        );
+        assert_eq!(
+            ConvChainSpec::try_new(3, 4, 4, 8, 8, 3, 1),
+            Ok(ConvChainSpec::new(3, 4, 4, 8, 8, 3, 1))
+        );
+        // Everything try_new admits lowers without panicking.
+        assert_eq!(
+            ConvChainSpec::try_new(3, 4, 4, 8, 8, 3, 1)
+                .unwrap()
+                .to_chain()
+                .dims()
+                .m,
+            16
+        );
     }
 }

@@ -39,7 +39,7 @@ pub mod segment;
 pub mod tile_graph;
 
 pub use chain::{ChainKind, ChainSpec};
-pub use conv::ConvChainSpec;
+pub use conv::{ConvChainError, ConvChainSpec};
 pub use dims::{ChainDims, Dim};
 pub use fingerprint::StableHasher;
 pub use op::{OpGraph, OpKind, OpNode};

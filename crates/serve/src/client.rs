@@ -1,0 +1,143 @@
+//! A minimal blocking HTTP client for tests, benchmarks and smoke
+//! scripts.
+//!
+//! One request per connection, mirroring the server's
+//! `Connection: close` discipline: connect, write, read to EOF, parse.
+//! This is intentionally *not* a general client — it exists so the
+//! load generator and the integration tests need no external tooling
+//! (no `curl` on the verification path).
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: BTreeMap<String, String>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8, panicking on invalid bytes (server responses
+    /// are always JSON text; tests want the loud failure).
+    pub fn body_utf8(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+}
+
+/// Issues `GET path`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidData` when the response
+/// cannot be parsed.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<ClientResponse> {
+    request(addr, "GET", path, b"")
+}
+
+/// Issues `POST path` with a JSON body.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidData` when the response
+/// cannot be parsed.
+pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+    request(addr, "POST", path, body)
+}
+
+/// Issues one request and reads the response.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidData` when the response
+/// cannot be parsed.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<ClientResponse> {
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    head.extend_from_slice(body);
+    raw(addr, &head)
+}
+
+/// Writes `bytes` verbatim and parses whatever comes back — for tests
+/// that deliberately send malformed requests.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidData` when the response
+/// cannot be parsed.
+pub fn raw(addr: SocketAddr, bytes: &[u8]) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    // A server that rejects early (413, 503) may answer and close while
+    // we are still writing; the write error is only fatal if no
+    // response can be read either.
+    let write_outcome = stream.write_all(bytes);
+    let mut response = Vec::new();
+    let read_outcome = stream.read_to_end(&mut response);
+    match parse_response(&response) {
+        Some(parsed) => Ok(parsed),
+        None => {
+            write_outcome?;
+            read_outcome?;
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unparseable HTTP response",
+            ))
+        }
+    }
+}
+
+fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next()?;
+    let status: u16 = status_line.split(' ').nth(1)?.parse().ok()?;
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    Some(ClientResponse {
+        status,
+        headers,
+        body: raw[head_end..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_canned_response() {
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 2\r\n\r\nok";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.headers.get("retry-after").map(String::as_str), Some("1"));
+        assert_eq!(r.body_utf8(), "ok");
+    }
+
+    #[test]
+    fn garbage_is_none_not_panic() {
+        assert!(parse_response(b"").is_none());
+        assert!(parse_response(b"not http at all\r\n\r\n").is_none());
+    }
+}

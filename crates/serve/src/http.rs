@@ -1,0 +1,337 @@
+//! A deliberately small HTTP/1.1 reader/writer.
+//!
+//! This is not a general HTTP implementation: it reads exactly one
+//! request per connection (the server always answers
+//! `Connection: close`), understands only what the compilation API
+//! needs — a request line, headers, and an optional `Content-Length`
+//! body — and enforces hard caps on header and body size so untrusted
+//! peers cannot make a worker allocate without bound. Everything
+//! outside that envelope is a typed [`HttpError`] the server maps to a
+//! 4xx response.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on the request line + headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Default upper bound on the request body, bytes.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request path, query string included, undecoded.
+    pub path: String,
+    /// Header names (lowercased) to values.
+    pub headers: BTreeMap<String, String>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8, if it is valid UTF-8.
+    pub fn body_utf8(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The connection closed (or timed out) before a full head arrived.
+    Truncated,
+    /// The request line or a header is malformed.
+    Malformed(String),
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// `Content-Length` exceeded the configured body cap.
+    BodyTooLarge(usize),
+    /// The HTTP version is not 1.0/1.1.
+    BadVersion(String),
+    /// An underlying socket error.
+    Io(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Truncated => write!(f, "connection closed mid-request"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            HttpError::BodyTooLarge(cap) => write!(f, "request body exceeds {cap} bytes"),
+            HttpError::BadVersion(v) => write!(f, "unsupported HTTP version '{v}'"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl HttpError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Truncated | HttpError::Malformed(_) => 400,
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge(_) => 413,
+            HttpError::BadVersion(_) => 505,
+            HttpError::Io(_) => 400,
+        }
+    }
+}
+
+/// Reads one request from `stream`, enforcing `max_body_bytes`.
+///
+/// # Errors
+///
+/// Returns [`HttpError`] on anything other than a well-formed request
+/// within the size caps; socket errors (including read timeouts) map to
+/// [`HttpError::Io`].
+pub fn read_request(stream: &mut impl Read, max_body_bytes: usize) -> Result<Request, HttpError> {
+    // Read in chunks until the blank line; whatever follows it in the
+    // last chunk is the start of the body. (One read per byte would
+    // cost ~100+ syscalls per request on the hot path.)
+    let mut data = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = data.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if data.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Truncated),
+            Ok(n) => data.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    };
+    let head = std::str::from_utf8(&data[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line '{request_line}'"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadVersion(version.to_string()));
+    }
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminating blank line
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without ':': '{line}'")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+    let content_length = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length '{v}'")))?,
+    };
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge(max_body_bytes));
+    }
+    // Body bytes already pulled in with the head, then the remainder
+    // from the stream. Surplus beyond Content-Length is ignored (the
+    // connection answers one request and closes).
+    let mut body = data[head_end..].to_vec();
+    body.truncate(content_length);
+    let already = body.len();
+    if content_length > already {
+        body.resize(content_length, 0);
+        stream.read_exact(&mut body[already..]).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                HttpError::Truncated
+            } else {
+                HttpError::Io(e.to_string())
+            }
+        })?;
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// One response to write back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body bytes (JSON for every API endpoint).
+    pub body: Vec<u8>,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// When set, a `Retry-After: <seconds>` header is emitted (the 503
+    /// backpressure hint).
+    pub retry_after: Option<u32>,
+    /// When `true`, the server begins a graceful shutdown after this
+    /// response is written (the `/admin/shutdown` control signal).
+    pub shutdown: bool,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "application/json",
+            retry_after: None,
+            shutdown: false,
+        }
+    }
+
+    /// The canonical reason phrase for this status.
+    pub fn reason(&self) -> &'static str {
+        reason(self.status)
+    }
+}
+
+/// Reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `response` to `stream` (`Connection: close` always).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; callers treat a failed write as a
+/// dead peer and drop the connection.
+pub fn write_response(stream: &mut impl Write, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len(),
+    );
+    if let Some(seconds) = response.retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut io::Cursor::new(raw.to_vec()), DEFAULT_MAX_BODY_BYTES)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse(b"POST /compile HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/compile");
+        assert_eq!(req.headers.get("host").map(String::as_str), Some("x"));
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn truncated_head_and_body_are_typed() {
+        assert_eq!(parse(b"GET /x HTTP/1.1\r\n"), Err(HttpError::Truncated));
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Truncated)
+        );
+        assert_eq!(parse(b""), Err(HttpError::Truncated));
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected() {
+        assert!(matches!(
+            parse(b"NONSENSE\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/9.9\r\n\r\n"),
+            Err(HttpError::BadVersion(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: lots\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn size_caps_hold() {
+        let huge_head = format!(
+            "GET /x HTTP/1.1\r\nA: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(parse(huge_head.as_bytes()), Err(HttpError::HeadTooLarge));
+        let big_body = b"POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\n";
+        assert_eq!(
+            read_request(&mut io::Cursor::new(big_body.to_vec()), 10),
+            Err(HttpError::BodyTooLarge(10))
+        );
+    }
+
+    #[test]
+    fn response_round_trips_through_a_buffer() {
+        let mut out = Vec::new();
+        let mut resp = Response::json(503, "{\"error\": \"busy\"}");
+        resp.retry_after = Some(1);
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 17\r\n"));
+        assert!(text.ends_with("{\"error\": \"busy\"}"));
+    }
+
+    #[test]
+    fn error_statuses_map_sensibly() {
+        assert_eq!(HttpError::Truncated.status(), 400);
+        assert_eq!(HttpError::HeadTooLarge.status(), 431);
+        assert_eq!(HttpError::BodyTooLarge(1).status(), 413);
+        assert_eq!(HttpError::BadVersion("HTTP/2".into()).status(), 505);
+    }
+}

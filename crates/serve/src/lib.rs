@@ -1,0 +1,38 @@
+//! The serving shell for FlashFuser's compilation service.
+//!
+//! A dependency-free (std-only) HTTP/1.1 server built for exactly one
+//! job: putting a long-lived, concurrency-safe front door in front of
+//! an expensive, memoizable computation. The fusion search is costly
+//! (paper Tab. 8) but pure, so a serving deployment wants one shared
+//! plan cache and single-flight coalescing across *all* concurrent
+//! requests — which requires a process that outlives any one request.
+//!
+//! This crate contains the generic machinery only; it knows nothing
+//! about chains, plans or compilers:
+//!
+//! * [`http`] — a strict one-request-per-connection HTTP/1.1
+//!   reader/writer with hard size caps;
+//! * [`queue`] — the bounded admission queue: backpressure by
+//!   construction, drain-on-close for graceful shutdown;
+//! * [`server`] — acceptor + fixed worker pool, wired to a [`Handler`]
+//!   implementation; saturation answers `503` + `Retry-After` from the
+//!   acceptor thread;
+//! * [`stats`] — relaxed-atomic counters and log-bucketed latency
+//!   histograms (p50/p99 in O(64) with no allocation per sample);
+//! * [`client`] — the minimal blocking client the load generator and
+//!   tests use, so the verification path needs no external tooling.
+//!
+//! The application side (routing, JSON bodies, the compiler itself)
+//! lives in the `flashfuser` facade crate's `service` module, which
+//! implements [`Handler`]; the dependency points that way so this shell
+//! stays reusable and cycle-free.
+
+pub mod client;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use http::{Request, Response};
+pub use server::{Handler, ServeOptions, Server};
+pub use stats::{LatencyHistogram, ServeStats};

@@ -20,5 +20,5 @@ pub mod tables;
 
 pub use e2e::{e2e_speedup, E2eReport};
 pub use ffn_share::ffn_time_share;
-pub use models::{large_model_zoo, model_zoo, ModelSpec};
+pub use models::{find_model, large_model_zoo, model_zoo, ModelSpec};
 pub use tables::{all_workloads, conv_chains, gated_ffn_chains, gemm_chains, Workload};

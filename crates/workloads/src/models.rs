@@ -169,6 +169,16 @@ impl ModelSpec {
     }
 }
 
+/// Looks a model up across [`model_zoo`] and [`large_model_zoo`],
+/// ignoring ASCII case — the lookup behind the CLI `graph` subcommand
+/// and the server's graph requests.
+pub fn find_model(name: &str) -> Option<ModelSpec> {
+    model_zoo()
+        .into_iter()
+        .chain(large_model_zoo())
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
 /// The models of Table I plus the large models of Fig. 16.
 pub fn model_zoo() -> Vec<ModelSpec> {
     vec![

@@ -47,6 +47,14 @@ run_bench tab8_search_time
 run_bench bench_search
 run_bench bench_cache
 
+# Serving smoke: bench_serve starts the real HTTP server on an
+# ephemeral loopback port, fires a mixed load (compile/batch/healthz,
+# plus a same-key burst), and exits non-zero unless the run had zero
+# errors, >= 90% cache hit rate, byte-identical responses, exactly one
+# burst search, and a clean drain through the control endpoint.
+echo "== serve-smoke (bench_serve) =="
+run_bench bench_serve
+
 # Differential fuzzing smoke: generator -> compiler -> stitched
 # execution vs per-op reference. Any numeric or traffic divergence
 # fails the gate; the seed report names the exact repro invocation.

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! flashfuser-cli compile <M> <N> <K> <L> [--gated] [--a100] [--cache-dir DIR]
+//! flashfuser-cli compile --conv <IC> <H> <W> <OC1> <OC2> <K1> <K2> [--a100]
 //! flashfuser-cli batch [--a100] [--cache-dir DIR] [--workers N] [--repeat R] <SPEC>...
 //! flashfuser-cli graph <MODEL> <M> [--layers N] [--a100] [--cache-dir DIR]
 //! flashfuser-cli fuzz --seeds <N> [--ops K] [--start S] [--tol T] [--report PATH]
+//! flashfuser-cli serve [--port P] [--workers N] [--queue-depth D] [--cache-dir DIR]
 //! ```
 //!
 //! `compile` runs the full pipeline for one chain and prints the
@@ -19,7 +21,11 @@
 //! shape hit the plan cache after the first search. `fuzz` drives the
 //! differential oracle: seeded random DAGs are compiled, the stitched
 //! plan is executed against a per-op reference interpreter, and any
-//! divergence is reported with the seed that reproduces it.
+//! divergence is reported with the seed that reproduces it. `serve`
+//! turns the compiler into a long-lived HTTP service: a fixed worker
+//! pool behind a bounded admission queue, one shared plan cache +
+//! single-flight coalescer across all concurrent requests, graceful
+//! shutdown on `POST /admin/shutdown`.
 //!
 //! The bare legacy form `flashfuser-cli <M> <N> <K> <L> [flags]` is
 //! still accepted and treated as `compile`; every other first token
@@ -34,13 +40,17 @@ flashfuser-cli — fusion compiler for operator chains and model graphs
 
 USAGE:
     flashfuser-cli compile <M> <N> <K> <L> [OPTIONS]
+    flashfuser-cli compile --conv <IC> <H> <W> <OC1> <OC2> <K1> <K2> [OPTIONS]
     flashfuser-cli batch <SPEC>... [OPTIONS]
     flashfuser-cli graph <MODEL> <M> [OPTIONS]
     flashfuser-cli fuzz --seeds <N> [OPTIONS]
+    flashfuser-cli serve [OPTIONS]
     flashfuser-cli --help
 
 SUBCOMMANDS:
-    compile   Search the fusion plan for one chain and report it
+    compile   Search the fusion plan for one chain and report it; with
+              --conv the seven extents describe a conv->ReLU->conv(1x1)
+              block that is lowered to the chain via im2col first
     batch     Compile many chains through the plan cache in one call:
               identical graphs are searched once, distinct graphs are
               sharded across worker threads
@@ -53,6 +63,11 @@ SUBCOMMANDS:
               op-by-op reference on identical inputs, and fail on any
               numeric or traffic divergence (each line names the seed
               that reproduces it)
+    serve     Run the compilation service: HTTP/1.1 + JSON on a fixed
+              worker pool behind a bounded admission queue (503 + retry
+              hint when saturated), one shared plan cache and
+              single-flight coalescer across all requests; POST
+              /admin/shutdown drains and exits cleanly
 
 SPEC (batch): MxNxKxL with an optional ':gated' suffix,
               e.g. 128x3072x768x768 or 128x11008x4096x4096:gated
@@ -60,11 +75,13 @@ SPEC (batch): MxNxKxL with an optional ':gated' suffix,
 OPTIONS:
     --gated            Gated-FFN (SwiGLU) chain instead of standard FFN
                        (compile only; in batch use the ':gated' suffix)
+    --conv             Compile a conv chain (compile only; see above)
     --a100             Target the simulated A100 (no DSM) instead of H100
     --cache-dir DIR    Persist compiled plans under DIR and reuse them on
                        later runs (content-addressed; invalidates itself
                        when the machine or search config changes)
-    --workers N        Batch worker threads (default: all cores)
+    --workers N        Batch worker threads, or serve's HTTP worker pool
+                       size (default: all cores)
     --repeat R         Compile the batch list R times over (demonstrates
                        dedup + warm-cache hit rates; default 1)
     --layers N         Layers to lower for 'graph' (default 2, so the
@@ -75,16 +92,23 @@ OPTIONS:
     --ops K            Fuzz: compute ops per generated graph (default 12)
     --tol T            Fuzz: comparison tolerance (default 1e-3)
     --report PATH      Fuzz: also write the per-seed report as JSON
+    --port P           Serve: TCP port on 127.0.0.1 (default 8080; 0
+                       picks an ephemeral port and prints it)
+    --queue-depth D    Serve: admission queue depth before requests are
+                       answered 503 (default 64)
     --dry-run          Parse and validate, print what would run, exit
     -h, --help         Print this help
 
 EXAMPLES:
     flashfuser-cli compile 128 16384 4096 4096
     flashfuser-cli compile 128 11008 4096 4096 --gated --cache-dir /tmp/ff-plans
+    flashfuser-cli compile --conv 64 56 56 256 64 1 1
     flashfuser-cli batch 128x3072x768x768 128x16384x4096x4096 --repeat 3
     flashfuser-cli graph GPT-2 128 --layers 2
     flashfuser-cli fuzz --seeds 16
     flashfuser-cli fuzz --seeds 64 --ops 16 --report FUZZ_report.json
+    flashfuser-cli serve --port 8080 --workers 4 --queue-depth 64
+    flashfuser-cli serve --port 8080 --cache-dir /tmp/ff-plans --a100
 ";
 
 struct CommonOpts {
@@ -93,6 +117,7 @@ struct CommonOpts {
     workers: usize,
     repeat: usize,
     gated: bool,
+    conv: bool,
     layers: usize,
     dry_run: bool,
     seeds: Option<u64>,
@@ -100,6 +125,8 @@ struct CommonOpts {
     ops: usize,
     tol: f32,
     report: Option<String>,
+    port: u16,
+    queue_depth: usize,
 }
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -116,6 +143,7 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
         workers: 0,
         repeat: 1,
         gated: false,
+        conv: false,
         layers: 2,
         dry_run: false,
         seeds: None,
@@ -123,16 +151,19 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
         ops: 12,
         tol: flashfuser::DEFAULT_TOLERANCE,
         report: None,
+        port: 8080,
+        queue_depth: 64,
     };
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--gated" => opts.gated = true,
+            "--conv" => opts.conv = true,
             "--a100" => opts.a100 = true,
             "--dry-run" => opts.dry_run = true,
             "--cache-dir" | "--workers" | "--repeat" | "--layers" | "--seeds" | "--start"
-            | "--ops" | "--tol" | "--report" => {
+            | "--ops" | "--tol" | "--report" | "--port" | "--queue-depth" => {
                 let flag = args[i].clone();
                 i += 1;
                 let value = args
@@ -192,6 +223,19 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
                             return Err("--tol must be positive".to_string());
                         }
                     }
+                    "--port" => {
+                        opts.port = value
+                            .parse()
+                            .map_err(|_| format!("--port: '{value}' is not a port number"))?;
+                    }
+                    "--queue-depth" => {
+                        opts.queue_depth = value
+                            .parse()
+                            .map_err(|_| format!("--queue-depth: '{value}' is not a number"))?;
+                        if opts.queue_depth == 0 {
+                            return Err("--queue-depth must be at least 1".to_string());
+                        }
+                    }
                     _ => unreachable!(),
                 }
             }
@@ -249,14 +293,43 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return usage_error(&e),
     };
-    let dims: Vec<usize> = positional.iter().filter_map(|a| a.parse().ok()).collect();
-    if dims.len() != 4 || dims.contains(&0) || positional.len() != 4 {
-        return usage_error("compile needs exactly 4 positive dimensions <M> <N> <K> <L>");
-    }
-    let chain = if opts.gated {
-        ChainSpec::gated_ffn(dims[0], dims[1], dims[2], dims[3], Activation::Silu)
+    let chain = if opts.conv {
+        if opts.gated {
+            return usage_error("--conv and --gated are mutually exclusive (conv blocks are ReLU)");
+        }
+        let dims: Vec<usize> = positional.iter().filter_map(|a| a.parse().ok()).collect();
+        if dims.len() != 7 || positional.len() != 7 {
+            return usage_error(
+                "compile --conv needs exactly 7 extents <IC> <H> <W> <OC1> <OC2> <K1> <K2>",
+            );
+        }
+        let spec = match flashfuser::graph::ConvChainSpec::try_new(
+            dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6],
+        ) {
+            Ok(spec) => spec,
+            Err(e) => return usage_error(&format!("bad conv block: {e}")),
+        };
+        let chain = spec.to_chain();
+        println!(
+            "conv:     {}x{}x{} -> conv{k1}x{k1}({}) -> relu -> conv1x1({}) lowered via im2col",
+            dims[0],
+            dims[1],
+            dims[2],
+            dims[3],
+            dims[4],
+            k1 = dims[5],
+        );
+        chain
     } else {
-        ChainSpec::standard_ffn(dims[0], dims[1], dims[2], dims[3], Activation::Relu)
+        let dims: Vec<usize> = positional.iter().filter_map(|a| a.parse().ok()).collect();
+        if dims.len() != 4 || dims.contains(&0) || positional.len() != 4 {
+            return usage_error("compile needs exactly 4 positive dimensions <M> <N> <K> <L>");
+        }
+        if opts.gated {
+            ChainSpec::gated_ffn(dims[0], dims[1], dims[2], dims[3], Activation::Silu)
+        } else {
+            ChainSpec::standard_ffn(dims[0], dims[1], dims[2], dims[3], Activation::Relu)
+        }
     };
     let params = machine(&opts);
     if opts.dry_run {
@@ -379,10 +452,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
 
 /// Looks a model up in the zoo (Table I + large models), ignoring case.
 fn find_model(name: &str) -> Option<flashfuser::workloads::ModelSpec> {
-    flashfuser::workloads::model_zoo()
-        .into_iter()
-        .chain(flashfuser::workloads::large_model_zoo())
-        .find(|m| m.name.eq_ignore_ascii_case(name))
+    flashfuser::workloads::find_model(name)
 }
 
 fn cmd_graph(args: &[String]) -> ExitCode {
@@ -490,6 +560,66 @@ fn cmd_graph(args: &[String]) -> ExitCode {
         plan.fused_segments().count(),
         compiler.cache_stats()
     );
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let (opts, positional) = match parse_opts(args) {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return usage_error(&format!(
+            "serve takes no positional arguments, got {positional:?}"
+        ));
+    }
+    let params = machine(&opts);
+    let workers_desc = if opts.workers == 0 {
+        "auto".to_string()
+    } else {
+        opts.workers.to_string()
+    };
+    if opts.dry_run {
+        println!(
+            "dry-run: would serve {} on 127.0.0.1:{} ({} worker(s), queue depth {}{})",
+            params.name,
+            opts.port,
+            workers_desc,
+            opts.queue_depth,
+            opts.cache_dir
+                .as_deref()
+                .map(|d| format!(", plans persisted under {d}"))
+                .unwrap_or_default(),
+        );
+        return ExitCode::SUCCESS;
+    }
+    let compiler = match compiler(&opts) {
+        Ok(c) => std::sync::Arc::new(c),
+        Err(e) => return usage_error(&e),
+    };
+    let options = flashfuser::serve::ServeOptions {
+        workers: opts.workers,
+        queue_depth: opts.queue_depth,
+        ..flashfuser::serve::ServeOptions::default()
+    };
+    let server = match flashfuser::service::start(compiler, ("127.0.0.1", opts.port), options) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("device:    {}", params.name);
+    println!("listening: http://{}", server.addr());
+    println!(
+        "workers:   {workers_desc}, queue depth {}",
+        opts.queue_depth
+    );
+    println!(
+        "endpoints: POST /compile, POST /batch, GET /stats, GET /healthz, POST /admin/shutdown"
+    );
+    server.wait();
+    println!("shut down cleanly (drained the admission queue)");
     ExitCode::SUCCESS
 }
 
@@ -674,6 +804,7 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("graph") => cmd_graph(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         // Legacy form: `flashfuser-cli <M> <N> <K> <L> [flags]`, with
         // flags accepted in any position (`--a100 128 ...` included).
         Some(first) if first.parse::<usize>().is_ok() || first.starts_with("--") => {

@@ -87,6 +87,7 @@ pub use flashfuser_cache as cache;
 pub use flashfuser_comm as comm;
 pub use flashfuser_core as core;
 pub use flashfuser_graph as graph;
+pub use flashfuser_serve as serve;
 pub use flashfuser_sim as sim;
 pub use flashfuser_tensor as tensor;
 pub use flashfuser_workloads as workloads;
@@ -106,6 +107,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
+pub mod service;
 pub mod validate;
 
 pub use validate::{
@@ -264,6 +266,7 @@ pub struct Compiler {
     coalesce: bool,
     searches: AtomicU64,
     profile_calls: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl Compiler {
@@ -300,6 +303,7 @@ impl Compiler {
             coalesce: options.coalesce,
             searches: AtomicU64::new(0),
             profile_calls: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         })
     }
 
@@ -335,6 +339,14 @@ impl Compiler {
         self.profile_calls.load(Ordering::Relaxed)
     }
 
+    /// Requests that joined another caller's in-flight search instead
+    /// of running their own (single-flight followers). The serving
+    /// stats surface this: under a same-key thundering herd,
+    /// `searches_run` stays at 1 while this counts the herd.
+    pub fn coalesced_waits(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
     /// Compiles one chain, consulting the cache first.
     ///
     /// # Errors
@@ -351,6 +363,30 @@ impl Compiler {
     /// the remaining cores for its inner search). Results are returned
     /// in input order; duplicates share one search.
     pub fn compile_batch(&self, chains: &[ChainSpec]) -> Vec<Result<Compiled, SearchError>> {
+        self.batch_records(chains)
+            .into_iter()
+            .zip(chains)
+            .map(|(outcome, chain)| outcome.map(|record| self.to_compiled(chain, &record)))
+            .collect()
+    }
+
+    /// Like [`Compiler::compile_batch`] but returning the full
+    /// persistable [`PlanRecord`] per request (what the serving API
+    /// responds with), each projected onto its caller's chain.
+    pub fn compile_batch_records(
+        &self,
+        chains: &[ChainSpec],
+    ) -> Vec<Result<PlanRecord, SearchError>> {
+        self.batch_records(chains)
+            .into_iter()
+            .zip(chains)
+            .map(|(outcome, chain)| outcome.map(|record| project_record(&record, chain)))
+            .collect()
+    }
+
+    /// The shared batch path: per-input cached-or-searched records
+    /// (duplicates share one `Arc`).
+    fn batch_records(&self, chains: &[ChainSpec]) -> Vec<Result<Arc<PlanRecord>, SearchError>> {
         let keys: Vec<PlanKey> = chains.iter().map(|c| self.key_for(c)).collect();
         // Dedupe: first occurrence of each key claims a slot.
         let mut slot_of = std::collections::HashMap::new();
@@ -386,17 +422,29 @@ impl Compiler {
                 }
             });
         }
-        chains
-            .iter()
-            .zip(&keys)
-            .map(|(chain, key)| {
+        keys.iter()
+            .map(|key| {
                 let slot = slot_of[key];
                 match results[slot].get().expect("every slot filled") {
-                    Ok(record) => Ok(self.to_compiled(chain, record)),
+                    Ok(record) => Ok(Arc::clone(record)),
                     Err(e) => Err(e.clone()),
                 }
             })
             .collect()
+    }
+
+    /// Compiles one chain and returns the full persistable
+    /// [`PlanRecord`] — the serving API's response body — projected
+    /// onto the caller's chain exactly as [`Compiler::compile`]
+    /// projects its [`Compiled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::NoFeasiblePlan`] when no fusion plan
+    /// exists.
+    pub fn compile_record_for(&self, chain: &ChainSpec) -> Result<PlanRecord, SearchError> {
+        let record = self.compile_record(chain, None)?;
+        Ok(project_record(&record, chain))
     }
 
     /// Worker count for a batch of `unique` distinct keys.
@@ -431,7 +479,11 @@ impl Compiler {
             Ok(record)
         };
         if self.coalesce {
-            self.inflight.run(key, search).0
+            let (outcome, leader) = self.inflight.run(key, search);
+            if !leader {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+            outcome
         } else {
             search()
         }
@@ -472,13 +524,12 @@ impl Compiler {
     /// and the caller's version wins — which is exactly what a fresh
     /// search of `chain` would have produced.
     fn to_compiled(&self, chain: &ChainSpec, record: &PlanRecord) -> Compiled {
-        let mut plan = record.plan.clone();
-        plan.chain = chain.clone();
+        let projected = project_record(record, chain);
         Compiled {
-            plan,
-            measured_seconds: record.seconds,
-            global_bytes: record.global_bytes,
-            feasible_candidates: record.feasible,
+            plan: projected.plan,
+            measured_seconds: projected.seconds,
+            global_bytes: projected.global_bytes,
+            feasible_candidates: projected.feasible,
         }
     }
 
@@ -589,6 +640,20 @@ impl Compiler {
             unfused_seconds,
             global_bytes,
         })
+    }
+}
+
+/// A record with the caller's chain substituted for the cached one —
+/// content-equal by key construction, only the name metadata differs.
+fn project_record(record: &PlanRecord, chain: &ChainSpec) -> PlanRecord {
+    let mut plan = record.plan.clone();
+    plan.chain = chain.clone();
+    PlanRecord {
+        plan,
+        seconds: record.seconds,
+        global_bytes: record.global_bytes,
+        dsm_bytes: record.dsm_bytes,
+        feasible: record.feasible,
     }
 }
 

@@ -34,6 +34,10 @@ fn help_prints_every_subcommand_and_exits_zero() {
         "compile",
         "batch",
         "graph",
+        "serve",
+        "--conv",
+        "--port",
+        "--queue-depth",
         "--dry-run",
         "--layers",
         "EXAMPLES",
@@ -130,6 +134,146 @@ fn fuzz_runs_real_seeds_and_writes_the_report() {
     assert!(json.contains("\"failures\": 0"), "{json}");
     assert!(json.contains("\"seed\": 1"), "{json}");
     assert!(json.contains("\"passed\": true"), "{json}");
+}
+
+#[test]
+fn serve_dry_run_covers_every_documented_form() {
+    // Every `serve` invocation the README and --help document, plus
+    // each flag alone, must validate under --dry-run.
+    for args in [
+        vec!["serve"],
+        vec![
+            "serve",
+            "--port",
+            "8080",
+            "--workers",
+            "4",
+            "--queue-depth",
+            "64",
+        ],
+        vec!["serve", "--port", "0"],
+        vec!["serve", "--cache-dir", "/tmp/ff-serve-dry", "--a100"],
+    ] {
+        let mut args = args.clone();
+        args.push("--dry-run");
+        let out = run(&args);
+        assert!(
+            out.status.success(),
+            "serve form failed to parse: {args:?}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("would serve"), "{text}");
+    }
+}
+
+#[test]
+fn serve_rejects_bad_arguments() {
+    for args in [
+        vec!["serve", "extra-positional", "--dry-run"],
+        vec!["serve", "--queue-depth", "0", "--dry-run"],
+        vec!["serve", "--port", "notaport", "--dry-run"],
+        vec!["serve", "--port", "--dry-run"], // missing value swallows the flag
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+    }
+}
+
+#[test]
+fn conv_compile_dry_run_shows_the_lowering() {
+    let out = run(&[
+        "compile",
+        "--conv",
+        "64",
+        "56",
+        "56",
+        "256",
+        "64",
+        "1",
+        "1",
+        "--dry-run",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("lowered via im2col"), "{text}");
+    assert!(
+        text.contains("would compile ffn/relu[M=3136 N=256 K=64 L=64]"),
+        "Table V C1 lowers to M=H*W K=IC N=OC1 L=OC2: {text}"
+    );
+}
+
+#[test]
+fn conv_compile_end_to_end_matches_the_explicit_chain() {
+    // Small block so the real search is fast: IC=16 H=W=8 OC1=32 OC2=16
+    // lowers to M=64 N=32 K=16 L=16.
+    let conv = run(&["compile", "--conv", "16", "8", "8", "32", "16", "1", "1"]);
+    assert!(
+        conv.status.success(),
+        "{}",
+        String::from_utf8_lossy(&conv.stderr)
+    );
+    let conv_text = String::from_utf8(conv.stdout).unwrap();
+    assert!(
+        conv_text.contains("workload: ffn/relu[M=64 N=32 K=16 L=16]"),
+        "{conv_text}"
+    );
+    assert!(conv_text.contains("speedup"), "{conv_text}");
+    // The lowered chain and the explicit chain select the same plan.
+    let chain = run(&["compile", "64", "32", "16", "16"]);
+    assert!(chain.status.success());
+    let chain_text = String::from_utf8(chain.stdout).unwrap();
+    let plan_line = |text: &str| {
+        text.lines()
+            .find(|l| l.starts_with("plan:"))
+            .expect("output has a plan line")
+            .to_string()
+    };
+    assert_eq!(plan_line(&conv_text), plan_line(&chain_text));
+}
+
+#[test]
+fn conv_compile_rejects_bad_geometry() {
+    // Wrong arity.
+    let out = run(&["compile", "--conv", "64", "56", "56", "--dry-run"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Non-1x1 second kernel cannot lower to a two-GEMM chain.
+    let out = run(&[
+        "compile",
+        "--conv",
+        "64",
+        "56",
+        "56",
+        "256",
+        "64",
+        "1",
+        "3",
+        "--dry-run",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("1x1"), "{err}");
+    // An even first kernel is a usage error, not an im2col panic.
+    let out = run(&[
+        "compile",
+        "--conv",
+        "64",
+        "56",
+        "56",
+        "256",
+        "64",
+        "2",
+        "1",
+        "--dry-run",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("odd"), "{err}");
+    // --conv and --gated are incompatible.
+    let out = run(&[
+        "compile", "--conv", "--gated", "16", "8", "8", "32", "16", "1", "1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

@@ -1,0 +1,272 @@
+//! Integration tests for the compilation service: a real server on an
+//! ephemeral loopback port, driven by real TCP clients.
+//!
+//! The load-bearing properties (ISSUE 5 acceptance):
+//!
+//! * a same-key burst of concurrent requests runs **exactly one**
+//!   fusion search and every response is **byte-identical**;
+//! * a saturated admission queue answers 503 + `Retry-After` — it
+//!   never hangs and never panics — while admitted requests still
+//!   complete;
+//! * malformed, oversized and infeasible requests map to typed 4xx
+//!   JSON errors and the server keeps serving afterwards;
+//! * shutdown through the control endpoint drains cleanly.
+
+use flashfuser::prelude::*;
+use flashfuser::serve::{client, ServeOptions};
+use flashfuser::service;
+use flashfuser_core::codec::{decode_record, encode_chain};
+use flashfuser_core::json;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small, fast-to-search chain for request bodies.
+fn small_chain() -> ChainSpec {
+    ChainSpec::standard_ffn(64, 32, 16, 16, Activation::Relu).named("itest")
+}
+
+fn chain_body(chain: &ChainSpec) -> String {
+    format!("{{\"chain\": {}}}", encode_chain(chain))
+}
+
+fn start(options: ServeOptions) -> (flashfuser::serve::Server, Arc<Compiler>, SocketAddr) {
+    let compiler = Arc::new(Compiler::new(MachineParams::h100_sxm()));
+    let server = service::start(Arc::clone(&compiler), ("127.0.0.1", 0), options)
+        .expect("bind ephemeral loopback port");
+    let addr = server.addr();
+    (server, compiler, addr)
+}
+
+#[test]
+fn same_key_burst_runs_one_search_and_responses_are_bit_identical() {
+    let (server, compiler, addr) = start(ServeOptions {
+        workers: 8,
+        ..ServeOptions::default()
+    });
+    let body = chain_body(&small_chain());
+    const K: usize = 8;
+    let mut bodies: Vec<Vec<u8>> = Vec::with_capacity(K);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..K)
+            .map(|_| {
+                let body = body.as_bytes();
+                scope.spawn(move || {
+                    let response = client::post(addr, "/compile", body).expect("burst request");
+                    assert_eq!(response.status, 200, "{}", response.body_utf8());
+                    response.body
+                })
+            })
+            .collect();
+        for handle in handles {
+            bodies.push(handle.join().expect("client thread"));
+        }
+    });
+    // Whether a request coalesced behind the leader's in-flight search
+    // or hit the populated cache, the search ran exactly once...
+    assert_eq!(
+        compiler.searches_run(),
+        1,
+        "burst must coalesce to one search"
+    );
+    // ...and every caller got the same bytes, which decode to a valid
+    // record for the requested chain.
+    for body in &bodies[1..] {
+        assert_eq!(body, &bodies[0], "responses must be byte-identical");
+    }
+    let record = decode_record(std::str::from_utf8(&bodies[0]).unwrap()).expect("record decodes");
+    assert_eq!(record.plan.chain, small_chain());
+    assert!(record.seconds > 0.0);
+    // The server-side stats agree.
+    let stats = json::parse(client::get(addr, "/stats").unwrap().body_utf8()).unwrap();
+    let searches = stats.get("compiler").unwrap().get("searches").unwrap();
+    assert_eq!(searches.as_u64(), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_answers_503_and_admitted_requests_complete() {
+    let (server, _compiler, addr) = start(ServeOptions {
+        workers: 1,
+        queue_depth: 1,
+        debug_handle_delay: Some(Duration::from_millis(300)),
+        ..ServeOptions::default()
+    });
+    const K: usize = 6;
+    let mut responses = Vec::with_capacity(K);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..K)
+            .map(|_| scope.spawn(move || client::get(addr, "/healthz").expect("definitive answer")))
+            .collect();
+        for handle in handles {
+            responses.push(handle.join().expect("client thread"));
+        }
+    });
+    let rejected: Vec<_> = responses.iter().filter(|r| r.status == 503).collect();
+    let served = responses.iter().filter(|r| r.status == 200).count();
+    assert!(
+        rejected.len() >= 3,
+        "one worker held 300 ms + queue depth 1 must reject most of a 6-burst, rejected {}",
+        rejected.len()
+    );
+    assert!(served >= 1, "admitted requests must be served");
+    assert_eq!(served + rejected.len(), K, "nothing may hang or vanish");
+    for r in &rejected {
+        assert_eq!(
+            r.headers.get("retry-after").map(String::as_str),
+            Some("1"),
+            "503 must carry the retry hint"
+        );
+        let doc = json::parse(r.body_utf8()).expect("503 body is JSON");
+        assert!(doc.get("error").is_some());
+    }
+    // The server is still healthy after the storm.
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_infeasible_requests_map_to_typed_errors() {
+    let (server, _compiler, addr) = start(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    let cases: &[(&str, u16)] = &[
+        ("this is not json", 400),
+        ("{}", 400),
+        ("{\"chain\": {\"family\": \"standard\"}}", 400),      // missing fields
+        ("{\"chain\": {\"family\": \"standard\", \"activation\": \"relu\", \"dims\": [1.5, 1, 1, 1]}}", 400), // float
+        ("{\"conv\": {\"dims\": [64, 56, 56, 256, 64, 1, 3]}}", 400), // k2 != 1
+        ("{\"graph\": {\"model\": \"no-such-model\", \"m\": 64}}", 400),
+        (&format!("{{\"deep\": {}{}}}", "[".repeat(64), "]".repeat(64)), 400), // nesting bomb
+        ("{\"chain\": {\"family\": \"standard\", \"activation\": \"relu\", \"dims\": [1, 1, 1, 1]}}", 422), // searches, finds nothing
+    ];
+    for (body, expected) in cases {
+        let response = client::post(addr, "/compile", body.as_bytes()).expect("response");
+        assert_eq!(
+            response.status,
+            *expected,
+            "body {body:?} gave {}: {}",
+            response.status,
+            response.body_utf8()
+        );
+        let doc = json::parse(response.body_utf8()).expect("error body is JSON");
+        assert!(doc.get("error").is_some(), "error body names the problem");
+    }
+    // Routing errors.
+    assert_eq!(client::get(addr, "/no/such/route").unwrap().status, 404);
+    assert_eq!(client::get(addr, "/compile").unwrap().status, 405);
+    assert_eq!(
+        client::request(addr, "DELETE", "/stats", b"")
+            .unwrap()
+            .status,
+        405
+    );
+    // An oversized Content-Length claim is refused before the body is
+    // read (413), and the server keeps serving.
+    let huge_head = format!(
+        "POST /compile HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        64 * 1024 * 1024
+    );
+    assert_eq!(client::raw(addr, huge_head.as_bytes()).unwrap().status, 413);
+    // ... and so is one whose oversized body actually arrives: the
+    // worker drains the stream before closing so the 413 is not
+    // destroyed by an RST racing the unread bytes.
+    let big_body = vec![b'x'; 2 * 1024 * 1024];
+    let r = client::post(addr, "/compile", &big_body).expect("413 must be readable");
+    assert_eq!(r.status, 413);
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+    // All of the above were counted as client errors, none crashed a
+    // worker.
+    let stats = json::parse(client::get(addr, "/stats").unwrap().body_utf8()).unwrap();
+    let bad = stats.get("outcomes").unwrap().get("bad_requests").unwrap();
+    assert!(bad.as_u64().unwrap() >= cases.len() as u64 - 1);
+    server.shutdown();
+}
+
+#[test]
+fn batch_endpoint_dedupes_and_conv_specs_lower_to_the_same_record() {
+    let (server, compiler, addr) = start(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    // C1-shaped conv, scaled down: lowers to the same chain as the
+    // explicit GEMM spec below.
+    let conv = "{\"conv\": {\"dims\": [16, 8, 8, 32, 16, 1, 1]}}";
+    let lowered = ChainSpec::standard_ffn(64, 32, 16, 16, Activation::Relu);
+    let batch = format!(
+        "{{\"requests\": [{conv}, {chain}, {conv}]}}",
+        chain = chain_body(&lowered)
+    );
+    let response = client::post(addr, "/batch", batch.as_bytes()).expect("batch");
+    assert_eq!(response.status, 200, "{}", response.body_utf8());
+    let doc = json::parse(response.body_utf8()).expect("batch response parses");
+    assert_eq!(doc.get("count").and_then(json::JsonValue::as_u64), Some(3));
+    let results = doc.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 3);
+    // All three are records of the same underlying plan: one search.
+    assert_eq!(compiler.searches_run(), 1);
+    for item in results {
+        assert!(item.get("plan").is_some(), "each result is a full record");
+    }
+    assert_eq!(results[0], results[2], "duplicate specs give equal records");
+    // A direct /compile of the conv spec matches the batch item's plan.
+    let single = client::post(addr, "/compile", conv.as_bytes()).unwrap();
+    assert_eq!(single.status, 200);
+    assert_eq!(
+        compiler.searches_run(),
+        1,
+        "still one search after /compile"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn graph_requests_compile_through_the_shared_cache() {
+    let (server, compiler, addr) = start(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    // GPT-2 at a small token count: two layers share every shape, so
+    // layer 2 is pure cache hits.
+    let body = "{\"graph\": {\"model\": \"GPT-2\", \"m\": 64, \"layers\": 2}}";
+    let response = client::post(addr, "/compile", body.as_bytes()).expect("graph compile");
+    assert_eq!(response.status, 200, "{}", response.body_utf8());
+    let doc = json::parse(response.body_utf8()).expect("graph summary parses");
+    assert_eq!(
+        doc.get("model").and_then(json::JsonValue::as_str),
+        Some("GPT-2")
+    );
+    let fused = doc.get("fused").and_then(json::JsonValue::as_u64).unwrap();
+    assert!(fused >= 2, "both layers' FFNs fuse, got {fused}");
+    let searches_after_first = compiler.searches_run();
+    assert!(searches_after_first >= 1);
+    // The identical graph again: zero new searches.
+    let again = client::post(addr, "/compile", body.as_bytes()).unwrap();
+    assert_eq!(again.status, 200);
+    assert_eq!(compiler.searches_run(), searches_after_first);
+    assert_eq!(
+        again.body, response.body,
+        "graph summaries are bit-identical"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn control_shutdown_drains_and_wait_returns() {
+    let (server, _compiler, addr) = start(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+    let response = client::post(addr, "/admin/shutdown", b"").expect("control signal");
+    assert_eq!(response.status, 200);
+    assert!(response.body_utf8().contains("shutting_down"));
+    // wait() joins the acceptor and every worker; returning at all is
+    // the assertion.
+    server.wait();
+    assert!(
+        client::get(addr, "/healthz").is_err(),
+        "no service after drain"
+    );
+}
