@@ -15,17 +15,24 @@
 //!
 //! Generation is deterministic per `(seed, config)`: any divergence a
 //! fuzzing run finds is reproducible from its printed seed alone.
-//! Dimensions stay small (≤ 64) so the differential oracle can afford
-//! real `f32` execution of every generated graph.
+//! Dimensions stay small (≤ [`DEFAULT_MAX_DIM`]) by default so the
+//! differential oracle can afford real `f32` execution of every
+//! generated graph; [`RandGraphConfig::max_dim`] raises the cap for
+//! blocked-kernel sweeps where big GEMMs are the point.
 
 use crate::chain::ChainSpec;
 use crate::op::{NodeId, OpGraph, OpKind};
 use flashfuser_tensor::rng::SplitMix64;
 use flashfuser_tensor::{Activation, BinaryOp};
 
-/// Tile-friendly extents (multiples of the 16-wide MMA granule): chains
-/// built from these can actually be fused by the search engine.
-const FUSIBLE_DIMS: [usize; 4] = [16, 32, 48, 64];
+/// The MMA granule: fusible extents are multiples of this, drawn up to
+/// [`RandGraphConfig::max_dim`].
+const DIM_GRANULE: usize = 16;
+
+/// The default [`RandGraphConfig::max_dim`]: small enough that the
+/// differential oracle can afford real `f32` execution of every
+/// generated graph with the naive reference kernel.
+pub const DEFAULT_MAX_DIM: usize = 64;
 
 /// Awkward extents no legal block tile divides — chains built from
 /// these exercise the `NoFeasiblePlan` → unfused fallback.
@@ -43,6 +50,12 @@ pub struct RandGraphConfig {
     /// Probability that a freshly drawn extent is degenerate (not a
     /// multiple of the MMA granule). `0.0` keeps every chain fusible.
     pub degenerate_prob: f64,
+    /// Largest extent the generator draws: fusible extents are uniform
+    /// multiples of the 16-wide MMA granule in `[16, max_dim]`. Raising
+    /// this (e.g. to 512) produces GEMMs big enough to exercise the
+    /// packed blocked kernel's cache blocking; the default
+    /// ([`DEFAULT_MAX_DIM`]) keeps naive-kernel fuzzing affordable.
+    pub max_dim: usize,
 }
 
 impl RandGraphConfig {
@@ -53,12 +66,25 @@ impl RandGraphConfig {
             ops: 12,
             chain_prob: 0.55,
             degenerate_prob: 0.2,
+            max_dim: DEFAULT_MAX_DIM,
         }
     }
 
     /// This configuration with a different target op count.
     pub fn with_ops(mut self, ops: usize) -> Self {
         self.ops = ops;
+        self
+    }
+
+    /// This configuration with a different largest extent (rounded down
+    /// to a multiple of the 16-wide MMA granule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_dim < 16`.
+    pub fn with_max_dim(mut self, max_dim: usize) -> Self {
+        assert!(max_dim >= DIM_GRANULE, "max_dim must be at least 16");
+        self.max_dim = max_dim;
         self
     }
 }
@@ -83,11 +109,16 @@ pub fn rand_graph(seed: u64, config: &RandGraphConfig) -> OpGraph {
     let mut rng = SplitMix64::new(seed);
     let mut g = OpGraph::new();
 
+    // Uniform multiples of the granule in [16, max_dim]. At the default
+    // max_dim this draws from {16, 32, 48, 64} with the same stream
+    // consumption as earlier generator versions, so default-config
+    // graphs are stable across releases.
+    let buckets = (config.max_dim / DIM_GRANULE).max(1);
     let dim = |rng: &mut SplitMix64| -> usize {
         if rng.next_bool(config.degenerate_prob) {
             *rng.pick(&DEGENERATE_DIMS)
         } else {
-            *rng.pick(&FUSIBLE_DIMS)
+            DIM_GRANULE * (rng.next_index(buckets) + 1)
         }
     };
 
@@ -247,6 +278,32 @@ mod tests {
                 assert!(r <= 64 && c <= 64, "seed {seed}: oversize tensor {r}x{c}");
             }
         }
+    }
+
+    #[test]
+    fn max_dim_scales_the_fusible_extents() {
+        let cfg = RandGraphConfig::new().with_max_dim(512);
+        let mut above_default = 0;
+        for seed in 0..32 {
+            let g = rand_graph(seed, &cfg);
+            for &(r, c) in &g.infer_shapes().unwrap() {
+                assert!(r <= 512 && c <= 512, "seed {seed}: oversize tensor {r}x{c}");
+                above_default += usize::from(r > DEFAULT_MAX_DIM || c > DEFAULT_MAX_DIM);
+            }
+        }
+        assert!(above_default > 0, "512-cap draws never exceeded 64");
+        // The default cap is bit-stable: same stream consumption as the
+        // original four-bucket table.
+        assert_eq!(
+            rand_graph(7, &RandGraphConfig::new()),
+            rand_graph(7, &RandGraphConfig::new().with_max_dim(64)),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16")]
+    fn tiny_max_dim_panics() {
+        let _ = RandGraphConfig::new().with_max_dim(8);
     }
 
     #[test]

@@ -30,8 +30,8 @@ use crate::counters::TrafficCounters;
 use flashfuser_core::{FusedPlan, MemLevel, PlanError};
 use flashfuser_graph::chain::ChainInputs;
 use flashfuser_graph::Dim;
-use flashfuser_tensor::gemm::matmul_accumulate;
-use flashfuser_tensor::{Matrix, ShapeError};
+use flashfuser_tensor::gemm::matmul_accumulate_with;
+use flashfuser_tensor::{Matrix, MicroKernel, NumericConfig, ShapeError};
 use std::error::Error;
 use std::fmt;
 
@@ -83,6 +83,25 @@ pub fn execute_fused(
     inputs: &ChainInputs,
     counters: &mut TrafficCounters,
 ) -> Result<Matrix, ExecError> {
+    execute_fused_with(plan, inputs, counters, NumericConfig::naive())
+}
+
+/// [`execute_fused`] with an explicit numeric backend: every per-tile
+/// GEMM accumulation runs through the selected
+/// [`MicroKernel`]. The traffic
+/// accounting is identical under every backend — the kernel changes how
+/// a tile's FLOPs are computed, never which tiles move.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] under exactly the same conditions as
+/// [`execute_fused`].
+pub fn execute_fused_with(
+    plan: &FusedPlan,
+    inputs: &ChainInputs,
+    counters: &mut TrafficCounters,
+    numeric: NumericConfig,
+) -> Result<Matrix, ExecError> {
     plan.check_geometry()?;
     let dims = plan.chain.dims();
     if inputs.a.shape() != (dims.m, dims.k)
@@ -109,6 +128,7 @@ pub fn execute_fused(
         b: &inputs.b,
         b_gate,
         d: &inputs.d,
+        kernel: numeric.micro_kernel(),
     };
     interp.run(counters)
 }
@@ -120,6 +140,7 @@ struct Interp<'a> {
     b: &'a Matrix,
     b_gate: Option<&'a Matrix>,
     d: &'a Matrix,
+    kernel: &'a dyn MicroKernel,
 }
 
 impl Interp<'_> {
@@ -287,10 +308,15 @@ impl Interp<'_> {
                         counters.add(MemLevel::Global, branches * t.b_tile_bytes());
                         counters.add(MemLevel::Smem, branches * t.b_tile_bytes());
                     }
-                    matmul_accumulate(&mut partial_up[idx], &a_tile, &b_tile)?;
+                    matmul_accumulate_with(self.kernel, &mut partial_up[idx], &a_tile, &b_tile)?;
                     if let Some(bg) = self.b_gate {
                         let g_tile = bg.tile(k0, n0, t.k, t.n)?;
-                        matmul_accumulate(&mut partial_gate[idx], &a_tile, &g_tile)?;
+                        matmul_accumulate_with(
+                            self.kernel,
+                            &mut partial_gate[idx],
+                            &a_tile,
+                            &g_tile,
+                        )?;
                     }
                 }
             }
@@ -383,7 +409,7 @@ impl Interp<'_> {
                             counters.add(MemLevel::Global, t.d_tile_bytes());
                             counters.add(MemLevel::Smem, t.d_tile_bytes());
                         }
-                        matmul_accumulate(acc, c_tile, &d_tile)?;
+                        matmul_accumulate_with(self.kernel, acc, c_tile, &d_tile)?;
                     }
                 }
             }
@@ -604,6 +630,42 @@ mod tests {
                 BlockTile::new(16, 16, 16, 16),
             );
             check_correct(&plan, 8);
+        }
+    }
+
+    #[test]
+    fn blocked_backend_matches_reference_with_identical_traffic() {
+        // The numeric backend changes how a tile's FLOPs are computed,
+        // never which tiles move: counters must agree bit for bit.
+        for chain in [
+            ChainSpec::standard_ffn(32, 128, 64, 128, Activation::Relu),
+            ChainSpec::gated_ffn(16, 64, 32, 64, Activation::Silu),
+        ] {
+            let plan = make_plan(
+                &chain,
+                &[Dim::M],
+                &[Dim::N, Dim::L, Dim::K],
+                ClusterShape::new(1, 2, 2, 2).unwrap(),
+                BlockTile::new(16, 16, 16, 16),
+            );
+            let inputs = chain.make_inputs(12);
+            let expected = chain.reference_output(&inputs).unwrap();
+            let mut naive_c = TrafficCounters::new();
+            execute_fused(&plan, &inputs, &mut naive_c).unwrap();
+            let mut blocked_c = TrafficCounters::new();
+            let got = execute_fused_with(
+                &plan,
+                &inputs,
+                &mut blocked_c,
+                flashfuser_tensor::NumericConfig::blocked(),
+            )
+            .unwrap();
+            assert!(
+                expected.approx_eq(&got, 1e-3).unwrap(),
+                "blocked backend diverged: max err {}",
+                expected.max_abs_diff(&got).unwrap()
+            );
+            assert_eq!(naive_c, blocked_c);
         }
     }
 

@@ -3,7 +3,7 @@
 //! The whole-graph compiler emits segments — fused chains plus unfused
 //! remainders — but until now only single chains could *run*.
 //! [`execute_graph`] closes that gap: fused segments go through the
-//! tile-level [`execute_fused`] interpreter,
+//! tile-level [`crate::execute_fused`] interpreter,
 //! unfused segments through the per-op reference semantics of
 //! [`crate::interp`], and intermediate values are stitched across
 //! segment boundaries exactly where the compiled plan materialises them
@@ -20,21 +20,21 @@
 //! instead of panicking on anything inconsistent.
 
 use crate::counters::TrafficCounters;
-use crate::exec::{execute_fused, ExecError};
+use crate::exec::{execute_fused_with, ExecError};
 use crate::interp::eval_compute;
 use flashfuser_core::{FusedPlan, MemLevel};
 use flashfuser_graph::chain::ChainInputs;
 use flashfuser_graph::op::{NodeId, OpGraph, OpKind};
 use flashfuser_graph::segment::recover_chain_io;
 use flashfuser_graph::GraphShapeError;
-use flashfuser_tensor::Matrix;
+use flashfuser_tensor::{Matrix, NumericConfig};
 use std::error::Error;
 use std::fmt;
 
 /// One segment of a compiled graph plan, as the executor consumes it.
 #[derive(Debug, Clone, Copy)]
 pub enum ExecSegment<'a> {
-    /// A fused chain: run through [`execute_fused`].
+    /// A fused chain: run through [`crate::execute_fused`].
     Fused {
         /// The compiled plan for the segment's chain.
         plan: &'a FusedPlan,
@@ -182,6 +182,25 @@ pub fn execute_graph(
     segments: &[ExecSegment<'_>],
     inputs: &[(NodeId, Matrix)],
 ) -> Result<GraphExecution, GraphExecError> {
+    execute_graph_with(g, segments, inputs, NumericConfig::naive())
+}
+
+/// [`execute_graph`] with an explicit numeric backend: fused segments
+/// run their per-tile accumulations and unfused segments their per-op
+/// GEMMs through the selected
+/// [`flashfuser_tensor::MicroKernel`]. Traffic accounting
+/// is backend-independent.
+///
+/// # Errors
+///
+/// Returns [`GraphExecError`] under exactly the same conditions as
+/// [`execute_graph`].
+pub fn execute_graph_with(
+    g: &OpGraph,
+    segments: &[ExecSegment<'_>],
+    inputs: &[(NodeId, Matrix)],
+    numeric: NumericConfig,
+) -> Result<GraphExecution, GraphExecError> {
     let shapes = g.infer_shapes()?;
     let mut values: Vec<Option<Matrix>> = vec![None; g.len()];
     for (id, m) in inputs {
@@ -193,8 +212,12 @@ pub fn execute_graph(
     let mut traces = Vec::with_capacity(segments.len());
     for (idx, segment) in segments.iter().enumerate() {
         let trace = match segment {
-            ExecSegment::Fused { plan, nodes } => run_fused(g, plan, nodes, idx, &mut values)?,
-            ExecSegment::Unfused { nodes } => run_unfused(g, &shapes, nodes, idx, &mut values)?,
+            ExecSegment::Fused { plan, nodes } => {
+                run_fused(g, plan, nodes, idx, &mut values, numeric)?
+            }
+            ExecSegment::Unfused { nodes } => {
+                run_unfused(g, &shapes, nodes, idx, &mut values, numeric)?
+            }
         };
         traces.push(trace);
     }
@@ -222,6 +245,7 @@ fn run_fused(
     nodes: &[NodeId],
     idx: usize,
     values: &mut [Option<Matrix>],
+    numeric: NumericConfig,
 ) -> Result<SegmentTrace, GraphExecError> {
     let &output = nodes
         .last()
@@ -239,12 +263,13 @@ fn run_fused(
         d: take(io.d)?,
     };
     let mut counters = TrafficCounters::new();
-    let result = execute_fused(plan, &chain_inputs, &mut counters).map_err(|source| {
-        GraphExecError::Exec {
-            segment: idx,
-            source,
-        }
-    })?;
+    let result =
+        execute_fused_with(plan, &chain_inputs, &mut counters, numeric).map_err(|source| {
+            GraphExecError::Exec {
+                segment: idx,
+                source,
+            }
+        })?;
     values[output] = Some(result);
     Ok(SegmentTrace {
         fused: true,
@@ -262,6 +287,7 @@ fn run_unfused(
     nodes: &[NodeId],
     idx: usize,
     values: &mut [Option<Matrix>],
+    numeric: NumericConfig,
 ) -> Result<SegmentTrace, GraphExecError> {
     let &output = nodes
         .last()
@@ -276,9 +302,11 @@ fn run_unfused(
                 });
             }
         }
-        let value = eval_compute(g, values, id).map_err(|source| GraphExecError::Exec {
-            segment: idx,
-            source: ExecError::Shape(source),
+        let value = eval_compute(g, values, id, numeric.micro_kernel()).map_err(|source| {
+            GraphExecError::Exec {
+                segment: idx,
+                source: ExecError::Shape(source),
+            }
         })?;
         values[id] = Some(value);
         counters.kernel_launches += 1;

@@ -3,10 +3,10 @@
 //! [`execute_fused`](crate::execute_fused) runs one *fused chain*; this
 //! module is the other half of the differential oracle: it evaluates
 //! **any** shape-inferred operator DAG node by node with real `f32`
-//! arithmetic — GEMMs through the reference
-//! [`flashfuser_tensor::gemm::matmul`], element-wise operators and
-//! activations through their scalar definitions, transposes as data
-//! movement. Whatever the whole-graph compiler and the stitched
+//! arithmetic — GEMMs through a selectable
+//! [`MicroKernel`] backend (the naive
+//! reference loop by default), element-wise operators and activations
+//! through their scalar definitions, transposes as data movement. Whatever the whole-graph compiler and the stitched
 //! executor ([`crate::graph_exec`]) produce must agree with this
 //! interpreter within tolerance; no fusion decision can change the
 //! mathematics.
@@ -16,7 +16,7 @@
 
 use flashfuser_graph::op::{NodeId, OpGraph, OpKind};
 use flashfuser_tensor::rng::{derive_seed, seeded_matrix};
-use flashfuser_tensor::{Matrix, ShapeError};
+use flashfuser_tensor::{Matrix, MicroKernel, NumericConfig, ShapeError};
 use std::error::Error;
 use std::fmt;
 
@@ -98,6 +98,26 @@ pub fn interpret_graph(
     g: &OpGraph,
     inputs: &[(NodeId, Matrix)],
 ) -> Result<Vec<Matrix>, InterpError> {
+    interpret_graph_with(g, inputs, NumericConfig::naive())
+}
+
+/// [`interpret_graph`] with an explicit numeric backend: every GEMM in
+/// the graph runs through the selected
+/// [`MicroKernel`]. The default
+/// interpreter is the naive-kernel instantiation and stays the oracle;
+/// this variant lets the fuzzer and benchmarks run the same per-op
+/// semantics on the packed blocked kernel.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] under exactly the same conditions as
+/// [`interpret_graph`].
+pub fn interpret_graph_with(
+    g: &OpGraph,
+    inputs: &[(NodeId, Matrix)],
+    numeric: NumericConfig,
+) -> Result<Vec<Matrix>, InterpError> {
+    let kernel = numeric.micro_kernel();
     let mut values: Vec<Option<Matrix>> = Vec::with_capacity(g.len());
     for (id, node) in g.nodes().iter().enumerate() {
         let value = match node.kind {
@@ -116,7 +136,7 @@ pub fn interpret_graph(
                 }
                 bound.clone()
             }
-            _ => eval_compute(g, &values, id)
+            _ => eval_compute(g, &values, id, kernel)
                 .map_err(|source| InterpError::Shape { node: id, source })?,
         };
         values.push(Some(value));
@@ -128,10 +148,10 @@ pub fn interpret_graph(
 }
 
 /// Evaluates one non-`Input` node of `g` against already-materialised
-/// predecessor `values` (indexed by node id). Shared between the
-/// whole-graph interpreter above and the unfused segments of
-/// [`crate::graph_exec`], so both paths define identical per-op
-/// semantics.
+/// predecessor `values` (indexed by node id), routing GEMMs through
+/// `kernel`. Shared between the whole-graph interpreter above and the
+/// unfused segments of [`crate::graph_exec`], so both paths define
+/// identical per-op semantics.
 ///
 /// # Errors
 ///
@@ -146,6 +166,7 @@ pub(crate) fn eval_compute(
     g: &OpGraph,
     values: &[Option<Matrix>],
     id: NodeId,
+    kernel: &dyn MicroKernel,
 ) -> Result<Matrix, ShapeError> {
     let node = g.node(id);
     let arg = |i: usize| {
@@ -155,7 +176,7 @@ pub(crate) fn eval_compute(
     };
     match node.kind {
         OpKind::Input(..) => unreachable!("input nodes are bound, not computed"),
-        OpKind::Matmul => flashfuser_tensor::gemm::matmul(arg(0), arg(1)),
+        OpKind::Matmul => flashfuser_tensor::gemm::matmul_with(kernel, arg(0), arg(1)),
         OpKind::Activation(act) => Ok(act.apply_matrix(arg(0))),
         OpKind::Elementwise(op) => op.apply_matrix(arg(0), arg(1)),
         OpKind::Transpose => Ok(arg(0).transpose()),
@@ -233,6 +254,22 @@ mod tests {
             seeded_graph_inputs(&g, 10)[0].1
         );
         let _ = (a, b);
+    }
+
+    #[test]
+    fn blocked_backend_matches_the_naive_oracle() {
+        let mut g = OpGraph::new();
+        let a = g.add_input("A", 48, 80);
+        let b = g.add_input("B", 80, 64);
+        let mm = g.add_node(OpKind::Matmul, vec![a, b], "mm");
+        let act = g.add_node(OpKind::Activation(Activation::Gelu), vec![mm], "act");
+        g.add_node(OpKind::Output, vec![act], "out");
+        let inputs = seeded_graph_inputs(&g, 21);
+        let naive = interpret_graph(&g, &inputs).unwrap();
+        let blocked = interpret_graph_with(&g, &inputs, NumericConfig::blocked()).unwrap();
+        for (n, bl) in naive.iter().zip(&blocked) {
+            assert!(n.approx_eq(bl, 1e-4).unwrap());
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::exec::ExecError;
 use flashfuser_core::{MachineParams, MemLevel};
 use flashfuser_graph::chain::ChainInputs;
 use flashfuser_graph::ChainSpec;
-use flashfuser_tensor::Matrix;
+use flashfuser_tensor::{gemm, Matrix, NumericConfig};
 
 /// The outcome of an unfused execution: per-kernel times and the total.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,12 +36,31 @@ pub fn execute_unfused(
     inputs: &ChainInputs,
     counters: &mut TrafficCounters,
 ) -> Result<Matrix, ExecError> {
+    execute_unfused_with(chain, inputs, counters, NumericConfig::naive())
+}
+
+/// [`execute_unfused`] with an explicit numeric backend. The non-gated
+/// activation goes through the kernel's fused-epilogue hook
+/// ([`MicroKernel::gemm_epilogue`](flashfuser_tensor::MicroKernel::gemm_epilogue))
+/// — exactly the producer-GEMM epilogue fusion the traffic model
+/// already assumes — so this path exercises the packed kernel's
+/// in-register epilogue. Traffic accounting is backend-independent.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on input-shape mismatch.
+pub fn execute_unfused_with(
+    chain: &ChainSpec,
+    inputs: &ChainInputs,
+    counters: &mut TrafficCounters,
+    numeric: NumericConfig,
+) -> Result<Matrix, ExecError> {
+    let kernel = numeric.micro_kernel();
     let dims = chain.dims();
     let act = chain.kind().activation();
     let gated = chain.kind().is_gated();
 
     // Kernel 1: C_raw = A x B. Reads A and B, writes C.
-    let up = flashfuser_tensor::gemm::matmul(&inputs.a, &inputs.b)?;
     counters.kernel_launches += 1;
     counters.add(
         MemLevel::Global,
@@ -49,9 +68,10 @@ pub fn execute_unfused(
     );
 
     let c = if gated {
+        let up = gemm::matmul_with(kernel, &inputs.a, &inputs.b)?;
         let b_gate = inputs.b_gate.as_ref().ok_or(ExecError::MissingGateWeight)?;
         // Kernel 2: gate = A x B_gate.
-        let gate = flashfuser_tensor::gemm::matmul(&inputs.a, b_gate)?;
+        let gate = gemm::matmul_with(kernel, &inputs.a, b_gate)?;
         counters.kernel_launches += 1;
         counters.add(
             MemLevel::Global,
@@ -65,11 +85,20 @@ pub fn execute_unfused(
         // Activation is fused into the producer GEMM's epilogue by every
         // framework in the paper's baseline set (even Relay does this),
         // so it costs no extra round trip.
-        act.apply_matrix(&up)
+        if inputs.a.cols() != inputs.b.rows() {
+            return Err(ExecError::Shape(flashfuser_tensor::ShapeError::new(
+                "matmul",
+                inputs.a.shape(),
+                inputs.b.shape(),
+            )));
+        }
+        let mut c = Matrix::zeros(inputs.a.rows(), inputs.b.cols());
+        kernel.gemm_epilogue(&mut c, &inputs.a, &inputs.b, act)?;
+        c
     };
 
     // Final kernel: E = C x D. Reads C and D, writes E.
-    let e = flashfuser_tensor::gemm::matmul(&c, &inputs.d)?;
+    let e = gemm::matmul_with(kernel, &c, &inputs.d)?;
     counters.kernel_launches += 1;
     counters.add(
         MemLevel::Global,
@@ -214,6 +243,31 @@ mod tests {
             let mut counters = TrafficCounters::new();
             let got = execute_unfused(&chain, &inputs, &mut counters).unwrap();
             assert!(expected.approx_eq(&got, 1e-4).unwrap());
+        }
+    }
+
+    #[test]
+    fn blocked_backend_matches_reference_with_identical_traffic() {
+        // Above-cutoff shapes so the packed path (and its fused
+        // epilogue) actually runs, not the small-shape naive fallback.
+        for chain in [
+            ChainSpec::standard_ffn(64, 96, 80, 64, Activation::Gelu),
+            ChainSpec::gated_ffn(64, 96, 80, 64, Activation::Silu),
+        ] {
+            let inputs = chain.make_inputs(6);
+            let expected = chain.reference_output(&inputs).unwrap();
+            let mut naive_c = TrafficCounters::new();
+            execute_unfused(&chain, &inputs, &mut naive_c).unwrap();
+            let mut blocked_c = TrafficCounters::new();
+            let got =
+                execute_unfused_with(&chain, &inputs, &mut blocked_c, NumericConfig::blocked())
+                    .unwrap();
+            assert!(
+                expected.approx_eq(&got, 1e-4).unwrap(),
+                "blocked unfused run diverged: max err {}",
+                expected.max_abs_diff(&got).unwrap()
+            );
+            assert_eq!(naive_c, blocked_c);
         }
     }
 

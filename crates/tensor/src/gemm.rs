@@ -3,8 +3,12 @@
 //! These define the ground-truth numerics for every fused plan the
 //! simulator executes: a fused two-GEMM chain must reproduce
 //! `activation(A×B) × D` exactly as computed by the functions here.
+//! The `_with` variants dispatch through a pluggable
+//! [`MicroKernel`] backend; the plain
+//! functions are the naive oracle path.
 
 use crate::error::ShapeError;
+use crate::kernel::{BlockedKernel, MicroKernel};
 use crate::matrix::Matrix;
 
 /// Computes `A × B`.
@@ -32,11 +36,29 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, ShapeError> {
     Ok(c)
 }
 
+/// Computes `A × B` with the selected [`MicroKernel`] backend.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `A.cols() != B.rows()`.
+pub fn matmul_with(kernel: &dyn MicroKernel, a: &Matrix, b: &Matrix) -> Result<Matrix, ShapeError> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul", a.shape(), b.shape()));
+    }
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    kernel.gemm(&mut c, a, b)?;
+    Ok(c)
+}
+
 /// Computes `C += A × B` in place.
 ///
 /// This is the accumulation step a single simulated thread block performs
 /// on its tile, and the building block of the partial-sum dataflow in the
 /// paper's Figure 8 (`E_0_0(0) + E_0_0(1) -> E_0_0`).
+///
+/// The loop body is branch-free: runtime is a function of shape alone,
+/// never of input values, so benchmarks against it measure the kernel
+/// and not the sparsity of its operands.
 ///
 /// # Errors
 ///
@@ -61,9 +83,6 @@ pub fn matmul_accumulate(c: &mut Matrix, a: &Matrix, b: &Matrix) -> Result<(), S
     for i in 0..m {
         for p in 0..k {
             let a_ip = a_s[i * k + p];
-            if a_ip == 0.0 {
-                continue;
-            }
             let b_row = &b_s[p * n..(p + 1) * n];
             let c_row = &mut c_s[i * n..(i + 1) * n];
             for j in 0..n {
@@ -74,12 +93,27 @@ pub fn matmul_accumulate(c: &mut Matrix, a: &Matrix, b: &Matrix) -> Result<(), S
     Ok(())
 }
 
-/// Computes `A × B` with an explicitly blocked loop nest.
+/// Computes `C += A × B` with the selected [`MicroKernel`] backend.
 ///
-/// Functionally identical to [`matmul`] (up to floating-point association)
-/// but iterates in `block`-sized tiles, mirroring how the simulated kernels
-/// traverse the problem. Used by tests to confirm that blocking never
-/// changes results beyond accumulation-order noise.
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes are incompatible.
+pub fn matmul_accumulate_with(
+    kernel: &dyn MicroKernel,
+    c: &mut Matrix,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<(), ShapeError> {
+    kernel.gemm(c, a, b)
+}
+
+/// Computes `A × B` through the packed blocked kernel with a uniform
+/// `block × block × block` cache blocking.
+///
+/// Functionally identical to [`matmul`] (up to floating-point association);
+/// always takes the packed path, whatever the shape, so tests can confirm
+/// that packing, blocking and ragged-edge handling never change results
+/// beyond accumulation-order noise.
 ///
 /// # Errors
 ///
@@ -93,29 +127,8 @@ pub fn matmul_blocked(a: &Matrix, b: &Matrix, block: usize) -> Result<Matrix, Sh
     if a.cols() != b.rows() {
         return Err(ShapeError::new("matmul_blocked", a.shape(), b.shape()));
     }
-    let (m, k) = a.shape();
-    let n = b.cols();
-    let mut c = Matrix::zeros(m, n);
-    let mut i0 = 0;
-    while i0 < m {
-        let ib = block.min(m - i0);
-        let mut j0 = 0;
-        while j0 < n {
-            let jb = block.min(n - j0);
-            let mut acc = Matrix::zeros(ib, jb);
-            let mut p0 = 0;
-            while p0 < k {
-                let pb = block.min(k - p0);
-                let at = a.tile(i0, p0, ib, pb)?;
-                let bt = b.tile(p0, j0, pb, jb)?;
-                matmul_accumulate(&mut acc, &at, &bt)?;
-                p0 += pb;
-            }
-            c.set_tile(i0, j0, &acc)?;
-            j0 += jb;
-        }
-        i0 += ib;
-    }
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    BlockedKernel::with_blocks(block, block, block).gemm_packed(&mut c, a, b, None);
     Ok(c)
 }
 
@@ -127,6 +140,7 @@ pub fn gemm_flops(m: u64, n: u64, k: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::{KernelKind, NaiveKernel};
     use crate::rng::seeded_matrix;
 
     #[test]
@@ -150,6 +164,9 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(4, 2);
         assert!(matmul(&a, &b).is_err());
+        for kind in KernelKind::all() {
+            assert!(matmul_with(kind.kernel(), &a, &b).is_err());
+        }
     }
 
     #[test]
@@ -167,6 +184,39 @@ mod tests {
         let b = Matrix::zeros(2, 2);
         let mut c = Matrix::zeros(3, 2);
         assert!(matmul_accumulate(&mut c, &a, &b).is_err());
+    }
+
+    #[test]
+    fn with_naive_kernel_is_bit_identical_to_plain_matmul() {
+        let a = seeded_matrix(9, 14, 5);
+        let b = seeded_matrix(14, 6, 6);
+        let plain = matmul(&a, &b).unwrap();
+        let routed = matmul_with(&NaiveKernel, &a, &b).unwrap();
+        assert_eq!(plain.as_slice(), routed.as_slice());
+    }
+
+    #[test]
+    fn all_zero_rows_still_produce_exact_results() {
+        // Regression for the removed `if a_ip == 0.0 { continue; }`
+        // branch: rows of zeros must contribute exactly nothing, and
+        // pre-existing accumulator contents must survive untouched.
+        let a = Matrix::from_fn(5, 7, |r, c| {
+            if r == 2 {
+                0.0
+            } else {
+                (r * 7 + c) as f32 * 0.25 - 3.0
+            }
+        });
+        let b = seeded_matrix(7, 4, 4);
+        let c = matmul(&a, &b).unwrap();
+        for j in 0..4 {
+            assert_eq!(c[(2, j)], 0.0);
+        }
+        let mut acc = Matrix::from_fn(5, 4, |_, _| 10.0);
+        matmul_accumulate(&mut acc, &a, &b).unwrap();
+        for j in 0..4 {
+            assert_eq!(acc[(2, j)], 10.0);
+        }
     }
 
     #[test]

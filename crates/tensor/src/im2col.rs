@@ -183,6 +183,25 @@ pub fn conv2d_as_gemm(
     crate::gemm::matmul(&patches, &weights.transpose())
 }
 
+/// [`conv2d_as_gemm`] with an explicit
+/// [`MicroKernel`](crate::kernel::MicroKernel) backend — the
+/// lowered `patches × weightsᵀ` GEMM is exactly the shape the packed
+/// blocked kernel is built for (`H*W` rows, `IC*K*K` deep), so conv
+/// chains reuse the fast path with no conv-specific kernel code.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on layout mismatch.
+pub fn conv2d_as_gemm_with(
+    kernel: &dyn crate::kernel::MicroKernel,
+    input: &Matrix,
+    weights: &Matrix,
+    spec: &Conv2dSpec,
+) -> Result<Matrix, ShapeError> {
+    let patches = im2col(input, spec)?;
+    crate::gemm::matmul_with(kernel, &patches, &weights.transpose())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +271,18 @@ mod tests {
         let weights = seeded_matrix(s.out_channels, s.gemm_k(), 8);
         let direct = conv2d_direct(&input, &weights, &s).unwrap();
         let lowered = conv2d_as_gemm(&input, &weights, &s).unwrap();
+        assert!(direct.transpose().approx_eq(&lowered, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn blocked_lowering_matches_direct_conv() {
+        // Table-V-like extents so the packed path actually engages.
+        let s = Conv2dSpec::new(8, 12, 12, 16, 3);
+        let input = seeded_matrix(s.in_channels, s.height * s.width, 9);
+        let weights = seeded_matrix(s.out_channels, s.gemm_k(), 10);
+        let direct = conv2d_direct(&input, &weights, &s).unwrap();
+        let kernel = crate::kernel::KernelKind::Blocked.kernel();
+        let lowered = conv2d_as_gemm_with(kernel, &input, &weights, &s).unwrap();
         assert!(direct.transpose().approx_eq(&lowered, 1e-4).unwrap());
     }
 

@@ -7,6 +7,10 @@
 //!   buffers.
 //! * [`gemm`] — reference GEMM kernels (naive and blocked) that define
 //!   ground-truth numerics for every fused plan the simulator executes.
+//! * [`kernel`] — pluggable GEMM backends behind the [`MicroKernel`]
+//!   trait: the naive oracle loop and a packed, cache-blocked,
+//!   autovectorized fast path, selected explicitly via
+//!   [`NumericConfig`] (no CPU sniffing, so results are reproducible).
 //! * [`Activation`] / [`BinaryOp`] — the element-wise operators that appear
 //!   between GEMMs in the paper's chains (ReLU, SiLU, Mul, Add, ...).
 //! * [`im2col`] — the convolution-to-GEMM lowering used for the paper's
@@ -29,6 +33,7 @@ pub mod activation;
 pub mod error;
 pub mod gemm;
 pub mod im2col;
+pub mod kernel;
 pub mod matrix;
 pub mod rng;
 pub mod tile;
@@ -36,5 +41,6 @@ pub mod tile;
 pub use activation::{Activation, BinaryOp};
 pub use error::ShapeError;
 pub use im2col::Conv2dSpec;
+pub use kernel::{BlockedKernel, KernelKind, MicroKernel, NaiveKernel, NumericConfig};
 pub use matrix::Matrix;
 pub use tile::TileGrid;

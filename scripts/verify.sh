@@ -47,6 +47,13 @@ run_bench tab8_search_time
 run_bench bench_search
 run_bench bench_cache
 
+# Numeric-backend smoke: bench_interp measures naive vs packed blocked
+# GEMM throughput and validates every zoo layer graph under both
+# backends; it exits non-zero unless blocked wins by >= 5x at dim 1024
+# and the zoo stays green.
+echo "== interp-smoke (bench_interp) =="
+run_bench bench_interp
+
 # Serving smoke: bench_serve starts the real HTTP server on an
 # ephemeral loopback port, fires a mixed load (compile/batch/healthz,
 # plus a same-key burst), and exits non-zero unless the run had zero
@@ -70,6 +77,18 @@ if ! cargo run --release -q --bin flashfuser-cli -- \
     fuzz --seeds "${FUZZ_SEEDS}" --report "${FUZZ_REPORT}"; then
     echo "verify: FAIL — differential fuzzing diverged (see ${FUZZ_REPORT})" >&2
     exit 1
+fi
+
+# Full mode only: a big-extent sweep under the blocked kernel, where the
+# packed path's cache blocking actually engages (the default dims cap
+# keeps the quick gate affordable on the naive oracle).
+if [ "${FLASHFUSER_QUICK}" != "1" ]; then
+    echo "== fuzz-smoke (dims 512, blocked kernel) =="
+    if ! cargo run --release -q --bin flashfuser-cli -- \
+        fuzz --seeds 16 --dims 512 --kernel blocked --report FUZZ_report.dims512.json; then
+        echo "verify: FAIL — blocked-kernel fuzzing diverged (see FUZZ_report.dims512.json)" >&2
+        exit 1
+    fi
 fi
 
 echo "verify: OK"

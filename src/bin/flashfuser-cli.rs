@@ -5,7 +5,7 @@
 //! flashfuser-cli compile --conv <IC> <H> <W> <OC1> <OC2> <K1> <K2> [--a100]
 //! flashfuser-cli batch [--a100] [--cache-dir DIR] [--workers N] [--repeat R] <SPEC>...
 //! flashfuser-cli graph <MODEL> <M> [--layers N] [--a100] [--cache-dir DIR]
-//! flashfuser-cli fuzz --seeds <N> [--ops K] [--start S] [--tol T] [--report PATH]
+//! flashfuser-cli fuzz --seeds <N> [--ops K] [--dims D] [--kernel NAME] [--start S] [--tol T] [--report PATH]
 //! flashfuser-cli serve [--port P] [--workers N] [--queue-depth D] [--cache-dir DIR]
 //! ```
 //!
@@ -90,6 +90,13 @@ OPTIONS:
     --start S          Fuzz: first seed (default 0; rerun one failing
                        seed with --start S --seeds 1)
     --ops K            Fuzz: compute ops per generated graph (default 12)
+    --dims D           Fuzz: largest tensor extent the generator draws
+                       (default 64; multiples of 16 up to D — raise to
+                       512 to push big GEMMs through the packed kernel)
+    --kernel NAME      Fuzz: numeric backend for the stitched execution,
+                       'naive' or 'blocked' (default blocked — the
+                       reference side always runs the naive oracle, so
+                       the default also falsifies the packed kernel)
     --tol T            Fuzz: comparison tolerance (default 1e-3)
     --report PATH      Fuzz: also write the per-seed report as JSON
     --port P           Serve: TCP port on 127.0.0.1 (default 8080; 0
@@ -107,6 +114,8 @@ EXAMPLES:
     flashfuser-cli graph GPT-2 128 --layers 2
     flashfuser-cli fuzz --seeds 16
     flashfuser-cli fuzz --seeds 64 --ops 16 --report FUZZ_report.json
+    flashfuser-cli fuzz --seeds 8 --dims 512 --kernel blocked --report FUZZ_report.dims512.json
+    flashfuser-cli fuzz --seeds 16 --kernel naive
     flashfuser-cli serve --port 8080 --workers 4 --queue-depth 64
     flashfuser-cli serve --port 8080 --cache-dir /tmp/ff-plans --a100
 ";
@@ -123,6 +132,8 @@ struct CommonOpts {
     seeds: Option<u64>,
     start: u64,
     ops: usize,
+    dims: usize,
+    kernel: KernelKind,
     tol: f32,
     report: Option<String>,
     port: u16,
@@ -149,6 +160,8 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
         seeds: None,
         start: 0,
         ops: 12,
+        dims: 64,
+        kernel: KernelKind::Blocked,
         tol: flashfuser::DEFAULT_TOLERANCE,
         report: None,
         port: 8080,
@@ -163,7 +176,8 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
             "--a100" => opts.a100 = true,
             "--dry-run" => opts.dry_run = true,
             "--cache-dir" | "--workers" | "--repeat" | "--layers" | "--seeds" | "--start"
-            | "--ops" | "--tol" | "--report" | "--port" | "--queue-depth" => {
+            | "--ops" | "--dims" | "--kernel" | "--tol" | "--report" | "--port"
+            | "--queue-depth" => {
                 let flag = args[i].clone();
                 i += 1;
                 let value = args
@@ -214,6 +228,19 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
                         if opts.ops == 0 {
                             return Err("--ops must be at least 1".to_string());
                         }
+                    }
+                    "--dims" => {
+                        opts.dims = value
+                            .parse()
+                            .map_err(|_| format!("--dims: '{value}' is not a number"))?;
+                        if opts.dims < 16 {
+                            return Err("--dims must be at least 16".to_string());
+                        }
+                    }
+                    "--kernel" => {
+                        opts.kernel = KernelKind::parse(value).ok_or_else(|| {
+                            format!("--kernel: '{value}' is not 'naive' or 'blocked'")
+                        })?;
                     }
                     "--tol" => {
                         opts.tol = value
@@ -653,8 +680,8 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     let params = machine(&opts);
     if opts.dry_run {
         println!(
-            "dry-run: would fuzz seeds {}..{end} ({} graph(s) of ~{} ops, tol {:.1e}) on {}",
-            opts.start, seeds, opts.ops, opts.tol, params.name
+            "dry-run: would fuzz seeds {}..{end} ({} graph(s) of ~{} ops, dims <= {}, {} kernel, tol {:.1e}) on {}",
+            opts.start, seeds, opts.ops, opts.dims, opts.kernel, opts.tol, params.name
         );
         return ExitCode::SUCCESS;
     }
@@ -662,21 +689,28 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         Ok(c) => c,
         Err(e) => return usage_error(&e),
     };
-    let config = RandGraphConfig::new().with_ops(opts.ops);
+    let config = RandGraphConfig::new()
+        .with_ops(opts.ops)
+        .with_max_dim(opts.dims);
+    let numeric = NumericConfig {
+        kernel: opts.kernel,
+    };
     println!(
-        "device: {}  seeds: {}..{end}  ops/graph: ~{}  tol: {:.1e}",
-        params.name, opts.start, opts.ops, opts.tol
+        "device: {}  seeds: {}..{end}  ops/graph: ~{}  dims: <= {}  kernel: {}  tol: {:.1e}",
+        params.name, opts.start, opts.ops, opts.dims, opts.kernel, opts.tol
     );
     let t0 = std::time::Instant::now();
     let mut outcomes = Vec::with_capacity(seeds as usize);
     for seed in opts.start..end {
         let graph = rand_graph(seed, &config);
         let repro = format!(
-            "flashfuser-cli fuzz --seeds 1 --start {seed} --ops {}{}",
+            "flashfuser-cli fuzz --seeds 1 --start {seed} --ops {} --dims {} --kernel {}{}",
             opts.ops,
+            opts.dims,
+            opts.kernel,
             if opts.a100 { " --a100" } else { "" }
         );
-        let outcome = match validate_graph(&compiler, &graph, seed, opts.tol) {
+        let outcome = match validate_graph_with(&compiler, &graph, seed, opts.tol, numeric) {
             Ok(v) => {
                 let passed = v.passed();
                 let line = format!(
@@ -757,10 +791,12 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
 fn fuzz_report_json(opts: &CommonOpts, outcomes: &[FuzzOutcome], failures: usize) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"seeds\": {},\n  \"start\": {},\n  \"ops\": {},\n  \"tolerance\": {:e},\n  \"failures\": {},\n  \"results\": [\n",
+        "  \"seeds\": {},\n  \"start\": {},\n  \"ops\": {},\n  \"dims\": {},\n  \"kernel\": \"{}\",\n  \"tolerance\": {:e},\n  \"failures\": {},\n  \"results\": [\n",
         outcomes.len(),
         opts.start,
         opts.ops,
+        opts.dims,
+        opts.kernel,
         opts.tol,
         failures
     ));

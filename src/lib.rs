@@ -111,14 +111,15 @@ pub mod service;
 pub mod validate;
 
 pub use validate::{
-    validate_graph, GraphValidation, SegmentCheck, ValidateError, DEFAULT_TOLERANCE,
+    validate_graph, validate_graph_with, GraphValidation, SegmentCheck, ValidateError,
+    DEFAULT_TOLERANCE,
 };
 
 /// The most common imports, bundled.
 pub mod prelude {
     pub use crate::{
-        validate_graph, Compiled, CompiledSegment, Compiler, CompilerOptions, FusedSegment,
-        GraphPlan, GraphValidation, UnfusedSegment,
+        validate_graph, validate_graph_with, Compiled, CompiledSegment, Compiler, CompilerOptions,
+        FusedSegment, GraphPlan, GraphValidation, UnfusedSegment,
     };
     pub use flashfuser_cache::{CacheStats, PlanCache, PlanKey};
     pub use flashfuser_comm::ClusterShape;
@@ -129,7 +130,7 @@ pub mod prelude {
         match_chains, rand_graph, ChainDims, ChainSpec, Dim, OpGraph, OpKind, RandGraphConfig,
     };
     pub use flashfuser_sim::{execute_fused, unfused_time, SimProfiler, TrafficCounters};
-    pub use flashfuser_tensor::{Activation, Matrix};
+    pub use flashfuser_tensor::{Activation, KernelKind, Matrix, NumericConfig};
 }
 
 /// The result of [`compile`]: the selected plan and its measured cost.

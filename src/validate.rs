@@ -54,9 +54,9 @@
 use crate::{Compiled, CompiledSegment, Compiler, GraphCompileError, GraphPlan};
 use flashfuser_core::{DataflowAnalyzer, MemLevel};
 use flashfuser_graph::op::{NodeId, OpGraph, OpKind};
-use flashfuser_sim::graph_exec::{execute_graph, ExecSegment, GraphExecError};
+use flashfuser_sim::graph_exec::{execute_graph_with, ExecSegment, GraphExecError};
 use flashfuser_sim::interp::{interpret_graph, seeded_graph_inputs, InterpError};
-use flashfuser_tensor::Matrix;
+use flashfuser_tensor::{KernelKind, Matrix, NumericConfig};
 use std::error::Error;
 use std::fmt;
 
@@ -115,6 +115,9 @@ pub struct GraphValidation {
     pub seed: u64,
     /// The tolerance the verdict used.
     pub tolerance: f32,
+    /// The numeric backend the stitched execution ran under (the
+    /// reference interpretation is always the naive oracle).
+    pub kernel: KernelKind,
     /// Per-segment checks, in plan order.
     pub segments: Vec<SegmentCheck>,
     /// Largest *normwise* error across the graph's `Output` nodes (or
@@ -244,6 +247,28 @@ pub fn validate_graph(
     seed: u64,
     tolerance: f32,
 ) -> Result<GraphValidation, ValidateError> {
+    validate_graph_with(compiler, graph, seed, tolerance, NumericConfig::naive())
+}
+
+/// [`validate_graph`] with an explicit numeric backend for the
+/// *stitched* execution. The reference interpretation always runs the
+/// naive oracle, so under [`NumericConfig::blocked`] this additionally
+/// falsifies the packed kernel against the oracle on every graph in the
+/// fuzz corpus — at the same tolerance, since the blocked kernel's
+/// reassociation noise (≤ 1e-4 normwise per GEMM) sits well inside
+/// [`DEFAULT_TOLERANCE`]'s headroom.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] under exactly the same conditions as
+/// [`validate_graph`].
+pub fn validate_graph_with(
+    compiler: &Compiler,
+    graph: &OpGraph,
+    seed: u64,
+    tolerance: f32,
+    numeric: NumericConfig,
+) -> Result<GraphValidation, ValidateError> {
     let plan = compiler.compile_graph(graph)?;
     let inputs = seeded_graph_inputs(graph, seed);
     let reference = interpret_graph(graph, &inputs)?;
@@ -263,7 +288,7 @@ pub fn validate_graph(
             CompiledSegment::Unfused(u) => ExecSegment::Unfused { nodes: &u.nodes },
         })
         .collect();
-    let execution = execute_graph(graph, &segments, &inputs)?;
+    let execution = execute_graph_with(graph, &segments, &inputs, numeric)?;
 
     let mut checks = Vec::with_capacity(plan.segments.len());
     for (index, (segment, trace)) in plan.segments.iter().zip(&execution.traces).enumerate() {
@@ -336,6 +361,7 @@ pub fn validate_graph(
     Ok(GraphValidation {
         seed,
         tolerance,
+        kernel: numeric.kernel,
         segments: checks,
         max_err,
         plan,
@@ -439,6 +465,35 @@ mod tests {
         assert!(v.segments[0].fused && !v.segments[1].fused);
         assert!(v.segments[0].traffic_ok && v.segments[1].traffic_ok);
         assert!(v.segments[0].max_err <= DEFAULT_TOLERANCE);
+    }
+
+    #[test]
+    fn validate_graph_passes_under_the_blocked_backend() {
+        // The packed kernel must survive the same differential oracle at
+        // the same tolerance — the reference side stays naive.
+        let compiler = Compiler::new(MachineParams::h100_sxm());
+        let chain = ChainSpec::standard_ffn(16, 64, 32, 32, Activation::Gelu);
+        let mut g = OpGraph::new();
+        let x = g.add_input("x", 16, 32);
+        let l1 = g.append_chain(&chain, x, "l1");
+        let l2 = g.append_chain(&chain, l1, "l2");
+        g.add_node(OpKind::Output, vec![l2], "out");
+        let v = validate_graph_with(
+            &compiler,
+            &g,
+            3,
+            DEFAULT_TOLERANCE,
+            NumericConfig::blocked(),
+        )
+        .unwrap();
+        assert!(v.passed(), "{:?}", v.failures().collect::<Vec<_>>());
+        assert_eq!(v.kernel, KernelKind::Blocked);
+        assert_eq!(
+            validate_graph(&compiler, &g, 3, DEFAULT_TOLERANCE)
+                .unwrap()
+                .kernel,
+            KernelKind::Naive
+        );
     }
 
     #[test]

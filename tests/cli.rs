@@ -277,6 +277,54 @@ fn conv_compile_rejects_bad_geometry() {
 }
 
 #[test]
+fn fuzz_dims_and_kernel_flags_reach_the_run_and_the_report() {
+    let report = std::env::temp_dir().join(format!("ff-fuzz-dims-{}.json", std::process::id()));
+    let report_str = report.to_str().unwrap();
+    let out = run(&[
+        "fuzz", "--seeds", "2", "--ops", "6", "--dims", "128", "--kernel", "blocked", "--report",
+        report_str,
+    ]);
+    assert!(
+        out.status.success(),
+        "fuzz diverged:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("dims: <= 128"), "{text}");
+    assert!(text.contains("kernel: blocked"), "{text}");
+    assert!(text.contains("0 diverged"), "{text}");
+    let json = std::fs::read_to_string(&report).expect("report written");
+    std::fs::remove_file(&report).ok();
+    assert!(json.contains("\"dims\": 128"), "{json}");
+    assert!(json.contains("\"kernel\": \"blocked\""), "{json}");
+    assert!(json.contains("\"failures\": 0"), "{json}");
+}
+
+#[test]
+fn fuzz_naive_kernel_is_selectable() {
+    let out = run(&["fuzz", "--seeds", "1", "--ops", "4", "--kernel", "naive"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("kernel: naive"), "{text}");
+}
+
+#[test]
+fn fuzz_rejects_bad_dims_and_kernels() {
+    let out = run(&["fuzz", "--seeds", "1", "--dims", "8", "--dry-run"]);
+    assert_eq!(out.status.code(), Some(2), "--dims below the granule");
+    let out = run(&["fuzz", "--seeds", "1", "--dims", "many", "--dry-run"]);
+    assert_eq!(out.status.code(), Some(2), "--dims must be numeric");
+    let out = run(&["fuzz", "--seeds", "1", "--kernel", "gpu", "--dry-run"]);
+    assert_eq!(out.status.code(), Some(2), "unknown kernel name");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("naive") && err.contains("blocked"), "{err}");
+}
+
+#[test]
 fn fuzz_requires_seeds_and_rejects_positionals() {
     let out = run(&["fuzz"]);
     assert_eq!(out.status.code(), Some(2));
