@@ -12,7 +12,7 @@
 
 use crate::policies::BaselineResult;
 use flashfuser_core::{
-    DataflowAnalyzer, MachineParams, MemLevel, PruneConfig, SearchConfig, SearchEngine,
+    DataflowAnalyzer, MachineDescriptor, MemLevel, PruneConfig, SearchConfig, SearchEngine,
 };
 use flashfuser_graph::ChainSpec;
 use flashfuser_sim::{unfused_time, SimProfiler, TimingModel};
@@ -54,7 +54,7 @@ impl AblationVariant {
 pub fn run_ablation(
     variant: AblationVariant,
     chain: &ChainSpec,
-    params: &MachineParams,
+    params: &MachineDescriptor,
 ) -> BaselineResult {
     let engine = SearchEngine::new(params.clone());
     match variant {
@@ -143,7 +143,7 @@ pub fn run_ablation(
 fn run_search(
     variant: AblationVariant,
     chain: &ChainSpec,
-    params: &MachineParams,
+    params: &MachineDescriptor,
     engine: &SearchEngine,
     config: &SearchConfig,
     profiler: &mut SimProfiler,
@@ -196,7 +196,7 @@ mod tests {
         // (its only parallelism source, grid-spatial M, cannot fill the
         // GPU at M=128).
         let chain = ChainSpec::standard_ffn(128, 8192, 2048, 2048, Activation::Relu);
-        let p = MachineParams::h100_sxm();
+        let p = MachineDescriptor::h100_sxm();
         let times: Vec<f64> = AblationVariant::ALL
             .iter()
             .map(|&v| run_ablation(v, &chain, &p).seconds)

@@ -35,10 +35,10 @@ pub use policies::{
     WelderPolicy,
 };
 
-use flashfuser_core::MachineParams;
+use flashfuser_core::MachineDescriptor;
 
 /// The full Fig. 10 comparison suite, in the paper's plotting order.
-pub fn suite(params: &MachineParams) -> Vec<Box<dyn Baseline>> {
+pub fn suite(params: &MachineDescriptor) -> Vec<Box<dyn Baseline>> {
     vec![
         Box::new(BoltPolicy::new(params.clone())),
         Box::new(FlashFuserPolicy::new(params.clone())),

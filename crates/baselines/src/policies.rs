@@ -1,6 +1,6 @@
 //! The baseline policies.
 
-use flashfuser_core::{MachineParams, MemLevel, PruneConfig, SearchConfig, SearchEngine};
+use flashfuser_core::{MachineDescriptor, MemLevel, PruneConfig, SearchConfig, SearchEngine};
 use flashfuser_graph::ChainSpec;
 use flashfuser_sim::{unfused_time, SimProfiler};
 use std::fmt;
@@ -52,7 +52,7 @@ pub trait Baseline {
 fn unfused_result(
     name: &'static str,
     chain: &ChainSpec,
-    params: &MachineParams,
+    params: &MachineDescriptor,
     efficiency: f64,
     detail: &str,
 ) -> BaselineResult {
@@ -71,12 +71,12 @@ macro_rules! unfused_policy {
         $(#[$doc])*
         #[derive(Debug, Clone)]
         pub struct $name {
-            params: MachineParams,
+            params: MachineDescriptor,
         }
 
         impl $name {
             /// Creates the policy.
-            pub fn new(params: MachineParams) -> Self {
+            pub fn new(params: MachineDescriptor) -> Self {
                 Self { params }
             }
         }
@@ -122,12 +122,12 @@ unfused_policy!(
 /// launch); it cannot fuse *sequential* GEMMs.
 #[derive(Debug, Clone)]
 pub struct TasoPolicy {
-    params: MachineParams,
+    params: MachineDescriptor,
 }
 
 impl TasoPolicy {
     /// Creates the policy.
-    pub fn new(params: MachineParams) -> Self {
+    pub fn new(params: MachineDescriptor) -> Self {
         Self { params }
     }
 }
@@ -150,8 +150,8 @@ impl Baseline for TasoPolicy {
             let gemm1_bytes = d.intermediate_bytes_f16() + d.d_bytes_f16() + d.e_bytes_f16();
             let p = &self.params;
             let kernel = |flops: f64, bytes: u64| {
-                (flops / (p.peak_flops * EFF)).max(bytes as f64 / (p.hbm_bw * EFF))
-                    + p.kernel_launch_s
+                (flops / (p.peak_flops() * EFF)).max(bytes as f64 / (p.hbm_bw() * EFF))
+                    + p.kernel_launch_s()
             };
             let seconds = kernel(2.0 * d.gemm0_flops() as f64, wide_gemm_bytes)
                 + kernel(d.intermediate_bytes_f16() as f64, actmul_bytes)
@@ -175,13 +175,13 @@ impl Baseline for TasoPolicy {
 /// unfused CUTLASS kernels (eff 0.85) when no template fits.
 #[derive(Debug, Clone)]
 pub struct BoltPolicy {
-    params: MachineParams,
+    params: MachineDescriptor,
     engine: SearchEngine,
 }
 
 impl BoltPolicy {
     /// Creates the policy.
-    pub fn new(params: MachineParams) -> Self {
+    pub fn new(params: MachineDescriptor) -> Self {
         let engine = SearchEngine::new(params.clone());
         Self { params, engine }
     }
@@ -258,13 +258,13 @@ impl Baseline for BoltPolicy {
 fn smem_fuser(
     name: &'static str,
     chain: &ChainSpec,
-    params: &MachineParams,
+    params: &MachineDescriptor,
     engine: &SearchEngine,
     fused_scale: f64,
     fallback_eff: f64,
 ) -> BaselineResult {
     let intermediate = chain.dims().intermediate_bytes_f16();
-    let budget = params.smem_bytes_per_sm;
+    let budget = params.smem_bytes_per_sm();
     if intermediate <= budget {
         let config = SearchConfig::smem_only();
         let mut profiler = SimProfiler::with_analyzer(
@@ -302,13 +302,13 @@ macro_rules! smem_fuser_policy {
         $(#[$doc])*
         #[derive(Debug, Clone)]
         pub struct $name {
-            params: MachineParams,
+            params: MachineDescriptor,
             engine: SearchEngine,
         }
 
         impl $name {
             /// Creates the policy.
-            pub fn new(params: MachineParams) -> Self {
+            pub fn new(params: MachineDescriptor) -> Self {
                 let engine = SearchEngine::new(params.clone());
                 Self { params, engine }
             }
@@ -371,12 +371,12 @@ smem_fuser_policy!(
 /// unchanged (the intermediate still round-trips).
 #[derive(Debug, Clone)]
 pub struct PipeThreaderPolicy {
-    params: MachineParams,
+    params: MachineDescriptor,
 }
 
 impl PipeThreaderPolicy {
     /// Creates the policy.
-    pub fn new(params: MachineParams) -> Self {
+    pub fn new(params: MachineDescriptor) -> Self {
         Self { params }
     }
 }
@@ -402,7 +402,7 @@ impl Baseline for PipeThreaderPolicy {
 /// profiled on the simulator (Algorithm 2 end to end).
 #[derive(Debug, Clone)]
 pub struct FlashFuserPolicy {
-    params: MachineParams,
+    params: MachineDescriptor,
     engine: SearchEngine,
     config: SearchConfig,
 }
@@ -411,11 +411,11 @@ impl FlashFuserPolicy {
     /// Creates the policy with the paper's `K = 11`. The cluster limit
     /// (and hence DSM availability) follows the target device: 16 on
     /// H100, 1 on the A100 preset.
-    pub fn new(params: MachineParams) -> Self {
+    pub fn new(params: MachineDescriptor) -> Self {
         let engine = SearchEngine::new(params.clone());
         let mut config = SearchConfig::default();
-        config.prune.max_cluster = params.max_cluster;
-        if params.max_cluster <= 1 {
+        config.prune.max_cluster = params.max_cluster();
+        if params.max_cluster() <= 1 {
             // Pre-Hopper: no DSM pool to spill into.
             config.prune.lowest_spill = MemLevel::Smem;
         }
@@ -482,8 +482,8 @@ mod tests {
     use super::*;
     use flashfuser_tensor::Activation;
 
-    fn params() -> MachineParams {
-        MachineParams::h100_sxm()
+    fn params() -> MachineDescriptor {
+        MachineDescriptor::h100_sxm()
     }
 
     /// OPT-1.3B (G8): the large-intermediate regime.

@@ -8,7 +8,7 @@
 
 use flashfuser_comm::ClusterShape;
 use flashfuser_core::{
-    BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams, SearchConfig, SearchEngine,
+    BlockTile, DataflowAnalyzer, LoopSchedule, MachineDescriptor, SearchConfig, SearchEngine,
 };
 use flashfuser_graph::{ChainSpec, Dim};
 use flashfuser_sim::{execute_fused, SimProfiler, TrafficCounters};
@@ -44,7 +44,7 @@ fn bench_analyzer() {
     let schedule = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
     let cluster = ClusterShape::new(1, 4, 2, 8).unwrap();
     let tile = BlockTile::new(128, 128, 64, 128);
-    let analyzer = DataflowAnalyzer::new(MachineParams::h100_sxm());
+    let analyzer = DataflowAnalyzer::new(MachineDescriptor::h100_sxm());
     let t = time_it(20, 200, || {
         analyzer
             .analyze(black_box(&chain), &schedule, cluster, tile)
@@ -54,7 +54,7 @@ fn bench_analyzer() {
 }
 
 fn bench_search() {
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let engine = SearchEngine::new(params.clone());
     for (name, n, k, rounds) in [("small", 512usize, 256usize, 10), ("g8", 8192, 2048, 5)] {
         let chain = ChainSpec::standard_ffn(128, n, k, k, Activation::Relu);
@@ -73,7 +73,7 @@ fn bench_interpreter() {
     let schedule = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
     let cluster = ClusterShape::new(1, 4, 2, 4).unwrap();
     let tile = BlockTile::new(16, 16, 16, 16);
-    let plan = DataflowAnalyzer::new(MachineParams::h100_sxm())
+    let plan = DataflowAnalyzer::new(MachineDescriptor::h100_sxm())
         .analyze(&chain, &schedule, cluster, tile)
         .unwrap()
         .plan()

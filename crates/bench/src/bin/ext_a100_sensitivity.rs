@@ -3,14 +3,14 @@
 //! FlashFuser's win is the inter-core connection itself.
 
 use flashfuser_baselines::{Baseline, FlashFuserPolicy, PyTorchPolicy};
-use flashfuser_core::MachineParams;
+use flashfuser_core::MachineDescriptor;
 use flashfuser_workloads::{gated_ffn_chains, gemm_chains};
 
 fn main() {
     println!("== Extension: FlashFuser speedup over PyTorch, H100 vs A100 ==");
     println!("{:<6}{:>12}{:>12}", "id", "H100", "A100");
-    let h100 = MachineParams::h100_sxm();
-    let a100 = MachineParams::a100_sxm();
+    let h100 = MachineDescriptor::h100_sxm();
+    let a100 = MachineDescriptor::a100_sxm();
     let workloads: Vec<_> = gemm_chains()
         .into_iter()
         .chain(gated_ffn_chains())

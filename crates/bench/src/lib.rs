@@ -7,7 +7,7 @@
 //! comparable with the paper — EXPERIMENTS.md records both sides.
 
 use flashfuser_baselines::{Baseline, BaselineResult};
-use flashfuser_core::MachineParams;
+use flashfuser_core::MachineDescriptor;
 use flashfuser_workloads::Workload;
 
 /// Runs every system of `suite` on every workload, returning
@@ -68,8 +68,8 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
 }
 
 /// The default evaluation machine.
-pub fn h100() -> MachineParams {
-    MachineParams::h100_sxm()
+pub fn h100() -> MachineDescriptor {
+    MachineDescriptor::h100_sxm()
 }
 
 /// `true` when `FLASHFUSER_QUICK=1`: benches restrict themselves to the

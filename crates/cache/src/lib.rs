@@ -38,7 +38,7 @@ pub use lru::Lru;
 pub use store::DiskStore;
 
 use flashfuser_core::codec::PlanRecord;
-use flashfuser_core::{MachineParams, SearchConfig};
+use flashfuser_core::{MachineDescriptor, SearchConfig};
 use flashfuser_graph::ChainSpec;
 use std::fmt;
 use std::io;
@@ -57,7 +57,7 @@ use std::sync::{Arc, Mutex};
 pub struct PlanKey {
     /// Canonical graph fingerprint ([`ChainSpec::fingerprint`]).
     pub graph: u64,
-    /// Machine fingerprint ([`MachineParams::fingerprint`]).
+    /// Machine fingerprint ([`MachineDescriptor::fingerprint`]).
     pub machine: u64,
     /// Search-config fingerprint ([`SearchConfig::fingerprint`]).
     pub config: u64,
@@ -74,7 +74,7 @@ impl PlanKey {
     }
 
     /// Derives the key for one compilation request.
-    pub fn derive(chain: &ChainSpec, params: &MachineParams, config: &SearchConfig) -> Self {
+    pub fn derive(chain: &ChainSpec, params: &MachineDescriptor, config: &SearchConfig) -> Self {
         Self {
             graph: chain.fingerprint(),
             machine: params.fingerprint(),
@@ -278,7 +278,7 @@ mod tests {
 
     fn record(tag: &str) -> Arc<PlanRecord> {
         let chain = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu).named(tag);
-        let engine = SearchEngine::new(MachineParams::h100_sxm());
+        let engine = SearchEngine::new(MachineDescriptor::h100_sxm());
         let result = engine.search(&chain, &SearchConfig::default()).unwrap();
         Arc::new(PlanRecord {
             plan: result.best().analysis.plan().clone(),
@@ -291,7 +291,7 @@ mod tests {
 
     #[test]
     fn key_separates_all_three_axes() {
-        let params = MachineParams::h100_sxm();
+        let params = MachineDescriptor::h100_sxm();
         let config = SearchConfig::default();
         let g3 = ChainSpec::standard_ffn(128, 512, 416, 256, Activation::Relu);
         let other = ChainSpec::standard_ffn(128, 512, 416, 128, Activation::Relu);
@@ -299,7 +299,7 @@ mod tests {
         assert_ne!(base, PlanKey::derive(&other, &params, &config));
         assert_ne!(
             base,
-            PlanKey::derive(&g3, &MachineParams::a100_sxm(), &config)
+            PlanKey::derive(&g3, &MachineDescriptor::a100_sxm(), &config)
         );
         let mut cfg2 = config.clone();
         cfg2.top_k = 5;

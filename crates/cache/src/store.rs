@@ -88,7 +88,7 @@ impl DiskStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flashfuser_core::{MachineParams, SearchConfig, SearchEngine};
+    use flashfuser_core::{MachineDescriptor, SearchConfig, SearchEngine};
     use flashfuser_graph::ChainSpec;
     use flashfuser_tensor::Activation;
 
@@ -103,7 +103,7 @@ mod tests {
 
     fn record() -> PlanRecord {
         let chain = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu).named("st");
-        let engine = SearchEngine::new(MachineParams::h100_sxm());
+        let engine = SearchEngine::new(MachineDescriptor::h100_sxm());
         let result = engine.search(&chain, &SearchConfig::default()).unwrap();
         PlanRecord {
             plan: result.best().analysis.plan().clone(),

@@ -29,7 +29,7 @@
 //! reuse pass (`trips_l` passes for a C strip, `2*trips_n - 1` for an
 //! accumulated E strip).
 
-use crate::machine::{MachineParams, MemLevel};
+use crate::machine::{MachineDescriptor, MemLevel};
 use crate::mapping::{ResourceMapping, TensorMapping, TensorRole};
 use crate::plan::{FusedPlan, PlanError, PlanGeometry};
 use crate::schedule::LoopSchedule;
@@ -207,7 +207,7 @@ impl DataflowAnalysis {
 /// ablation of Fig. 15 uses `MemLevel::Global`.
 #[derive(Debug, Clone)]
 pub struct DataflowAnalyzer {
-    params: MachineParams,
+    params: MachineDescriptor,
     lowest_spill: MemLevel,
     allow_inter_cluster_reduce: bool,
 }
@@ -215,7 +215,7 @@ pub struct DataflowAnalyzer {
 impl DataflowAnalyzer {
     /// Creates the analyzer with the FlashFuser default (spill up to DSM,
     /// TMA atomic inter-cluster reduction available).
-    pub fn new(params: MachineParams) -> Self {
+    pub fn new(params: MachineDescriptor) -> Self {
         Self {
             params,
             lowest_spill: MemLevel::Dsm,
@@ -243,7 +243,7 @@ impl DataflowAnalyzer {
     }
 
     /// The machine parameters in use.
-    pub fn params(&self) -> &MachineParams {
+    pub fn params(&self) -> &MachineDescriptor {
         &self.params
     }
 
@@ -300,10 +300,10 @@ impl DataflowAnalyzer {
         let c_accum = (tile.m * tile.n) as u64 * 4;
         let e_accum = (tile.m * tile.l) as u64 * 4;
         let reg_needed = c_accum.max(e_accum);
-        if reg_needed > self.params.reg_bytes_per_sm {
+        if reg_needed > self.params.reg_bytes_per_sm() {
             return Err(AnalysisError::AccumulatorTooLarge {
                 required: reg_needed,
-                available: self.params.reg_bytes_per_sm,
+                available: self.params.reg_bytes_per_sm(),
             });
         }
 
@@ -311,10 +311,10 @@ impl DataflowAnalyzer {
         let smem_working = 2
             * (tile.a_tile_bytes() + branches * tile.b_tile_bytes() + tile.d_tile_bytes())
             + 2 * tile.c_tile_bytes();
-        if smem_working > self.params.smem_bytes_per_sm {
+        if smem_working > self.params.smem_bytes_per_sm() {
             return Err(AnalysisError::WorkingSetTooLarge {
                 required: smem_working,
-                available: self.params.smem_bytes_per_sm,
+                available: self.params.smem_bytes_per_sm(),
             });
         }
 
@@ -340,17 +340,25 @@ impl DataflowAnalyzer {
         };
 
         // --- Greedy placement (Algorithm 1 lines 15-23). ------------------
-        let free_smem = self.params.smem_bytes_per_sm - smem_working;
-        let free_reg = self.params.reg_bytes_per_sm - reg_needed;
+        let free_smem = self.params.smem_bytes_per_sm() - smem_working;
+        let free_reg = self.params.reg_bytes_per_sm() - reg_needed;
         let peer_blocks = cluster.blocks().saturating_sub(1) as u64;
+        // The pool one peer contributes over the fabric is its Cluster-
+        // tier window minus its own working set (peers run the same
+        // kernel). On machines where the window is the peer's whole
+        // scratchpad (H100) this is exactly the peer's free SMEM.
+        let peer_free = self
+            .params
+            .capacity(MemLevel::Dsm)
+            .saturating_sub(smem_working);
         let mut budget = BTreeMap::from([
             (MemLevel::Reg, free_reg),
             (MemLevel::Smem, free_smem),
-            // The DSM pool is the aggregated free SMEM of the peer blocks
-            // in the cluster. Strips of peer blocks are disjoint slices of
-            // the same logical tensor, so per-block accounting against the
-            // peer pool does not double-count (see DESIGN.md).
-            (MemLevel::Dsm, peer_blocks * free_smem),
+            // The DSM pool is the aggregated free window of the peer
+            // blocks in the cluster. Strips of peer blocks are disjoint
+            // slices of the same logical tensor, so per-block accounting
+            // against the peer pool does not double-count (see DESIGN.md).
+            (MemLevel::Dsm, peer_blocks * peer_free),
             (MemLevel::Global, u64::MAX),
         ]);
         let mut mapping = ResourceMapping::new();
@@ -389,7 +397,7 @@ impl DataflowAnalyzer {
         let clusters = geometry.clusters_total();
         let blocks = clusters * cluster.blocks() as u64;
         let (cls_m, cls_n, cls_k) = (cluster.m() as u64, cluster.n() as u64, cluster.k() as u64);
-        let traffic = geometry.mandatory_traffic(chain, cluster, tile, self.params.l2_bytes);
+        let traffic = geometry.mandatory_traffic(chain, cluster, tile, self.params.l2_bytes());
         let l2_raw = traffic.l2_raw_bytes;
         let mut global = traffic.hbm_bytes;
 
@@ -493,7 +501,7 @@ mod tests {
     }
 
     fn analyzer() -> DataflowAnalyzer {
-        DataflowAnalyzer::new(MachineParams::h100_sxm())
+        DataflowAnalyzer::new(MachineDescriptor::h100_sxm())
     }
 
     fn sched(spatial: &[Dim], temporal: &[Dim]) -> LoopSchedule {

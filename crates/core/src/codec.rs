@@ -13,7 +13,9 @@
 //! callers, never as an error surfaced to users.
 
 use crate::json::{self, JsonValue};
-use crate::machine::MemLevel;
+use crate::machine::{
+    ComputeParams, MachineDescriptor, MachineError, MemLevel, MemTier, TierScope,
+};
 use crate::mapping::{ResourceMapping, TensorMapping, TensorRole};
 use crate::plan::{FusedPlan, PlanGeometry};
 use crate::schedule::LoopSchedule;
@@ -53,6 +55,9 @@ pub enum CodecError {
     Malformed(String),
     /// The document is a different format version.
     Version(u64),
+    /// A machine document parsed but the descriptor violates a
+    /// machine-model invariant (empty tier list, zero bandwidth, ...).
+    Machine(MachineError),
 }
 
 impl fmt::Display for CodecError {
@@ -63,6 +68,7 @@ impl fmt::Display for CodecError {
             CodecError::Version(v) => {
                 write!(f, "plan record format version {v} != {FORMAT_VERSION}")
             }
+            CodecError::Machine(e) => write!(f, "invalid machine descriptor: {e}"),
         }
     }
 }
@@ -389,16 +395,209 @@ pub fn decode_record(text: &str) -> Result<PlanRecord, CodecError> {
     })
 }
 
+// ---------------------------------------------------------------------
+// Machine descriptors
+// ---------------------------------------------------------------------
+
+/// Renders a machine descriptor as a versioned JSON document (stable
+/// layout, trailing newline) — the format of `machines/*.json` files
+/// and of inline `"machine"` objects in server request bodies.
+///
+/// Floats are written by [`json::format_f64`] (shortest round-trip
+/// decimal), so `decode_machine(encode_machine(d))` reproduces every
+/// bandwidth and latency bit-identically.
+pub fn encode_machine(d: &MachineDescriptor) -> String {
+    let c = d.compute();
+    let mut tiers = Vec::with_capacity(d.tiers().len());
+    for t in d.tiers() {
+        tiers.push(format!(
+            "    {{\"name\": \"{name}\", \"scope\": \"{scope}\", \
+             \"capacity_bytes\": {capacity}, \"bandwidth\": {bandwidth}, \
+             \"latency_cycles\": {latency}, \"bandwidth_derate\": {derate}, \
+             \"latency_slope_cycles\": {slope}, \"peak_bandwidth\": {peak}}}",
+            name = json::escape(&t.name),
+            scope = t.scope,
+            capacity = t.capacity_bytes,
+            bandwidth = json::format_f64(t.bandwidth),
+            latency = json::format_f64(t.latency_cycles),
+            derate = json::format_f64(t.bandwidth_derate),
+            slope = json::format_f64(t.latency_slope_cycles),
+            peak = json::format_f64(t.peak_bandwidth),
+        ));
+    }
+    format!(
+        concat!(
+            "{{\n",
+            "  \"version\": {version},\n",
+            "  \"kind\": \"machine\",\n",
+            "  \"name\": \"{name}\",\n",
+            "  \"compute\": {{\"num_sms\": {num_sms}, \"clock_hz\": {clock_hz}, ",
+            "\"peak_flops\": {peak_flops}, \"max_cluster\": {max_cluster}, ",
+            "\"barrier_cycles\": {barrier_cycles}, \"kernel_launch_s\": {kernel_launch_s}}},\n",
+            "  \"tiers\": [\n{tiers}\n  ]\n",
+            "}}\n",
+        ),
+        version = FORMAT_VERSION,
+        name = json::escape(&d.name),
+        num_sms = c.num_sms,
+        clock_hz = json::format_f64(c.clock_hz),
+        peak_flops = json::format_f64(c.peak_flops),
+        max_cluster = c.max_cluster,
+        barrier_cycles = json::format_f64(c.barrier_cycles),
+        kernel_launch_s = json::format_f64(c.kernel_launch_s),
+        tiers = tiers.join(",\n"),
+    )
+}
+
+fn field_f64(v: &JsonValue, key: &str) -> Result<f64, CodecError> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| malformed(&format!("field '{key}' is not a number")))
+}
+
+fn opt_f64(v: &JsonValue, key: &str, default: f64) -> Result<f64, CodecError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .as_f64()
+            .ok_or_else(|| malformed(&format!("field '{key}' is not a number"))),
+    }
+}
+
+fn field_usize(v: &JsonValue, key: &str) -> Result<usize, CodecError> {
+    usize::try_from(field_u64(v, key)?)
+        .map_err(|_| malformed(&format!("field '{key}' overflows usize")))
+}
+
+/// Rejects members outside the allow-list — machine documents are
+/// closed-world so typos ("bandwith") surface as errors, not silently
+/// ignored knobs.
+fn reject_unknown_fields(v: &JsonValue, what: &str, allowed: &[&str]) -> Result<(), CodecError> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| malformed(&format!("{what} is not an object")))?;
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(malformed(&format!("unknown field '{key}' in {what}")));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a machine descriptor from an already-parsed JSON value — the
+/// entry point for inline `"machine"` objects in server request bodies
+/// (which arrive through `core::json`'s untrusted limits).
+///
+/// # Errors
+///
+/// Returns [`CodecError::Version`] on a version mismatch,
+/// [`CodecError::Malformed`] on missing/mistyped/unknown fields, and
+/// [`CodecError::Machine`] when the fields parse but violate a
+/// machine-model invariant ([`MachineDescriptor::validate`]).
+pub fn decode_machine_value(doc: &JsonValue) -> Result<MachineDescriptor, CodecError> {
+    reject_unknown_fields(
+        doc,
+        "machine document",
+        &["version", "kind", "name", "compute", "tiers"],
+    )?;
+    let version = field_u64(doc, "version")?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::Version(version));
+    }
+    if let Some(kind) = doc.get("kind") {
+        if kind.as_str() != Some("machine") {
+            return Err(malformed("field 'kind' must be \"machine\""));
+        }
+    }
+    let name = field_str(doc, "name")?.to_string();
+
+    let compute_v = field(doc, "compute")?;
+    reject_unknown_fields(
+        compute_v,
+        "'compute'",
+        &[
+            "num_sms",
+            "clock_hz",
+            "peak_flops",
+            "max_cluster",
+            "barrier_cycles",
+            "kernel_launch_s",
+        ],
+    )?;
+    let compute = ComputeParams {
+        num_sms: field_usize(compute_v, "num_sms")?,
+        clock_hz: field_f64(compute_v, "clock_hz")?,
+        peak_flops: field_f64(compute_v, "peak_flops")?,
+        max_cluster: field_usize(compute_v, "max_cluster")?,
+        barrier_cycles: field_f64(compute_v, "barrier_cycles")?,
+        kernel_launch_s: field_f64(compute_v, "kernel_launch_s")?,
+    };
+
+    let tiers_v = field(doc, "tiers")?
+        .as_array()
+        .ok_or_else(|| malformed("field 'tiers' is not an array"))?;
+    let mut tiers = Vec::with_capacity(tiers_v.len());
+    for (i, tier_v) in tiers_v.iter().enumerate() {
+        reject_unknown_fields(
+            tier_v,
+            &format!("tiers[{i}]"),
+            &[
+                "name",
+                "scope",
+                "capacity_bytes",
+                "bandwidth",
+                "latency_cycles",
+                "bandwidth_derate",
+                "latency_slope_cycles",
+                "peak_bandwidth",
+            ],
+        )?;
+        let scope_name = field_str(tier_v, "scope")?;
+        let scope = TierScope::parse(scope_name)
+            .ok_or_else(|| malformed(&format!("unknown tier scope '{scope_name}'")))?;
+        let name = match tier_v.get("name") {
+            None => scope.as_str().to_string(),
+            Some(raw) => raw
+                .as_str()
+                .ok_or_else(|| malformed(&format!("field 'name' in tiers[{i}] is not a string")))?
+                .to_string(),
+        };
+        tiers.push(MemTier {
+            name,
+            scope,
+            capacity_bytes: field_u64(tier_v, "capacity_bytes")?,
+            bandwidth: field_f64(tier_v, "bandwidth")?,
+            latency_cycles: field_f64(tier_v, "latency_cycles")?,
+            bandwidth_derate: opt_f64(tier_v, "bandwidth_derate", 1.0)?,
+            latency_slope_cycles: opt_f64(tier_v, "latency_slope_cycles", 0.0)?,
+            peak_bandwidth: opt_f64(tier_v, "peak_bandwidth", 0.0)?,
+        });
+    }
+
+    MachineDescriptor::new(name, compute, tiers).map_err(CodecError::Machine)
+}
+
+/// Parses a machine descriptor from its JSON document (a
+/// `machines/*.json` file or the output of [`encode_machine`]).
+///
+/// # Errors
+///
+/// Returns [`CodecError::Json`] on malformed JSON, plus everything
+/// [`decode_machine_value`] returns.
+pub fn decode_machine(text: &str) -> Result<MachineDescriptor, CodecError> {
+    let doc = json::parse(text).map_err(|e| CodecError::Json(e.to_string()))?;
+    decode_machine_value(&doc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::profiler::FakeProfiler;
     use crate::search::{SearchConfig, SearchEngine};
-    use crate::MachineParams;
 
     fn searched_record() -> PlanRecord {
         let chain = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu).named("G-test");
-        let engine = SearchEngine::new(MachineParams::h100_sxm());
+        let engine = SearchEngine::new(MachineDescriptor::h100_sxm());
         let mut profiler = FakeProfiler::default();
         let result = engine
             .search_with_profiler(&chain, &SearchConfig::default(), &mut profiler)
@@ -433,7 +632,7 @@ mod tests {
     #[test]
     fn gated_round_trip() {
         let chain = ChainSpec::gated_ffn(128, 512, 256, 256, Activation::Silu).named("S-test");
-        let engine = SearchEngine::new(MachineParams::h100_sxm());
+        let engine = SearchEngine::new(MachineDescriptor::h100_sxm());
         let result = engine.search(&chain, &SearchConfig::default()).unwrap();
         let record = PlanRecord {
             plan: result.best().analysis.plan().clone(),

@@ -13,7 +13,7 @@
 //! hardware instead of trusting rank 1 (Fig. 12).
 
 use crate::analyzer::DataflowAnalysis;
-use crate::machine::{MachineParams, MemLevel};
+use crate::machine::{MachineDescriptor, MemLevel};
 use crate::plan::PlanGeometry;
 use crate::schedule::LoopSchedule;
 use crate::tiling::BlockTile;
@@ -67,20 +67,20 @@ impl fmt::Display for CostBreakdown {
     }
 }
 
-/// The minimax cost model over [`MachineParams`] bandwidths.
+/// The minimax cost model over [`MachineDescriptor`] bandwidths.
 #[derive(Debug, Clone)]
 pub struct CostModel {
-    params: MachineParams,
+    params: MachineDescriptor,
 }
 
 impl CostModel {
     /// Creates the model.
-    pub fn new(params: MachineParams) -> Self {
+    pub fn new(params: MachineDescriptor) -> Self {
         Self { params }
     }
 
     /// The machine parameters in use.
-    pub fn params(&self) -> &MachineParams {
+    pub fn params(&self) -> &MachineDescriptor {
         &self.params
     }
 
@@ -95,11 +95,11 @@ impl CostModel {
         let plan = analysis.plan();
         let cluster_size = plan.cluster.blocks();
         let blocks = plan.blocks_total();
-        let sms = self.params.num_sms as u64;
+        let sms = self.params.num_sms() as u64;
         let waves = blocks.div_ceil(sms).max(1);
         let wave_eff = blocks as f64 / (waves * sms) as f64;
         let bw_util = (blocks as f64 / sms as f64).clamp(0.05, 1.0);
-        let compute_s = plan.chain.total_flops() as f64 / self.params.peak_flops / wave_eff;
+        let compute_s = plan.chain.total_flops() as f64 / self.params.peak_flops() / wave_eff;
         let mut tier_s = BTreeMap::new();
         let mut est_s = compute_s;
         let mut bottleneck = None;
@@ -119,7 +119,7 @@ impl CostModel {
         let cycle = self.params.cycle_s();
         let latency_s = LATENCY_AMORTIZATION
             * (analysis.dsm_steps() as f64 * self.params.dsm_latency_cycles(cluster_size)
-                + analysis.barriers() as f64 * self.params.barrier_cycles)
+                + analysis.barriers() as f64 * self.params.barrier_cycles())
             * cycle;
         CostBreakdown {
             compute_s,
@@ -143,8 +143,8 @@ impl CostModel {
     /// value of fusing a segment — the same admissibility philosophy as
     /// the candidate-level [`CostModel::lower_bound`], one level up.
     pub fn chain_lower_bound(&self, chain: &ChainSpec) -> f64 {
-        let compute_s = chain.total_flops() as f64 / self.params.peak_flops;
-        let hbm_s = chain.fused_min_global_bytes() as f64 / self.params.hbm_bw;
+        let compute_s = chain.total_flops() as f64 / self.params.peak_flops();
+        let hbm_s = chain.fused_min_global_bytes() as f64 / self.params.hbm_bw();
         compute_s.max(hbm_s)
     }
 
@@ -198,16 +198,16 @@ impl CostModel {
     ) -> f64 {
         // Occupancy terms — identical to `evaluate`.
         let blocks = geometry.clusters_total() * cluster.blocks() as u64;
-        let sms = self.params.num_sms as u64;
+        let sms = self.params.num_sms() as u64;
         let waves = blocks.div_ceil(sms).max(1);
         let wave_eff = blocks as f64 / (waves * sms) as f64;
         let bw_util = (blocks as f64 / sms as f64).clamp(0.05, 1.0);
-        let compute_s = chain.total_flops() as f64 / self.params.peak_flops / wave_eff;
+        let compute_s = chain.total_flops() as f64 / self.params.peak_flops() / wave_eff;
 
         // The analyzer's mandatory A/B/D/E traffic — the same helper the
         // analyzer itself charges, so the two cannot drift apart.
         let global_min = geometry
-            .mandatory_traffic(chain, cluster, tile, self.params.l2_bytes)
+            .mandatory_traffic(chain, cluster, tile, self.params.l2_bytes())
             .hbm_bytes;
         let hbm_s = global_min as f64
             / (self.params.bandwidth(MemLevel::Global, cluster.blocks()) * bw_util);
@@ -228,7 +228,7 @@ mod tests {
 
     fn analyzed(chain: &ChainSpec, cluster: ClusterShape, tile: BlockTile) -> DataflowAnalysis {
         let s = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
-        DataflowAnalyzer::new(MachineParams::h100_sxm())
+        DataflowAnalyzer::new(MachineDescriptor::h100_sxm())
             .analyze(chain, &s, cluster, tile)
             .unwrap()
     }
@@ -241,7 +241,7 @@ mod tests {
             ClusterShape::new(1, 2, 2, 2).unwrap(),
             BlockTile::new(64, 64, 32, 64),
         );
-        let cb = CostModel::new(MachineParams::h100_sxm()).evaluate(&a);
+        let cb = CostModel::new(MachineDescriptor::h100_sxm()).evaluate(&a);
         let max_tier = cb.tier_s.values().copied().fold(0.0, f64::max);
         assert!((cb.est_s - cb.latency_s - cb.compute_s.max(max_tier)).abs() < 1e-15);
         assert!(cb.est_s > 0.0);
@@ -257,7 +257,7 @@ mod tests {
             ClusterShape::new(1, 4, 2, 8).unwrap(),
             BlockTile::new(128, 128, 64, 128),
         );
-        let cb = CostModel::new(MachineParams::h100_sxm()).evaluate(&a);
+        let cb = CostModel::new(MachineDescriptor::h100_sxm()).evaluate(&a);
         assert!(cb.bottleneck.is_some(), "expected memory-bound: {cb}");
     }
 
@@ -269,10 +269,10 @@ mod tests {
             ClusterShape::single_block(),
             BlockTile::new(64, 64, 32, 64),
         );
-        let cb = CostModel::new(MachineParams::h100_sxm()).evaluate(&a);
+        let cb = CostModel::new(MachineDescriptor::h100_sxm()).evaluate(&a);
         let t = cb.tflops(chain.total_flops());
         assert!(t > 0.0);
-        assert!(t <= MachineParams::h100_sxm().peak_flops / 1e12 + 1e-9);
+        assert!(t <= MachineDescriptor::h100_sxm().peak_flops() / 1e12 + 1e-9);
     }
 
     #[test]
@@ -283,7 +283,7 @@ mod tests {
             ClusterShape::new(1, 2, 1, 2).unwrap(),
             BlockTile::new(128, 64, 64, 64),
         );
-        let cb = CostModel::new(MachineParams::h100_sxm()).evaluate(&a);
+        let cb = CostModel::new(MachineDescriptor::h100_sxm()).evaluate(&a);
         assert!(cb.to_string().contains("est"));
     }
 }

@@ -5,14 +5,18 @@
 //! module implements exactly the JSON subset the cache format needs:
 //!
 //! * objects, arrays, strings, booleans, `null`;
-//! * **unsigned integers only** — every number in the format is a
-//!   `u64` (floating-point fields are persisted as their exact IEEE-754
-//!   bit patterns, which both avoids float-parsing ambiguity and makes
-//!   round-trips bit-identical by construction).
+//! * numbers as either **unsigned integers** (`u64`, the only number
+//!   form the plan-cache format uses — floating-point cache fields are
+//!   persisted as their exact IEEE-754 bit patterns) or **finite
+//!   doubles** (added for machine descriptors, which are hand-editable:
+//!   `0.82`, `1.5e-6`, `-0.5` parse as [`JsonValue::Float`]). Rust's
+//!   float formatting is shortest-round-trip and `str::parse::<f64>` is
+//!   correctly rounded, so a float written by [`format_f64`] parses back
+//!   bit-identically.
 //!
 //! The parser is a straightforward recursive-descent over bytes with a
-//! depth limit; it rejects anything outside this subset (floats,
-//! negative numbers, exponents) rather than silently coercing.
+//! depth limit; it rejects anything outside this subset (non-finite
+//! numbers, lone minus signs) rather than silently coercing.
 //!
 //! Since PR 5 this parser also fronts the compilation *server*, which
 //! feeds it bytes from the network. Two consequences:
@@ -67,15 +71,19 @@ impl Default for ParseLimits {
     }
 }
 
-/// A parsed JSON value (cache-format subset).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A parsed JSON value (cache-format subset plus finite doubles).
+#[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// A non-negative integer (the only number form in the format).
+    /// A non-negative integer that fits `u64` (the only number form the
+    /// plan-cache format uses).
     UInt(u64),
+    /// Any other finite number: fractional, negative, exponent form, or
+    /// an integer beyond `u64::MAX`.
+    Float(f64),
     /// A string.
     Str(String),
     /// An array.
@@ -90,6 +98,17 @@ impl JsonValue {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             JsonValue::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is any number. Integers convert with
+    /// round-to-nearest above 2^53 — exact for every physically
+    /// plausible machine parameter.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
             _ => None,
         }
     }
@@ -144,8 +163,8 @@ pub enum JsonErrorKind {
     TooDeep,
     /// The input exceeded the configured byte limit.
     TooLarge,
-    /// A number form the cache subset rejects (float, negative,
-    /// exponent, > `u64::MAX`).
+    /// A number form the subset rejects: anything that does not fit a
+    /// finite `f64` (e.g. `1e999`).
     UnsupportedNumber,
     /// An object repeated a key.
     DuplicateKey,
@@ -271,14 +290,10 @@ impl Parser<'_> {
             Some(b'{') => self.object(depth),
             Some(b'[') => self.array(depth),
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
-            Some(b'0'..=b'9') => self.uint(),
+            Some(b'0'..=b'9' | b'-') => self.number(),
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
             Some(b'n') => self.literal("null", JsonValue::Null),
-            Some(b'-') => Err(self.err_kind(
-                JsonErrorKind::UnsupportedNumber,
-                "negative numbers are not part of the cache format",
-            )),
             _ => Err(self.err("expected a value")),
         }
     }
@@ -292,21 +307,56 @@ impl Parser<'_> {
         }
     }
 
-    fn uint(&mut self) -> Result<JsonValue, JsonError> {
+    /// Consumes one or more decimal digits, erroring on zero.
+    fn digits(&mut self, what: &str) -> Result<(), JsonError> {
         let start = self.pos;
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
-        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+        if self.pos == start {
+            return Err(self.err(&format!("expected digits {what}")));
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        self.digits("in number")?;
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.pos += 1;
+            self.digits("after '.'")?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits("in exponent")?;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("number is ascii");
+        if !negative && !fractional {
+            if let Ok(v) = s.parse::<u64>() {
+                return Ok(JsonValue::UInt(v));
+            }
+            // Beyond u64::MAX: fall through to the f64 form.
+        }
+        let v: f64 = s
+            .parse()
+            .map_err(|_| self.err_kind(JsonErrorKind::Syntax, "malformed number"))?;
+        if !v.is_finite() {
             return Err(self.err_kind(
                 JsonErrorKind::UnsupportedNumber,
-                "floats are not part of the cache format (use bit patterns)",
+                "number outside the finite f64 range",
             ));
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
-        s.parse::<u64>().map(JsonValue::UInt).map_err(|_| {
-            self.err_kind(JsonErrorKind::UnsupportedNumber, "integer out of u64 range")
-        })
+        Ok(JsonValue::Float(v))
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
@@ -415,6 +465,21 @@ impl Parser<'_> {
     }
 }
 
+/// Formats a finite `f64` as a JSON number that parses back
+/// bit-identically: Rust's `Display` emits the shortest decimal string
+/// that round-trips, and `str::parse::<f64>` is correctly rounded.
+/// Integer-valued floats print without a fractional part and come back
+/// as [`JsonValue::UInt`]; [`JsonValue::as_f64`] reunifies the two.
+///
+/// # Panics
+///
+/// Panics on NaN or infinity — callers validate finiteness first (JSON
+/// has no encoding for either).
+pub fn format_f64(v: f64) -> String {
+    assert!(v.is_finite(), "cannot encode a non-finite number as JSON");
+    format!("{v}")
+}
+
 /// Escapes a string for embedding in a JSON document.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -454,11 +519,47 @@ mod tests {
     }
 
     #[test]
-    fn rejects_floats_negatives_and_overflow() {
-        assert!(parse("1.5").is_err());
-        assert!(parse("1e3").is_err());
-        assert!(parse("-1").is_err());
-        assert!(parse("18446744073709551616").is_err()); // u64::MAX + 1
+    fn floats_negatives_and_big_integers_parse() {
+        assert_eq!(parse("1.5").unwrap().as_f64(), Some(1.5));
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(parse("-1").unwrap().as_f64(), Some(-1.0));
+        assert_eq!(parse("1.5e-6").unwrap().as_f64(), Some(1.5e-6));
+        // u64::MAX + 1 falls through to the float form.
+        assert_eq!(
+            parse("18446744073709551616").unwrap().as_f64(),
+            Some(18446744073709551616.0)
+        );
+        // Integers stay integers.
+        assert_eq!(parse("7").unwrap(), JsonValue::UInt(7));
+    }
+
+    #[test]
+    fn rejects_malformed_and_nonfinite_numbers() {
+        assert!(parse("-").is_err());
+        assert!(parse("1.").is_err());
+        assert!(parse("1e").is_err());
+        assert!(parse(".5").is_err());
+        assert_eq!(
+            parse("1e999").unwrap_err().kind,
+            JsonErrorKind::UnsupportedNumber
+        );
+    }
+
+    #[test]
+    fn format_f64_round_trips_bit_exactly() {
+        for v in [
+            0.82_f64,
+            1.5e-6,
+            3.27e12,
+            -0.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1.0 / 3.0,
+            989e12,
+        ] {
+            let parsed = parse(&format_f64(v)).unwrap().as_f64().unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits(), "{v} did not round-trip");
+        }
     }
 
     #[test]
@@ -548,15 +649,7 @@ mod tests {
         assert_eq!(parse("").unwrap_err().kind, JsonErrorKind::Truncated);
         assert_eq!(parse("{\"a\"").unwrap_err().kind, JsonErrorKind::Truncated);
         assert_eq!(
-            parse("1.5").unwrap_err().kind,
-            JsonErrorKind::UnsupportedNumber
-        );
-        assert_eq!(
-            parse("-1").unwrap_err().kind,
-            JsonErrorKind::UnsupportedNumber
-        );
-        assert_eq!(
-            parse("18446744073709551616").unwrap_err().kind,
+            parse("1e999").unwrap_err().kind,
             JsonErrorKind::UnsupportedNumber
         );
         assert_eq!(

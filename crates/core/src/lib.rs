@@ -25,12 +25,12 @@
 //! # Example
 //!
 //! ```
-//! use flashfuser_core::{MachineParams, SearchEngine, SearchConfig};
+//! use flashfuser_core::{MachineDescriptor, SearchEngine, SearchConfig};
 //! use flashfuser_graph::ChainSpec;
 //! use flashfuser_tensor::Activation;
 //!
 //! let chain = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu);
-//! let engine = SearchEngine::new(MachineParams::h100_sxm());
+//! let engine = SearchEngine::new(MachineDescriptor::h100_sxm());
 //! let result = engine.search(&chain, &SearchConfig::default()).unwrap();
 //! assert!(result.best().est_seconds > 0.0);
 //! ```
@@ -52,9 +52,14 @@ pub mod space;
 pub mod tiling;
 
 pub use analyzer::{AnalysisError, DataflowAnalysis, DataflowAnalyzer};
-pub use codec::{decode_record, encode_record, CodecError, PlanRecord};
+pub use codec::{
+    decode_machine, decode_machine_value, decode_record, encode_machine, encode_record, CodecError,
+    PlanRecord,
+};
 pub use cost::{CostBreakdown, CostModel};
-pub use machine::{MachineParams, MemLevel};
+#[allow(deprecated)]
+pub use machine::MachineParams;
+pub use machine::{ComputeParams, MachineDescriptor, MachineError, MemLevel, MemTier, TierScope};
 pub use mapping::{ResourceMapping, TensorMapping, TensorRole};
 pub use plan::{FusedPlan, PlanError, PlanGeometry};
 pub use profiler::{PlanProfiler, ProfileOutcome};

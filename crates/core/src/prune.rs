@@ -17,7 +17,7 @@
 //!   [`DataflowAnalyzer`] itself, so the count is exact.
 
 use crate::analyzer::DataflowAnalyzer;
-use crate::machine::{MachineParams, MemLevel};
+use crate::machine::{MachineDescriptor, MemLevel};
 use crate::schedule::LoopSchedule;
 use crate::space;
 use crate::tiling::{hardware_aware_tiles, BlockTile};
@@ -270,7 +270,7 @@ impl ExactSizeIterator for CandidateIter<'_, '_> {}
 /// cheap arithmetic per candidate.
 pub fn count_cascade(
     chain: &ChainSpec,
-    params: &MachineParams,
+    params: &MachineDescriptor,
     config: &PruneConfig,
 ) -> PruneStats {
     let dims = chain.dims();
@@ -334,7 +334,11 @@ mod tests {
     #[test]
     fn cascade_is_monotonically_decreasing() {
         let chain = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu);
-        let stats = count_cascade(&chain, &MachineParams::h100_sxm(), &PruneConfig::default());
+        let stats = count_cascade(
+            &chain,
+            &MachineDescriptor::h100_sxm(),
+            &PruneConfig::default(),
+        );
         assert!(stats.initial >= stats.after_rule1 as f64);
         assert!(stats.after_rule1 >= stats.after_rule2);
         assert!(stats.after_rule2 >= stats.after_rule3);
@@ -347,7 +351,7 @@ mod tests {
     #[test]
     fn smem_only_config_prunes_more() {
         let chain = ChainSpec::standard_ffn(128, 4096, 1024, 1024, Activation::Relu);
-        let params = MachineParams::h100_sxm();
+        let params = MachineDescriptor::h100_sxm();
         let dsm = count_cascade(&chain, &params, &PruneConfig::default());
         let smem = count_cascade(
             &chain,
@@ -391,7 +395,11 @@ mod tests {
     #[test]
     fn display_has_all_rows() {
         let chain = ChainSpec::standard_ffn(64, 64, 64, 64, Activation::Relu);
-        let stats = count_cascade(&chain, &MachineParams::h100_sxm(), &PruneConfig::default());
+        let stats = count_cascade(
+            &chain,
+            &MachineDescriptor::h100_sxm(),
+            &PruneConfig::default(),
+        );
         let s = stats.to_string();
         for row in ["Rule 1", "Rule 5", "Total reduction"] {
             assert!(s.contains(row));

@@ -10,7 +10,7 @@
 //! one plan per power-of-two M bin; the online phase rounds an incoming
 //! M up to its bin and returns the pre-compiled plan in O(log bins).
 
-use crate::machine::MachineParams;
+use crate::machine::MachineDescriptor;
 use crate::plan::FusedPlan;
 use crate::profiler::PlanProfiler;
 use crate::search::{SearchConfig, SearchEngine, SearchError};
@@ -28,7 +28,7 @@ pub const DEFAULT_M_BINS: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
 ///
 /// ```
 /// use flashfuser_core::runtime::KernelCache;
-/// use flashfuser_core::{MachineParams, SearchConfig, profiler::FakeProfiler};
+/// use flashfuser_core::{MachineDescriptor, SearchConfig, profiler::FakeProfiler};
 /// use flashfuser_graph::ChainSpec;
 /// use flashfuser_tensor::Activation;
 ///
@@ -37,7 +37,7 @@ pub const DEFAULT_M_BINS: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
 /// let cache = KernelCache::build(
 ///     &template,
 ///     &[64, 128],
-///     &MachineParams::h100_sxm(),
+///     &MachineDescriptor::h100_sxm(),
 ///     &SearchConfig::default(),
 ///     &mut profiler,
 /// ).unwrap();
@@ -63,7 +63,7 @@ impl KernelCache {
     pub fn build(
         template: &ChainSpec,
         m_bins: &[usize],
-        params: &MachineParams,
+        params: &MachineDescriptor,
         config: &SearchConfig,
         profiler: &mut dyn PlanProfiler,
     ) -> Result<KernelCache, SearchError> {
@@ -140,7 +140,7 @@ mod tests {
         KernelCache::build(
             &template,
             &[32, 128, 512],
-            &MachineParams::h100_sxm(),
+            &MachineDescriptor::h100_sxm(),
             &SearchConfig::default(),
             &mut profiler,
         )
@@ -176,7 +176,7 @@ mod tests {
         let c = KernelCache::build(
             &template,
             &[64, 128],
-            &MachineParams::h100_sxm(),
+            &MachineDescriptor::h100_sxm(),
             &SearchConfig::default(),
             &mut profiler,
         )

@@ -35,7 +35,7 @@
 
 use crate::analyzer::{DataflowAnalysis, DataflowAnalyzer};
 use crate::cost::{CostBreakdown, CostModel};
-use crate::machine::{MachineParams, MemLevel};
+use crate::machine::{MachineDescriptor, MemLevel};
 use crate::plan::PlanGeometry;
 use crate::profiler::{PlanProfiler, ProfileOutcome};
 use crate::prune::{CandidateStream, PruneConfig};
@@ -282,17 +282,17 @@ struct RankShard {
 /// The fusion search engine.
 #[derive(Debug, Clone)]
 pub struct SearchEngine {
-    params: MachineParams,
+    params: MachineDescriptor,
 }
 
 impl SearchEngine {
     /// Creates an engine for the given machine.
-    pub fn new(params: MachineParams) -> Self {
+    pub fn new(params: MachineDescriptor) -> Self {
         Self { params }
     }
 
     /// The machine parameters in use.
-    pub fn params(&self) -> &MachineParams {
+    pub fn params(&self) -> &MachineDescriptor {
         &self.params
     }
 
@@ -708,7 +708,7 @@ mod tests {
     }
 
     fn engine() -> SearchEngine {
-        SearchEngine::new(MachineParams::h100_sxm())
+        SearchEngine::new(MachineDescriptor::h100_sxm())
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! reordering pass and is conservatively left unfused.
 
 use crate::cost::CostModel;
-use crate::machine::MachineParams;
+use crate::machine::MachineDescriptor;
 use flashfuser_graph::op::{NodeId, OpGraph, OpKind};
 use flashfuser_graph::segment::{match_chains, GraphShapeError, OpCost};
 use flashfuser_graph::ChainSpec;
@@ -173,7 +173,7 @@ enum Step {
 /// partition.
 pub fn partition_graph(
     graph: &OpGraph,
-    params: &MachineParams,
+    params: &MachineDescriptor,
     pricer: &dyn UnfusedPricer,
 ) -> Result<GraphPartition, PartitionError> {
     let shapes = graph.infer_shapes()?;
@@ -319,8 +319,8 @@ mod tests {
         }
     }
 
-    fn params() -> MachineParams {
-        MachineParams::h100_sxm()
+    fn params() -> MachineDescriptor {
+        MachineDescriptor::h100_sxm()
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! so the suite builds offline; every case is reproducible bit-for-bit.
 
 use flashfuser_comm::ClusterShape;
-use flashfuser_core::{BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams, MemLevel};
+use flashfuser_core::{BlockTile, DataflowAnalyzer, LoopSchedule, MachineDescriptor, MemLevel};
 use flashfuser_graph::{ChainSpec, Dim};
 use flashfuser_tensor::rng::SplitMix64;
 use flashfuser_tensor::Activation;
@@ -33,7 +33,7 @@ fn analysis_volumes_are_consistent() {
         };
         let chain = ChainSpec::standard_ffn(m, n, k, l, Activation::Relu);
         let tile = BlockTile::new(blk, blk, blk, blk);
-        let analyzer = DataflowAnalyzer::new(MachineParams::h100_sxm());
+        let analyzer = DataflowAnalyzer::new(MachineDescriptor::h100_sxm());
         let Ok(a) = analyzer.analyze(&chain, &schedule, cluster, tile) else {
             continue;
         };
@@ -86,10 +86,10 @@ fn deeper_spill_never_rejects_what_shallow_accepts() {
         let schedule = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
         let cluster = ClusterShape::new(1, 2, 2, 2).unwrap();
         let tile = BlockTile::new(16, 16, 16, 16);
-        let smem = DataflowAnalyzer::new(MachineParams::h100_sxm())
+        let smem = DataflowAnalyzer::new(MachineDescriptor::h100_sxm())
             .with_lowest_spill(MemLevel::Smem)
             .analyze(&chain, &schedule, cluster, tile);
-        let dsm = DataflowAnalyzer::new(MachineParams::h100_sxm())
+        let dsm = DataflowAnalyzer::new(MachineDescriptor::h100_sxm())
             .analyze(&chain, &schedule, cluster, tile);
         if smem.is_ok() {
             assert!(dsm.is_ok(), "n={n} k={k}");

@@ -13,7 +13,7 @@
 use flashfuser_core::profiler::FakeProfiler;
 use flashfuser_core::prune::CandidateStream;
 use flashfuser_core::{
-    CostModel, DataflowAnalyzer, LoopSchedule, MachineParams, SearchConfig, SearchEngine,
+    CostModel, DataflowAnalyzer, LoopSchedule, MachineDescriptor, SearchConfig, SearchEngine,
 };
 use flashfuser_graph::ChainSpec;
 use flashfuser_tensor::Activation;
@@ -30,7 +30,7 @@ fn small_chains() -> Vec<ChainSpec> {
 }
 
 fn engine() -> SearchEngine {
-    SearchEngine::new(MachineParams::h100_sxm())
+    SearchEngine::new(MachineDescriptor::h100_sxm())
 }
 
 fn assert_same_top_k(a: &flashfuser_core::SearchResult, b: &flashfuser_core::SearchResult) {
@@ -147,8 +147,8 @@ fn prefilter_never_prunes_the_cost_model_optimum() {
         let guided = engine().search(&chain, &config).unwrap();
 
         let stream = CandidateStream::build(&chain, &config.prune, &all);
-        let analyzer = DataflowAnalyzer::new(MachineParams::h100_sxm());
-        let cost_model = CostModel::new(MachineParams::h100_sxm());
+        let analyzer = DataflowAnalyzer::new(MachineDescriptor::h100_sxm());
+        let cost_model = CostModel::new(MachineDescriptor::h100_sxm());
         let mut best = f64::INFINITY;
         for cand in &stream {
             if let Ok(a) = analyzer.analyze(&chain, cand.schedule, cand.cluster, cand.tile) {
@@ -167,8 +167,8 @@ fn prefilter_never_prunes_the_cost_model_optimum() {
 #[test]
 fn lower_bound_is_admissible_for_every_feasible_candidate() {
     let all = LoopSchedule::enumerate_all();
-    let analyzer = DataflowAnalyzer::new(MachineParams::h100_sxm());
-    let cost_model = CostModel::new(MachineParams::h100_sxm());
+    let analyzer = DataflowAnalyzer::new(MachineDescriptor::h100_sxm());
+    let cost_model = CostModel::new(MachineDescriptor::h100_sxm());
     for chain in small_chains() {
         let stream = CandidateStream::build(&chain, &SearchConfig::default().prune, &all);
         let mut checked = 0u64;

@@ -474,7 +474,7 @@ struct RowCtx {
 mod tests {
     use super::*;
     use flashfuser_comm::ClusterShape;
-    use flashfuser_core::{BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams};
+    use flashfuser_core::{BlockTile, DataflowAnalyzer, LoopSchedule, MachineDescriptor};
     use flashfuser_graph::ChainSpec;
     use flashfuser_tensor::Activation;
 
@@ -486,7 +486,7 @@ mod tests {
         tile: BlockTile,
     ) -> FusedPlan {
         let schedule = LoopSchedule::new(spatial.to_vec(), temporal.to_vec());
-        DataflowAnalyzer::new(MachineParams::h100_sxm())
+        DataflowAnalyzer::new(MachineDescriptor::h100_sxm())
             .analyze(chain, &schedule, cluster, tile)
             .expect("plan must analyze")
             .plan()
@@ -736,7 +736,7 @@ mod tests {
             let schedule = LoopSchedule::new(spatial, temporal);
             let cluster = ClusterShape::new(1, 4, 2, 4).unwrap();
             let tile = BlockTile::new(16, 16, 16, 16);
-            let analysis = DataflowAnalyzer::new(MachineParams::h100_sxm())
+            let analysis = DataflowAnalyzer::new(MachineDescriptor::h100_sxm())
                 .analyze(&chain, &schedule, cluster, tile)
                 .unwrap();
             let inputs = chain.make_inputs(10);
@@ -764,7 +764,7 @@ mod tests {
         let schedule = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
         let cluster = ClusterShape::new(1, 4, 2, 4).unwrap();
         let tile = BlockTile::new(16, 16, 16, 16);
-        let analysis = DataflowAnalyzer::new(MachineParams::h100_sxm())
+        let analysis = DataflowAnalyzer::new(MachineDescriptor::h100_sxm())
             .analyze(&chain, &schedule, cluster, tile)
             .unwrap();
         let inputs = chain.make_inputs(9);

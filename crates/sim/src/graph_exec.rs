@@ -325,13 +325,13 @@ mod tests {
     use super::*;
     use crate::interp::{interpret_graph, seeded_graph_inputs};
     use flashfuser_comm::ClusterShape;
-    use flashfuser_core::{BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams};
+    use flashfuser_core::{BlockTile, DataflowAnalyzer, LoopSchedule, MachineDescriptor};
     use flashfuser_graph::{match_chains, ChainSpec, Dim};
     use flashfuser_tensor::Activation;
 
     fn compile_chain(chain: &ChainSpec) -> FusedPlan {
         let schedule = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
-        DataflowAnalyzer::new(MachineParams::h100_sxm())
+        DataflowAnalyzer::new(MachineDescriptor::h100_sxm())
             .analyze(
                 chain,
                 &schedule,
@@ -401,7 +401,7 @@ mod tests {
         let g = chain.to_op_graph();
         let m = &match_chains(&g).unwrap()[0];
         let schedule = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
-        let analysis = DataflowAnalyzer::new(MachineParams::h100_sxm())
+        let analysis = DataflowAnalyzer::new(MachineDescriptor::h100_sxm())
             .analyze(
                 &chain,
                 &schedule,

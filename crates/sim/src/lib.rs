@@ -2,7 +2,7 @@
 //!
 //! The paper evaluates FlashFuser on a physical H100. This crate replaces
 //! that silicon with two cooperating models over the same
-//! [`flashfuser_core::MachineParams`]:
+//! [`flashfuser_core::MachineDescriptor`]:
 //!
 //! * a **functional interpreter** ([`exec`]) that executes a
 //!   [`flashfuser_core::FusedPlan`] tile-by-tile with real `f32`

@@ -12,7 +12,7 @@
 use flashfuser_comm::volume::{
     all_exchange_volume, reduce_scatter_volume, shuffle_volume, CommVolume,
 };
-use flashfuser_core::MachineParams;
+use flashfuser_core::MachineDescriptor;
 
 /// One row of the Fig. 4 sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,7 +27,7 @@ pub struct DsmPoint {
 
 /// The Fig. 4 sweep: DSM bandwidth and latency for cluster sizes
 /// {2, 4, 8, 16}, plus the global-memory reference point.
-pub fn dsm_curve(params: &MachineParams) -> (Vec<DsmPoint>, DsmPoint) {
+pub fn dsm_curve(params: &MachineDescriptor) -> (Vec<DsmPoint>, DsmPoint) {
     let points = [2usize, 4, 8, 16]
         .iter()
         .map(|&c| DsmPoint {
@@ -38,8 +38,8 @@ pub fn dsm_curve(params: &MachineParams) -> (Vec<DsmPoint>, DsmPoint) {
         .collect();
     let global = DsmPoint {
         cluster_size: 0,
-        bandwidth: params.hbm_bw,
-        latency_cycles: params.global_latency_cycles,
+        bandwidth: params.hbm_bw(),
+        latency_cycles: params.global_latency_cycles(),
     };
     (points, global)
 }
@@ -83,7 +83,7 @@ pub struct PrimitiveBandwidth {
 /// 32768x32768 tensor through `kind` within clusters of `cluster_size`,
 /// looped `iters` times (excluding global read/store, as in the paper).
 pub fn primitive_bandwidth(
-    params: &MachineParams,
+    params: &MachineDescriptor,
     kind: PrimitiveKind,
     cluster_size: usize,
     iters: u64,
@@ -107,7 +107,7 @@ pub fn primitive_bandwidth(
     let transfer_s = vol.dsm_bytes as f64 / peak;
     let latency_s = 0.02
         * vol.steps as f64
-        * (params.dsm_latency_cycles(cluster_size) + params.barrier_cycles)
+        * (params.dsm_latency_cycles(cluster_size) + params.barrier_cycles())
         * cycle;
     let compute_s = match kind {
         PrimitiveKind::Shuffle => 0.0,
@@ -131,7 +131,7 @@ mod tests {
 
     #[test]
     fn fig4_shape_bandwidth_falls_latency_grows() {
-        let (points, global) = dsm_curve(&MachineParams::h100_sxm());
+        let (points, global) = dsm_curve(&MachineDescriptor::h100_sxm());
         assert_eq!(points.len(), 4);
         for w in points.windows(2) {
             assert!(w[0].bandwidth > w[1].bandwidth);
@@ -150,7 +150,7 @@ mod tests {
 
     #[test]
     fn fig13_shuffle_beats_reduce_and_mul() {
-        let p = MachineParams::h100_sxm();
+        let p = MachineDescriptor::h100_sxm();
         for cls in [2, 4, 8, 16] {
             let shuffle = primitive_bandwidth(&p, PrimitiveKind::Shuffle, cls, 1000);
             let reduce = primitive_bandwidth(&p, PrimitiveKind::Reduce, cls, 1000);
@@ -162,7 +162,7 @@ mod tests {
 
     #[test]
     fn fig13_bandwidth_falls_but_utilization_stable() {
-        let p = MachineParams::h100_sxm();
+        let p = MachineDescriptor::h100_sxm();
         let at = |cls| primitive_bandwidth(&p, PrimitiveKind::Shuffle, cls, 1000);
         let b2 = at(2);
         let b16 = at(16);
@@ -179,6 +179,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least a 2-block cluster")]
     fn cluster_of_one_panics() {
-        primitive_bandwidth(&MachineParams::h100_sxm(), PrimitiveKind::Shuffle, 1, 10);
+        primitive_bandwidth(
+            &MachineDescriptor::h100_sxm(),
+            PrimitiveKind::Shuffle,
+            1,
+            10,
+        );
     }
 }

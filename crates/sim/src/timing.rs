@@ -21,7 +21,7 @@
 //! top-K on-device profiling worthwhile (Fig. 12b).
 
 use flashfuser_core::{
-    CostModel, DataflowAnalysis, DataflowAnalyzer, FusedPlan, MachineParams, MemLevel,
+    CostModel, DataflowAnalysis, DataflowAnalyzer, FusedPlan, MachineDescriptor, MemLevel,
     PlanProfiler, ProfileOutcome,
 };
 use std::fmt;
@@ -68,7 +68,7 @@ impl fmt::Display for KernelMeasurement {
 /// The timing model.
 #[derive(Debug, Clone)]
 pub struct TimingModel {
-    params: MachineParams,
+    params: MachineDescriptor,
     /// Fraction of non-bottleneck stage time hidden by pipelining.
     overlap_efficiency: f64,
     /// Amplitude of the deterministic per-plan perturbation.
@@ -78,7 +78,7 @@ pub struct TimingModel {
 impl TimingModel {
     /// Creates the model with default second-order parameters
     /// (92 % overlap, ±3 % perturbation).
-    pub fn new(params: MachineParams) -> Self {
+    pub fn new(params: MachineDescriptor) -> Self {
         Self {
             params,
             overlap_efficiency: 0.92,
@@ -94,7 +94,7 @@ impl TimingModel {
     }
 
     /// The machine parameters in use.
-    pub fn params(&self) -> &MachineParams {
+    pub fn params(&self) -> &MachineDescriptor {
         &self.params
     }
 
@@ -104,7 +104,7 @@ impl TimingModel {
         let p = &self.params;
         let cluster_size = plan.cluster.blocks();
         let blocks = plan.blocks_total();
-        let sms = p.num_sms as u64;
+        let sms = p.num_sms() as u64;
         let waves = blocks.div_ceil(sms).max(1);
         // Idle SMs in the last wave stretch compute time.
         let wave_eff = blocks as f64 / (waves * sms) as f64;
@@ -112,7 +112,7 @@ impl TimingModel {
         // system either.
         let bw_util = (blocks as f64 / sms as f64).clamp(0.05, 1.0);
 
-        let compute_s = plan.chain.total_flops() as f64 / p.peak_flops / wave_eff;
+        let compute_s = plan.chain.total_flops() as f64 / p.peak_flops() / wave_eff;
         let mut stage_times = vec![compute_s];
         for level in [
             MemLevel::Smem,
@@ -135,10 +135,10 @@ impl TimingModel {
         // reaches the critical path, plus pipeline fill/drain and launch.
         let latency_s = flashfuser_core::cost::LATENCY_AMORTIZATION
             * (analysis.dsm_steps() as f64 * p.dsm_latency_cycles(cluster_size)
-                + analysis.barriers() as f64 * p.barrier_cycles)
+                + analysis.barriers() as f64 * p.barrier_cycles())
             * cycle
-            + 2.0 * p.global_latency_cycles * cycle
-            + p.kernel_launch_s;
+            + 2.0 * p.global_latency_cycles() * cycle
+            + p.kernel_launch_s();
 
         let noise = self.perturbation(&plan.summary());
         let seconds = (pipeline_s + latency_s) * noise;
@@ -182,7 +182,7 @@ pub struct SimProfiler {
 
 impl SimProfiler {
     /// Creates a profiler with FlashFuser-default analyzer settings.
-    pub fn new(params: MachineParams) -> Self {
+    pub fn new(params: MachineDescriptor) -> Self {
         Self {
             analyzer: DataflowAnalyzer::new(params.clone()),
             timer: TimingModel::new(params),
@@ -247,7 +247,7 @@ impl PlanProfiler for SimProfiler {
 
 /// Convenience: the cost model's *analytical* estimate for the same
 /// analysis, for cost-model-validation reports (Fig. 12a).
-pub fn cost_model_estimate(params: &MachineParams, analysis: &DataflowAnalysis) -> f64 {
+pub fn cost_model_estimate(params: &MachineDescriptor, analysis: &DataflowAnalysis) -> f64 {
     CostModel::new(params.clone()).evaluate(analysis).est_s
 }
 
@@ -261,7 +261,7 @@ mod tests {
 
     fn analysis_for(chain: &ChainSpec, cluster: ClusterShape, tile: BlockTile) -> DataflowAnalysis {
         let s = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
-        DataflowAnalyzer::new(MachineParams::h100_sxm())
+        DataflowAnalyzer::new(MachineDescriptor::h100_sxm())
             .analyze(chain, &s, cluster, tile)
             .unwrap()
     }
@@ -276,7 +276,7 @@ mod tests {
             ClusterShape::new(1, 2, 2, 2).unwrap(),
             BlockTile::new(64, 64, 32, 64),
         );
-        let params = MachineParams::h100_sxm();
+        let params = MachineDescriptor::h100_sxm();
         let measured = TimingModel::new(params.clone())
             .with_noise(0.0)
             .time_analysis(&a);
@@ -297,13 +297,13 @@ mod tests {
             ClusterShape::new(1, 2, 1, 2).unwrap(),
             BlockTile::new(64, 64, 32, 64),
         );
-        let t = TimingModel::new(MachineParams::h100_sxm());
+        let t = TimingModel::new(MachineDescriptor::h100_sxm());
         assert_eq!(t.time_analysis(&a).seconds, t.time_analysis(&a).seconds);
     }
 
     #[test]
     fn perturbation_bounded_and_plan_dependent() {
-        let t = TimingModel::new(MachineParams::h100_sxm());
+        let t = TimingModel::new(MachineDescriptor::h100_sxm());
         let a = t.perturbation("plan-a");
         let b = t.perturbation("plan-b");
         assert!((0.97..=1.03).contains(&a));
@@ -316,7 +316,7 @@ mod tests {
         // Same chain with 1 cluster-block vs 16 should time faster with
         // 16 (better SM utilisation at this size).
         let chain = ChainSpec::standard_ffn(128, 8192, 2048, 2048, Activation::Relu);
-        let t = TimingModel::new(MachineParams::h100_sxm()).with_noise(0.0);
+        let t = TimingModel::new(MachineDescriptor::h100_sxm()).with_noise(0.0);
         let small = analysis_for(
             &chain,
             ClusterShape::single_block(),
@@ -338,7 +338,7 @@ mod tests {
     #[test]
     fn sim_profiler_feeds_search_engine() {
         let chain = ChainSpec::standard_ffn(128, 2048, 512, 512, Activation::Relu);
-        let params = MachineParams::h100_sxm();
+        let params = MachineDescriptor::h100_sxm();
         let engine = SearchEngine::new(params.clone());
         let mut profiler = SimProfiler::new(params);
         let result = engine
@@ -356,7 +356,7 @@ mod tests {
             ClusterShape::single_block(),
             BlockTile::new(16, 16, 16, 16),
         );
-        let m = TimingModel::new(MachineParams::h100_sxm()).time_analysis(&a);
+        let m = TimingModel::new(MachineDescriptor::h100_sxm()).time_analysis(&a);
         assert!(m.to_string().contains("us"));
         assert!(m.tflops(chain.total_flops()) > 0.0);
     }

@@ -8,7 +8,7 @@
 
 use crate::counters::TrafficCounters;
 use crate::exec::ExecError;
-use flashfuser_core::{MachineParams, MemLevel};
+use flashfuser_core::{MachineDescriptor, MemLevel};
 use flashfuser_graph::chain::ChainInputs;
 use flashfuser_graph::ChainSpec;
 use flashfuser_tensor::{gemm, Matrix, NumericConfig};
@@ -114,11 +114,11 @@ pub fn execute_unfused_with(
 /// own so remainder operators of a partitioned graph (element-wise
 /// glue, transposes, attention GEMMs) are priced by exactly the same
 /// rule.
-pub fn unfused_op_time(flops: u64, bytes: u64, params: &MachineParams, efficiency: f64) -> f64 {
+pub fn unfused_op_time(flops: u64, bytes: u64, params: &MachineDescriptor, efficiency: f64) -> f64 {
     assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency in (0,1]");
-    let compute = flops as f64 / (params.peak_flops * efficiency);
-    let memory = bytes as f64 / (params.hbm_bw * efficiency);
-    compute.max(memory) + params.kernel_launch_s
+    let compute = flops as f64 / (params.peak_flops() * efficiency);
+    let memory = bytes as f64 / (params.hbm_bw() * efficiency);
+    compute.max(memory) + params.kernel_launch_s()
 }
 
 /// [`flashfuser_core::UnfusedPricer`] backed by the unfused kernel
@@ -129,14 +129,14 @@ pub fn unfused_op_time(flops: u64, bytes: u64, params: &MachineParams, efficienc
 /// really pay).
 #[derive(Debug, Clone)]
 pub struct UnfusedKernelPricer {
-    params: MachineParams,
+    params: MachineDescriptor,
     efficiency: f64,
 }
 
 impl UnfusedKernelPricer {
     /// A pricer for `params` at the given kernel `efficiency`
     /// (cuBLAS-class ≈ 0.9; see [`unfused_time`]).
-    pub fn new(params: MachineParams, efficiency: f64) -> Self {
+    pub fn new(params: MachineDescriptor, efficiency: f64) -> Self {
         assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency in (0,1]");
         Self { params, efficiency }
     }
@@ -174,7 +174,11 @@ pub fn split_k_factor(m: usize, r: usize) -> u64 {
 /// `efficiency` derates the per-kernel achieved throughput — baseline
 /// policies use it to model the difference between, say, cuBLAS (0.9+)
 /// and a generic compiler's generated GEMM (0.6–0.8).
-pub fn unfused_time(chain: &ChainSpec, params: &MachineParams, efficiency: f64) -> UnfusedReport {
+pub fn unfused_time(
+    chain: &ChainSpec,
+    params: &MachineDescriptor,
+    efficiency: f64,
+) -> UnfusedReport {
     assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency in (0,1]");
     let dims = chain.dims();
     let gated = chain.kind().is_gated();
@@ -303,7 +307,7 @@ mod tests {
         // M=128 FFN: each GEMM is bandwidth-bound, so halving efficiency
         // roughly doubles time.
         let chain = ChainSpec::standard_ffn(128, 8192, 2048, 2048, Activation::Relu);
-        let p = MachineParams::h100_sxm();
+        let p = MachineDescriptor::h100_sxm();
         let full = unfused_time(&chain, &p, 1.0);
         let half = unfused_time(&chain, &p, 0.5);
         assert!(half.seconds > full.seconds * 1.8);
@@ -327,24 +331,24 @@ mod tests {
     #[should_panic(expected = "efficiency")]
     fn bad_efficiency_panics() {
         let chain = ChainSpec::standard_ffn(16, 32, 32, 32, Activation::Relu);
-        unfused_time(&chain, &MachineParams::h100_sxm(), 0.0);
+        unfused_time(&chain, &MachineDescriptor::h100_sxm(), 0.0);
     }
 
     #[test]
     fn op_time_is_roofline_plus_launch() {
-        let p = MachineParams::h100_sxm();
+        let p = MachineDescriptor::h100_sxm();
         // Pure launch.
-        assert_eq!(unfused_op_time(0, 0, &p, 1.0), p.kernel_launch_s);
+        assert_eq!(unfused_op_time(0, 0, &p, 1.0), p.kernel_launch_s());
         // Memory-bound: doubling bytes doubles the traffic term.
-        let t1 = unfused_op_time(0, 1 << 30, &p, 1.0) - p.kernel_launch_s;
-        let t2 = unfused_op_time(0, 1 << 31, &p, 1.0) - p.kernel_launch_s;
+        let t1 = unfused_op_time(0, 1 << 30, &p, 1.0) - p.kernel_launch_s();
+        let t2 = unfused_op_time(0, 1 << 31, &p, 1.0) - p.kernel_launch_s();
         assert!((t2 / t1 - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn kernel_pricer_agrees_with_the_chain_model() {
         use flashfuser_core::UnfusedPricer as _;
-        let p = MachineParams::h100_sxm();
+        let p = MachineDescriptor::h100_sxm();
         let pricer = UnfusedKernelPricer::new(p.clone(), 0.92);
         let chain = ChainSpec::standard_ffn(128, 8192, 2048, 2048, Activation::Relu);
         assert_eq!(

@@ -10,7 +10,7 @@
 
 use crate::models::ModelSpec;
 use flashfuser_baselines::{Baseline, FlashFuserPolicy};
-use flashfuser_core::MachineParams;
+use flashfuser_core::MachineDescriptor;
 use flashfuser_sim::unfused_time;
 
 /// End-to-end comparison for one model and token count.
@@ -30,18 +30,19 @@ pub struct E2eReport {
 
 /// Non-FFN time of one layer (attention + element-wise remainder),
 /// shared by both systems.
-fn non_ffn_layer_time(model: &ModelSpec, m: usize, params: &MachineParams) -> f64 {
+fn non_ffn_layer_time(model: &ModelSpec, m: usize, params: &MachineDescriptor) -> f64 {
     let attn_flops = model.attention_flops(m, m) as f64;
     let attn_bytes = model.attention_bytes(m, m) as f64;
-    let attn = (attn_flops / (params.peak_flops * 0.92)).max(attn_bytes / (params.hbm_bw * 0.92))
-        + 6.0 * params.kernel_launch_s;
+    let attn = (attn_flops / (params.peak_flops() * 0.92))
+        .max(attn_bytes / (params.hbm_bw() * 0.92))
+        + 6.0 * params.kernel_launch_s();
     let misc_bytes = (4 * m as u64 * model.hidden as u64 * 2) as f64;
-    attn + misc_bytes / (params.hbm_bw * 0.92) + 2.0 * params.kernel_launch_s
+    attn + misc_bytes / (params.hbm_bw() * 0.92) + 2.0 * params.kernel_launch_s()
 }
 
 /// Computes the end-to-end speedup of FlashFuser over the serving
 /// baseline for `model` with `m` tokens in flight.
-pub fn e2e_speedup(model: &ModelSpec, m: usize, params: &MachineParams) -> E2eReport {
+pub fn e2e_speedup(model: &ModelSpec, m: usize, params: &MachineDescriptor) -> E2eReport {
     let chain = model.ffn_chain(m);
     let baseline_ffn = unfused_time(&chain, params, 0.92).seconds;
     let ff = FlashFuserPolicy::new(params.clone()).run(&chain);
@@ -69,7 +70,7 @@ mod tests {
     fn e2e_speedup_is_amdahl_bounded() {
         // E2E speedup must be positive, above 1 (fallback guarantees it)
         // and strictly below the kernel-level FFN speedup.
-        let p = MachineParams::h100_sxm();
+        let p = MachineDescriptor::h100_sxm();
         let gpt = &model_zoo()[0];
         let r = e2e_speedup(gpt, 128, &p);
         assert!(r.speedup >= 1.0);
@@ -81,7 +82,7 @@ mod tests {
     fn large_models_gain_less_at_high_batch() {
         // Fig. 16: at large m the FFN becomes compute-bound and the
         // fusion headroom shrinks.
-        let p = MachineParams::h100_sxm();
+        let p = MachineDescriptor::h100_sxm();
         let model = &large_model_zoo()[1]; // Qwen2.5-14B
         let small = e2e_speedup(model, 256, &p);
         let large = e2e_speedup(model, 4096, &p);

@@ -8,22 +8,23 @@
 //! length of 512.
 
 use crate::models::ModelSpec;
-use flashfuser_core::MachineParams;
+use flashfuser_core::MachineDescriptor;
 use flashfuser_sim::unfused_time;
 
 /// Fraction (0–1) of layer execution time spent in the FFN, for `m`
 /// resident tokens (the paper uses `m = seq = 512`).
-pub fn ffn_time_share(model: &ModelSpec, m: usize, params: &MachineParams) -> f64 {
+pub fn ffn_time_share(model: &ModelSpec, m: usize, params: &MachineDescriptor) -> f64 {
     let ffn = unfused_time(&model.ffn_chain(m), params, 0.90).seconds;
     let attn_flops = model.attention_flops(m, m) as f64;
     let attn_bytes = model.attention_bytes(m, m) as f64;
     // Four projection launches plus two batched attention GEMMs.
-    let attn = (attn_flops / (params.peak_flops * 0.90)).max(attn_bytes / (params.hbm_bw * 0.90))
-        + 6.0 * params.kernel_launch_s;
+    let attn = (attn_flops / (params.peak_flops() * 0.90))
+        .max(attn_bytes / (params.hbm_bw() * 0.90))
+        + 6.0 * params.kernel_launch_s();
     // Norms/residuals/rotary: two passes over the token activations.
     let d = model.hidden as u64;
     let misc_bytes = (4 * m as u64 * d * 2) as f64;
-    let misc = misc_bytes / (params.hbm_bw * 0.90) + 2.0 * params.kernel_launch_s;
+    let misc = misc_bytes / (params.hbm_bw() * 0.90) + 2.0 * params.kernel_launch_s();
     ffn / (ffn + attn + misc)
 }
 
@@ -38,7 +39,7 @@ mod tests {
         // OPT-1.3B 53%, BERT 47%, GPT-2 42%. The model must land in the
         // 40–70% band with the same ordering trend (bigger FFN ratio ->
         // bigger share).
-        let p = MachineParams::h100_sxm();
+        let p = MachineDescriptor::h100_sxm();
         let zoo = model_zoo();
         let mut by_name = std::collections::HashMap::new();
         for m in &zoo {
@@ -53,7 +54,7 @@ mod tests {
 
     #[test]
     fn share_grows_with_ffn_width() {
-        let p = MachineParams::h100_sxm();
+        let p = MachineDescriptor::h100_sxm();
         let narrow = ModelSpec {
             name: "narrow",
             layers: 1,

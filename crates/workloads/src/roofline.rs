@@ -8,7 +8,7 @@
 //! therefore offers little fusion headroom.
 
 use crate::models::ModelSpec;
-use flashfuser_core::MachineParams;
+use flashfuser_core::MachineDescriptor;
 
 /// One roofline point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,16 +24,16 @@ pub struct RooflinePoint {
 }
 
 /// Computes the roofline point of a model's FFN at `m` tokens.
-pub fn roofline_point(model: &ModelSpec, m: usize, params: &MachineParams) -> RooflinePoint {
+pub fn roofline_point(model: &ModelSpec, m: usize, params: &MachineDescriptor) -> RooflinePoint {
     let chain = model.ffn_chain(m);
     let intensity = chain.fused_arithmetic_intensity();
-    let bw_roof = intensity * params.hbm_peak_bw;
-    let attainable = bw_roof.min(params.peak_flops);
+    let bw_roof = intensity * params.hbm_peak_bw();
+    let attainable = bw_roof.min(params.peak_flops());
     RooflinePoint {
         m,
         intensity,
         attainable_tflops: attainable / 1e12,
-        compute_bound: bw_roof >= params.peak_flops,
+        compute_bound: bw_roof >= params.peak_flops(),
     }
 }
 
@@ -44,7 +44,7 @@ mod tests {
 
     #[test]
     fn intensity_grows_with_tokens() {
-        let p = MachineParams::h100_sxm();
+        let p = MachineDescriptor::h100_sxm();
         let model = &large_model_zoo()[0];
         let points: Vec<_> = [256, 512, 1024, 4096]
             .iter()
@@ -59,11 +59,11 @@ mod tests {
     fn large_batch_is_compute_bound() {
         // Fig. 16(a): the large-model serving points are mostly
         // compute-bound — crossing the ridge somewhere below m = 1k.
-        let p = MachineParams::h100_sxm();
+        let p = MachineDescriptor::h100_sxm();
         let model = &large_model_zoo()[0];
         assert!(!roofline_point(model, 128, &p).compute_bound);
         let big = roofline_point(model, 2048, &p);
         assert!(big.compute_bound, "{big:?}");
-        assert!((big.attainable_tflops - p.peak_flops / 1e12).abs() < 1e-9);
+        assert!((big.attainable_tflops - p.peak_flops() / 1e12).abs() < 1e-9);
     }
 }

@@ -14,7 +14,7 @@ use flashfuser::CompilerOptions;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
 
     // Optional: point the cache at a directory to persist plans across
     // process restarts (the CLI's `--cache-dir` does the same).

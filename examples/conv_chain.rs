@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("conv block lowered to GEMM chain: {chain}");
 
     // Functional validation: fused GEMM-chain execution == direct convs.
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let engine = SearchEngine::new(params.clone());
     let plan = engine
         .search(&chain, &SearchConfig::default())?

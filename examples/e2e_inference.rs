@@ -2,11 +2,11 @@
 //!
 //! Run with `cargo run --release --example e2e_inference`.
 
-use flashfuser::core::MachineParams;
+use flashfuser::core::MachineDescriptor;
 use flashfuser::workloads::{e2e_speedup, ffn_time_share, model_zoo};
 
 fn main() {
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     println!(
         "{:<12}{:>12}{:>14}{:>12}",
         "model", "FFN share", "FFN speedup", "E2E"

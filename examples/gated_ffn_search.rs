@@ -8,7 +8,7 @@ use flashfuser::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let chain = ChainSpec::gated_ffn(128, 8192, 2048, 2048, Activation::Silu).named("S4");
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
 
     println!("== pruning cascade for {chain} ==");
     let stats = count_cascade(&chain, &params, &PruneConfig::default());

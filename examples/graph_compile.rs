@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  fusible chain {}: {}", i + 1, m.chain);
     }
 
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let plan = compiler.compile_graph(&graph)?;
     println!("segments:");
     for (i, segment) in plan.segments.iter().enumerate() {

@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Search for the best fused plan (Algorithm 2) and profile the
     // top-K finalists on the machine model.
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let engine = SearchEngine::new(params.clone());
     let mut profiler = SimProfiler::new(params.clone());
     let result = engine.search_with_profiler(&chain, &SearchConfig::default(), &mut profiler)?;

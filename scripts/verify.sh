@@ -62,6 +62,15 @@ run_bench bench_interp
 echo "== serve-smoke (bench_serve) =="
 run_bench bench_serve
 
+# Machine-model smoke: bench_machine sweeps descriptor mutations
+# (cluster size, DSM bandwidth, SMEM capacity, whole targets including
+# the committed machines/tensix_like.json), recompiles the probe at
+# every point and runs the numeric oracle on each plan; it exits
+# non-zero unless every point is feasible, oracle-clean, and keeps the
+# speedup >= 1 fallback bar.
+echo "== machine-smoke (bench_machine) =="
+run_bench bench_machine
+
 # Differential fuzzing smoke: generator -> compiler -> stitched
 # execution vs per-op reference. Any numeric or traffic divergence
 # fails the gate; the seed report names the exact repro invocation.

@@ -77,6 +77,10 @@ OPTIONS:
                        (compile only; in batch use the ':gated' suffix)
     --conv             Compile a conv chain (compile only; see above)
     --a100             Target the simulated A100 (no DSM) instead of H100
+    --machine SPEC     Target machine: a registry name (h100_sxm, a100_sxm)
+                       or a descriptor JSON file in the codec format, e.g.
+                       machines/tensix_like.json (excludes --a100; applies
+                       to compile, batch, graph, fuzz and serve)
     --cache-dir DIR    Persist compiled plans under DIR and reuse them on
                        later runs (content-addressed; invalidates itself
                        when the machine or search config changes)
@@ -110,9 +114,12 @@ EXAMPLES:
     flashfuser-cli compile 128 16384 4096 4096
     flashfuser-cli compile 128 11008 4096 4096 --gated --cache-dir /tmp/ff-plans
     flashfuser-cli compile --conv 64 56 56 256 64 1 1
+    flashfuser-cli compile 128 4096 1024 1024 --machine machines/tensix_like.json
     flashfuser-cli batch 128x3072x768x768 128x16384x4096x4096 --repeat 3
     flashfuser-cli graph GPT-2 128 --layers 2
+    flashfuser-cli graph GPT-2 128 --machine a100_sxm
     flashfuser-cli fuzz --seeds 16
+    flashfuser-cli fuzz --seeds 8 --machine machines/tensix_like.json
     flashfuser-cli fuzz --seeds 64 --ops 16 --report FUZZ_report.json
     flashfuser-cli fuzz --seeds 8 --dims 512 --kernel blocked --report FUZZ_report.dims512.json
     flashfuser-cli fuzz --seeds 16 --kernel naive
@@ -122,6 +129,7 @@ EXAMPLES:
 
 struct CommonOpts {
     a100: bool,
+    machine: Option<String>,
     cache_dir: Option<String>,
     workers: usize,
     repeat: usize,
@@ -150,6 +158,7 @@ fn usage_error(msg: &str) -> ExitCode {
 fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
     let mut opts = CommonOpts {
         a100: false,
+        machine: None,
         cache_dir: None,
         workers: 0,
         repeat: 1,
@@ -175,8 +184,8 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
             "--conv" => opts.conv = true,
             "--a100" => opts.a100 = true,
             "--dry-run" => opts.dry_run = true,
-            "--cache-dir" | "--workers" | "--repeat" | "--layers" | "--seeds" | "--start"
-            | "--ops" | "--dims" | "--kernel" | "--tol" | "--report" | "--port"
+            "--machine" | "--cache-dir" | "--workers" | "--repeat" | "--layers" | "--seeds"
+            | "--start" | "--ops" | "--dims" | "--kernel" | "--tol" | "--report" | "--port"
             | "--queue-depth" => {
                 let flag = args[i].clone();
                 i += 1;
@@ -184,6 +193,7 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
                     .get(i)
                     .ok_or_else(|| format!("{flag} requires a value"))?;
                 match flag.as_str() {
+                    "--machine" => opts.machine = Some(value.clone()),
                     "--cache-dir" => opts.cache_dir = Some(value.clone()),
                     "--report" => opts.report = Some(value.clone()),
                     "--workers" => {
@@ -274,12 +284,32 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
     Ok((opts, positional))
 }
 
-fn machine(opts: &CommonOpts) -> MachineParams {
+/// Resolves the target machine: `--machine` takes a registry name
+/// (`h100_sxm`, `a100_sxm`) or a descriptor JSON file in the
+/// `core::codec` format (see `machines/*.json`); `--a100` stays as a
+/// shorthand for the built-in A100.
+fn machine(opts: &CommonOpts) -> Result<MachineDescriptor, String> {
+    let Some(spec) = &opts.machine else {
+        return Ok(if opts.a100 {
+            MachineDescriptor::a100_sxm()
+        } else {
+            MachineDescriptor::h100_sxm()
+        });
+    };
     if opts.a100 {
-        MachineParams::a100_sxm()
-    } else {
-        MachineParams::h100_sxm()
+        return Err("--machine and --a100 are mutually exclusive".to_string());
     }
+    if let Some(desc) = MachineDescriptor::builtin(spec) {
+        return Ok(desc);
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| {
+        format!(
+            "--machine: '{spec}' is neither a built-in ({}) nor a readable file ({e})",
+            MachineDescriptor::builtin_ids().join(", ")
+        )
+    })?;
+    flashfuser::core::decode_machine(&text)
+        .map_err(|e| format!("--machine: cannot decode '{spec}': {e}"))
 }
 
 fn compiler(opts: &CommonOpts) -> Result<Compiler, String> {
@@ -288,7 +318,7 @@ fn compiler(opts: &CommonOpts) -> Result<Compiler, String> {
         options = options.with_cache_dir(dir);
     }
     options.batch_workers = opts.workers;
-    Compiler::with_options(machine(opts), options)
+    Compiler::with_options(machine(opts)?, options)
         .map_err(|e| format!("cannot open cache dir: {e}"))
 }
 
@@ -358,7 +388,10 @@ fn cmd_compile(args: &[String]) -> ExitCode {
             ChainSpec::standard_ffn(dims[0], dims[1], dims[2], dims[3], Activation::Relu)
         }
     };
-    let params = machine(&opts);
+    let params = match machine(&opts) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
     if opts.dry_run {
         println!("dry-run: would compile {chain} on {}", params.name);
         return ExitCode::SUCCESS;
@@ -425,7 +458,10 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         }
     }
     let batch: Vec<ChainSpec> = (0..opts.repeat).flat_map(|_| chains.clone()).collect();
-    let params = machine(&opts);
+    let params = match machine(&opts) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
     if opts.dry_run {
         println!(
             "dry-run: would batch-compile {} request(s) on {}",
@@ -505,7 +541,10 @@ fn cmd_graph(args: &[String]) -> ExitCode {
         Ok(m) if m > 0 => m,
         _ => return usage_error(&format!("<M>: '{m_arg}' is not a positive token count")),
     };
-    let params = machine(&opts);
+    let params = match machine(&opts) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
     if opts.dry_run {
         println!(
             "dry-run: would lower {} x{} layer(s) at m={m} and compile the graph on {}",
@@ -600,7 +639,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             "serve takes no positional arguments, got {positional:?}"
         ));
     }
-    let params = machine(&opts);
+    let params = match machine(&opts) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
     let workers_desc = if opts.workers == 0 {
         "auto".to_string()
     } else {
@@ -643,7 +685,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         opts.queue_depth
     );
     println!(
-        "endpoints: POST /compile, POST /batch, GET /stats, GET /healthz, POST /admin/shutdown"
+        "endpoints: POST /compile, POST /batch, GET /machines, GET /stats, GET /healthz, POST /admin/shutdown"
     );
     server.wait();
     println!("shut down cleanly (drained the admission queue)");
@@ -677,7 +719,10 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     let Some(end) = opts.start.checked_add(seeds) else {
         return usage_error("--start + --seeds overflows the seed space");
     };
-    let params = machine(&opts);
+    let params = match machine(&opts) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
     if opts.dry_run {
         println!(
             "dry-run: would fuzz seeds {}..{end} ({} graph(s) of ~{} ops, dims <= {}, {} kernel, tol {:.1e}) on {}",
@@ -704,11 +749,15 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     for seed in opts.start..end {
         let graph = rand_graph(seed, &config);
         let repro = format!(
-            "flashfuser-cli fuzz --seeds 1 --start {seed} --ops {} --dims {} --kernel {}{}",
+            "flashfuser-cli fuzz --seeds 1 --start {seed} --ops {} --dims {} --kernel {}{}{}",
             opts.ops,
             opts.dims,
             opts.kernel,
-            if opts.a100 { " --a100" } else { "" }
+            if opts.a100 { " --a100" } else { "" },
+            opts.machine
+                .as_deref()
+                .map(|m| format!(" --machine {m}"))
+                .unwrap_or_default()
         );
         let outcome = match validate_graph_with(&compiler, &graph, seed, opts.tol, numeric) {
             Ok(v) => {

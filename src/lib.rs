@@ -33,7 +33,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let chain = ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Relu);
-//! let compiled = flashfuser::compile(&chain, &MachineParams::h100_sxm())?;
+//! let compiled = flashfuser::compile(&chain, &MachineDescriptor::h100_sxm())?;
 //! assert!(compiled.measured_seconds > 0.0);
 //! # Ok(())
 //! # }
@@ -45,7 +45,7 @@
 //! use flashfuser::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let compiler = Compiler::new(MachineParams::h100_sxm());
+//! let compiler = Compiler::new(MachineDescriptor::h100_sxm());
 //! let chain = ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Relu);
 //! let cold = compiler.compile(&chain)?;
 //! let warm = compiler.compile(&chain)?; // cache hit: no search runs
@@ -61,7 +61,7 @@
 //! use flashfuser::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let compiler = Compiler::new(MachineParams::h100_sxm());
+//! let compiler = Compiler::new(MachineDescriptor::h100_sxm());
 //!
 //! // Two FFN layers of the same shape, as an operator DAG.
 //! let layer = ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Gelu);
@@ -96,7 +96,7 @@ use flashfuser_cache::{CacheStats, InFlight, PlanCache, PlanKey};
 use flashfuser_core::codec::PlanRecord;
 use flashfuser_core::segment::{partition_graph, PartitionError, Segment};
 use flashfuser_core::{
-    FusedPlan, MachineParams, MemLevel, SearchConfig, SearchEngine, SearchError,
+    FusedPlan, MachineDescriptor, MemLevel, SearchConfig, SearchEngine, SearchError,
 };
 use flashfuser_graph::op::NodeId;
 use flashfuser_graph::{ChainSpec, OpGraph};
@@ -124,7 +124,7 @@ pub mod prelude {
     pub use flashfuser_cache::{CacheStats, PlanCache, PlanKey};
     pub use flashfuser_comm::ClusterShape;
     pub use flashfuser_core::{
-        BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams, SearchConfig, SearchEngine,
+        BlockTile, DataflowAnalyzer, LoopSchedule, MachineDescriptor, SearchConfig, SearchEngine,
     };
     pub use flashfuser_graph::{
         match_chains, rand_graph, ChainDims, ChainSpec, Dim, OpGraph, OpKind, RandGraphConfig,
@@ -149,10 +149,10 @@ pub struct Compiled {
 /// The default search configuration for a machine: top-K = 11, DSM
 /// spill, parallel search with the lower-bound prefilter; SMEM-only
 /// spill on devices without a DSM pool (cluster limit 1).
-pub fn default_config_for(params: &MachineParams) -> SearchConfig {
+pub fn default_config_for(params: &MachineDescriptor) -> SearchConfig {
     let mut config = SearchConfig::default();
-    config.prune.max_cluster = params.max_cluster;
-    if params.max_cluster <= 1 {
+    config.prune.max_cluster = params.max_cluster();
+    if params.max_cluster() <= 1 {
         // Pre-Hopper: no DSM pool to spill into.
         config.prune.lowest_spill = MemLevel::Smem;
     }
@@ -167,7 +167,7 @@ pub fn default_config_for(params: &MachineParams) -> SearchConfig {
 ///
 /// Returns [`SearchError::NoFeasiblePlan`] when no fusion plan exists
 /// under the machine's capacity constraints.
-pub fn compile(chain: &ChainSpec, params: &MachineParams) -> Result<Compiled, SearchError> {
+pub fn compile(chain: &ChainSpec, params: &MachineDescriptor) -> Result<Compiled, SearchError> {
     let engine = SearchEngine::new(params.clone());
     let mut profiler = SimProfiler::new(params.clone());
     let config = default_config_for(params);
@@ -188,7 +188,7 @@ pub fn compile(chain: &ChainSpec, params: &MachineParams) -> Result<Compiled, Se
 /// in input order.
 pub fn compile_batch(
     chains: &[ChainSpec],
-    params: &MachineParams,
+    params: &MachineDescriptor,
 ) -> Vec<Result<Compiled, SearchError>> {
     Compiler::new(params.clone()).compile_batch(chains)
 }
@@ -261,6 +261,10 @@ impl Default for CompilerOptions {
 pub struct Compiler {
     engine: SearchEngine,
     config: SearchConfig,
+    /// `true` when [`CompilerOptions::config`] was explicit — the same
+    /// config then applies to per-request machines too, instead of
+    /// [`default_config_for`] each target.
+    config_overridden: bool,
     cache: PlanCache,
     inflight: InFlight<PlanKey, Result<Arc<PlanRecord>, SearchError>>,
     batch_workers: usize,
@@ -272,7 +276,7 @@ pub struct Compiler {
 
 impl Compiler {
     /// A compiler with default options (memory-only cache).
-    pub fn new(params: MachineParams) -> Compiler {
+    pub fn new(params: MachineDescriptor) -> Compiler {
         Self::with_options(params, CompilerOptions::new()).expect("memory-only compiler: no I/O")
     }
 
@@ -282,7 +286,11 @@ impl Compiler {
     ///
     /// Returns the underlying I/O error when `options.cache_dir` cannot
     /// be created.
-    pub fn with_options(params: MachineParams, options: CompilerOptions) -> io::Result<Compiler> {
+    pub fn with_options(
+        params: MachineDescriptor,
+        options: CompilerOptions,
+    ) -> io::Result<Compiler> {
+        let config_overridden = options.config.is_some();
         let config = options
             .config
             .unwrap_or_else(|| default_config_for(&params));
@@ -298,6 +306,7 @@ impl Compiler {
         Ok(Compiler {
             engine: SearchEngine::new(params),
             config,
+            config_overridden,
             cache,
             inflight: InFlight::new(),
             batch_workers: options.batch_workers,
@@ -309,7 +318,7 @@ impl Compiler {
     }
 
     /// The machine this compiler targets.
-    pub fn params(&self) -> &MachineParams {
+    pub fn params(&self) -> &MachineDescriptor {
         self.engine.params()
     }
 
@@ -388,7 +397,20 @@ impl Compiler {
     /// The shared batch path: per-input cached-or-searched records
     /// (duplicates share one `Arc`).
     fn batch_records(&self, chains: &[ChainSpec]) -> Vec<Result<Arc<PlanRecord>, SearchError>> {
-        let keys: Vec<PlanKey> = chains.iter().map(|c| self.key_for(c)).collect();
+        self.batch_records_on(&self.engine, &self.config, chains)
+    }
+
+    /// [`Compiler::batch_records`] against an explicit target.
+    fn batch_records_on(
+        &self,
+        engine: &SearchEngine,
+        config: &SearchConfig,
+        chains: &[ChainSpec],
+    ) -> Vec<Result<Arc<PlanRecord>, SearchError>> {
+        let keys: Vec<PlanKey> = chains
+            .iter()
+            .map(|c| PlanKey::derive(c, engine.params(), config))
+            .collect();
         // Dedupe: first occurrence of each key claims a slot.
         let mut slot_of = std::collections::HashMap::new();
         let mut unique = Vec::new();
@@ -399,12 +421,12 @@ impl Compiler {
             });
         }
         let workers = self.batch_worker_count(unique.len());
-        let inner_threads = (self.config.effective_threads() / workers.max(1)).max(1);
+        let inner_threads = (config.effective_threads() / workers.max(1)).max(1);
         let results: Vec<OnceLock<Result<Arc<PlanRecord>, SearchError>>> =
             (0..unique.len()).map(|_| OnceLock::new()).collect();
         if workers <= 1 {
             for (slot, &i) in unique.iter().enumerate() {
-                let outcome = self.compile_record(&chains[i], None);
+                let outcome = self.compile_record_on(engine, config, &chains[i], None);
                 results[slot].set(outcome).expect("slot set once");
             }
         } else {
@@ -416,8 +438,12 @@ impl Compiler {
                         if slot >= unique.len() {
                             break;
                         }
-                        let outcome =
-                            self.compile_record(&chains[unique[slot]], Some(inner_threads));
+                        let outcome = self.compile_record_on(
+                            engine,
+                            config,
+                            &chains[unique[slot]],
+                            Some(inner_threads),
+                        );
                         results[slot].set(outcome).expect("slot claimed once");
                     });
                 }
@@ -448,6 +474,73 @@ impl Compiler {
         Ok(project_record(&record, chain))
     }
 
+    /// The search configuration for a per-request machine: the explicit
+    /// config when [`CompilerOptions::config`] was set, otherwise
+    /// [`default_config_for`] the target — so an A100-class descriptor
+    /// gets its SMEM-only spill floor even on an H100-default compiler.
+    fn config_for_machine(&self, machine: &MachineDescriptor) -> SearchConfig {
+        if self.config_overridden {
+            self.config.clone()
+        } else {
+            default_config_for(machine)
+        }
+    }
+
+    /// [`Compiler::compile`] against a per-request machine instead of
+    /// the compiler's default. Plans share this compiler's cache and
+    /// coalescer: [`PlanKey`] includes the machine fingerprint, so
+    /// distinct descriptors never collide and repeat requests for the
+    /// same descriptor hit warm entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::NoFeasiblePlan`] when no fusion plan
+    /// exists under `machine`'s capacity constraints.
+    pub fn compile_for_machine(
+        &self,
+        chain: &ChainSpec,
+        machine: &MachineDescriptor,
+    ) -> Result<Compiled, SearchError> {
+        let engine = SearchEngine::new(machine.clone());
+        let config = self.config_for_machine(machine);
+        let record = self.compile_record_on(&engine, &config, chain, None)?;
+        Ok(self.to_compiled(chain, &record))
+    }
+
+    /// [`Compiler::compile_record_for`] against a per-request machine.
+    pub fn compile_record_for_machine(
+        &self,
+        chain: &ChainSpec,
+        machine: &MachineDescriptor,
+    ) -> Result<PlanRecord, SearchError> {
+        let engine = SearchEngine::new(machine.clone());
+        let config = self.config_for_machine(machine);
+        let record = self.compile_record_on(&engine, &config, chain, None)?;
+        Ok(project_record(&record, chain))
+    }
+
+    /// [`Compiler::compile_batch_records`] against a per-request
+    /// machine.
+    pub fn compile_batch_records_for_machine(
+        &self,
+        chains: &[ChainSpec],
+        machine: &MachineDescriptor,
+    ) -> Vec<Result<PlanRecord, SearchError>> {
+        let engine = SearchEngine::new(machine.clone());
+        let config = self.config_for_machine(machine);
+        self.batch_records_on(&engine, &config, chains)
+            .into_iter()
+            .zip(chains)
+            .map(|(outcome, chain)| outcome.map(|record| project_record(&record, chain)))
+            .collect()
+    }
+
+    /// The cache key this compiler derives for `chain` on a
+    /// per-request machine.
+    pub fn key_for_machine(&self, chain: &ChainSpec, machine: &MachineDescriptor) -> PlanKey {
+        PlanKey::derive(chain, machine, &self.config_for_machine(machine))
+    }
+
     /// Worker count for a batch of `unique` distinct keys.
     fn batch_worker_count(&self, unique: usize) -> usize {
         let configured = if self.batch_workers > 0 {
@@ -464,7 +557,23 @@ impl Compiler {
         chain: &ChainSpec,
         threads_override: Option<usize>,
     ) -> Result<Arc<PlanRecord>, SearchError> {
-        let key = self.key_for(chain);
+        self.compile_record_on(&self.engine, &self.config, chain, threads_override)
+    }
+
+    /// [`Compiler::compile_record`] against an explicit target. The
+    /// cache and the single-flight coalescer are shared across targets:
+    /// [`PlanKey`] hashes the machine fingerprint, so plans for
+    /// different descriptors never collide, while repeated requests for
+    /// the same descriptor hit the same entries whether the descriptor
+    /// came inline, from a file, or from the built-in registry.
+    fn compile_record_on(
+        &self,
+        engine: &SearchEngine,
+        config: &SearchConfig,
+        chain: &ChainSpec,
+        threads_override: Option<usize>,
+    ) -> Result<Arc<PlanRecord>, SearchError> {
+        let key = PlanKey::derive(chain, engine.params(), config);
         if let Some(hit) = self.cache.get(&key) {
             return Ok(hit);
         }
@@ -475,7 +584,7 @@ impl Compiler {
             if let Some(hit) = self.cache.get_untracked(&key) {
                 return Ok(hit);
             }
-            let record = Arc::new(self.search_record(chain, threads_override)?);
+            let record = Arc::new(self.search_record(engine, config, chain, threads_override)?);
             self.cache.put(key, Arc::clone(&record));
             Ok(record)
         };
@@ -493,20 +602,20 @@ impl Compiler {
     /// Runs one full search (the cold path).
     fn search_record(
         &self,
+        engine: &SearchEngine,
+        config: &SearchConfig,
         chain: &ChainSpec,
         threads_override: Option<usize>,
     ) -> Result<PlanRecord, SearchError> {
         self.searches.fetch_add(1, Ordering::Relaxed);
-        let mut config = self.config.clone();
+        let mut config = config.clone();
         if let Some(threads) = threads_override {
             // Thread count never changes the result (deterministic
             // merge), so batch workers may split the cores freely.
             config.threads = threads;
         }
-        let mut profiler = SimProfiler::new(self.engine.params().clone());
-        let result = self
-            .engine
-            .search_with_profiler(chain, &config, &mut profiler)?;
+        let mut profiler = SimProfiler::new(engine.params().clone());
+        let result = engine.search_with_profiler(chain, &config, &mut profiler)?;
         self.profile_calls
             .fetch_add(profiler.profiled, Ordering::Relaxed);
         let best = result.best();
@@ -558,8 +667,32 @@ impl Compiler {
     /// Returns [`GraphCompileError::Partition`] when the graph is
     /// ill-shaped or has no compute nodes.
     pub fn compile_graph(&self, graph: &OpGraph) -> Result<GraphPlan, GraphCompileError> {
-        let pricer = UnfusedKernelPricer::new(self.engine.params().clone(), UNFUSED_EFFICIENCY);
-        let partition = partition_graph(graph, self.engine.params(), &pricer)?;
+        self.compile_graph_on(&self.engine, &self.config, graph)
+    }
+
+    /// [`Compiler::compile_graph`] against a per-request machine.
+    /// Partitioning, per-segment search and unfused pricing all use
+    /// `machine`; segment plans share this compiler's cache under keys
+    /// that include the machine fingerprint.
+    pub fn compile_graph_for_machine(
+        &self,
+        graph: &OpGraph,
+        machine: &MachineDescriptor,
+    ) -> Result<GraphPlan, GraphCompileError> {
+        let engine = SearchEngine::new(machine.clone());
+        let config = self.config_for_machine(machine);
+        self.compile_graph_on(&engine, &config, graph)
+    }
+
+    /// The shared whole-graph path against an explicit target.
+    fn compile_graph_on(
+        &self,
+        engine: &SearchEngine,
+        config: &SearchConfig,
+        graph: &OpGraph,
+    ) -> Result<GraphPlan, GraphCompileError> {
+        let pricer = UnfusedKernelPricer::new(engine.params().clone(), UNFUSED_EFFICIENCY);
+        let partition = partition_graph(graph, engine.params(), &pricer)?;
         let shapes = graph
             .infer_shapes()
             .expect("partition_graph already validated the shapes");
@@ -586,7 +719,10 @@ impl Compiler {
                     ..
                 } => {
                     let before = self.searches_run();
-                    match self.compile(&chain) {
+                    match self
+                        .compile_record_on(engine, config, &chain, None)
+                        .map(|record| self.to_compiled(&chain, &record))
+                    {
                         Ok(compiled) => {
                             let searched = self.searches_run() > before;
                             let fell_back = compiled.measured_seconds >= bar;

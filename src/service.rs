@@ -14,9 +14,19 @@
 //! |------------------------|-----------------------------|----------|
 //! | `POST /compile`        | chain, conv or graph spec   | plan record / graph summary |
 //! | `POST /batch`          | `{"requests": [spec, ...]}` | per-item records |
+//! | `GET /machines`        | —                           | built-in machine registry |
 //! | `GET /stats`           | —                           | counters, cache, latency |
 //! | `GET /healthz`         | —                           | `{"ok": true}` |
 //! | `POST /admin/shutdown` | —                           | ack, then graceful drain |
+//!
+//! `/compile` and `/batch` bodies may carry an optional `"machine"`
+//! member — either a registry name (`"machine": "a100_sxm"`, see
+//! `GET /machines`) or an inline descriptor object in the
+//! [`codec::encode_machine`] format — and the request then compiles
+//! against that target instead of the server's default. Descriptors
+//! that parse but fail validation (zero bandwidth, empty tier list,
+//! capacity overflow, ...) come back as 422 with the typed
+//! [`flashfuser_core::MachineError`] reason.
 //!
 //! Request bodies are untrusted bytes: they go through
 //! [`json::parse_with_limits`] under [`json::ParseLimits::untrusted`]
@@ -34,7 +44,7 @@ use crate::workloads::{find_model, large_model_zoo, model_zoo, ModelSpec};
 use crate::{Compiler, GraphPlan};
 use flashfuser_core::codec::{self, CodecError};
 use flashfuser_core::json::{self, JsonErrorKind, JsonValue, ParseLimits};
-use flashfuser_core::SearchError;
+use flashfuser_core::{MachineDescriptor, SearchError};
 use flashfuser_graph::{ChainSpec, ConvChainSpec};
 use std::io;
 use std::net::ToSocketAddrs;
@@ -81,6 +91,7 @@ struct EndpointCounters {
     compile: AtomicU64,
     batch: AtomicU64,
     graph: AtomicU64,
+    machines: AtomicU64,
     stats: AtomicU64,
     healthz: AtomicU64,
     shutdown: AtomicU64,
@@ -123,6 +134,10 @@ impl Handler for CompileService {
                 bump(&self.counters.stats);
                 Response::json(200, self.stats_json())
             }
+            ("GET", "/machines") => {
+                bump(&self.counters.machines);
+                Response::json(200, machines_json())
+            }
             ("POST", "/compile") => self.compile_endpoint(request),
             ("POST", "/batch") => self.batch_endpoint(request),
             ("POST", "/admin/shutdown") => {
@@ -131,9 +146,10 @@ impl Handler for CompileService {
                 response.shutdown = true;
                 response
             }
-            (_, "/healthz" | "/stats" | "/compile" | "/batch" | "/admin/shutdown") => {
-                api_error(405, "method not allowed for this route")
-            }
+            (
+                _,
+                "/healthz" | "/stats" | "/compile" | "/batch" | "/machines" | "/admin/shutdown",
+            ) => api_error(405, "method not allowed for this route"),
             _ => api_error(404, "no such route"),
         };
         if (400..500).contains(&response.status) {
@@ -144,16 +160,21 @@ impl Handler for CompileService {
 }
 
 impl CompileService {
-    /// `POST /compile`: one chain/conv/graph spec.
+    /// `POST /compile`: one chain/conv/graph spec, optionally against a
+    /// per-request machine.
     fn compile_endpoint(&self, request: &Request) -> Response {
-        let spec = match parse_body_spec(&request.body) {
-            Ok(spec) => spec,
+        let (spec, machine) = match parse_body_spec(&request.body) {
+            Ok(parsed) => parsed,
             Err(e) => return e.into_response(),
         };
         match spec {
             CompileSpec::Chain(chain) => {
                 self.counters.compile.fetch_add(1, Ordering::Relaxed);
-                match self.compiler.compile_record_for(&chain) {
+                let outcome = match &machine {
+                    Some(m) => self.compiler.compile_record_for_machine(&chain, m),
+                    None => self.compiler.compile_record_for(&chain),
+                };
+                match outcome {
                     Ok(record) => Response::json(200, codec::encode_record(&record)),
                     Err(SearchError::NoFeasiblePlan) => {
                         self.counters.infeasible.fetch_add(1, Ordering::Relaxed);
@@ -167,7 +188,11 @@ impl CompileService {
             CompileSpec::Graph { model, m, layers } => {
                 self.counters.graph.fetch_add(1, Ordering::Relaxed);
                 let graph = model.graph(m, layers);
-                match self.compiler.compile_graph(&graph) {
+                let outcome = match &machine {
+                    Some(desc) => self.compiler.compile_graph_for_machine(&graph, desc),
+                    None => self.compiler.compile_graph(&graph),
+                };
+                match outcome {
                     Ok(plan) => Response::json(200, graph_summary_json(&model, m, layers, &plan)),
                     Err(e) => api_error(422, &format!("cannot compile graph: {e}")),
                 }
@@ -176,14 +201,18 @@ impl CompileService {
     }
 
     /// `POST /batch`: many chain/conv specs, deduped and sharded by
-    /// [`Compiler::compile_batch_records`].
+    /// [`Compiler::compile_batch_records`], optionally against a
+    /// per-request machine shared by the whole batch.
     fn batch_endpoint(&self, request: &Request) -> Response {
         self.counters.batch.fetch_add(1, Ordering::Relaxed);
-        let chains = match parse_batch_body(&request.body) {
-            Ok(chains) => chains,
+        let (chains, machine) = match parse_batch_body(&request.body) {
+            Ok(parsed) => parsed,
             Err(e) => return e.into_response(),
         };
-        let outcomes = self.compiler.compile_batch_records(&chains);
+        let outcomes = match &machine {
+            Some(m) => self.compiler.compile_batch_records_for_machine(&chains, m),
+            None => self.compiler.compile_batch_records(&chains),
+        };
         let mut items = Vec::with_capacity(outcomes.len());
         for outcome in &outcomes {
             match outcome {
@@ -233,8 +262,8 @@ impl CompileService {
             concat!(
                 "{{\n",
                 "  \"endpoints\": {{\"compile\": {compile}, \"batch\": {batch}, ",
-                "\"graph\": {graph}, \"stats\": {stats}, \"healthz\": {healthz}, ",
-                "\"shutdown\": {shutdown}}},\n",
+                "\"graph\": {graph}, \"machines\": {machines}, \"stats\": {stats}, ",
+                "\"healthz\": {healthz}, \"shutdown\": {shutdown}}},\n",
                 "  \"outcomes\": {{\"ok\": {ok}, \"bad_requests\": {bad}, ",
                 "\"infeasible\": {infeasible}, \"dropped\": {dropped}}},\n",
                 "  \"admission\": {{\"accepted\": {accepted}, \"rejected_busy\": {rejected}, ",
@@ -252,6 +281,7 @@ impl CompileService {
             compile = load(&c.compile),
             batch = load(&c.batch),
             graph = load(&c.graph),
+            machines = load(&c.machines),
             stats = load(&c.stats),
             healthz = load(&c.healthz),
             shutdown = load(&c.shutdown),
@@ -333,15 +363,76 @@ impl From<CodecError> for ApiError {
     }
 }
 
-/// Parses an untrusted `/compile` body into a spec.
-fn parse_body_spec(body: &[u8]) -> Result<CompileSpec, ApiError> {
-    let doc = parse_untrusted(body)?;
-    parse_spec_value(&doc)
+/// The `GET /machines` document: every registry id with its full
+/// canonical descriptor (the same encoding `"machine"` accepts inline).
+fn machines_json() -> String {
+    let entries: Vec<String> = MachineDescriptor::builtin_ids()
+        .iter()
+        .map(|id| {
+            let desc = MachineDescriptor::builtin(id).expect("registry ids resolve");
+            format!(
+                "{{\"id\": \"{}\", \"descriptor\": {}}}",
+                json::escape(id),
+                codec::encode_machine(&desc).trim_end()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"count\": {}, \"machines\": [\n{}\n]}}\n",
+        entries.len(),
+        entries.join(",\n")
+    )
 }
 
-/// Parses an untrusted `/batch` body into its chain list.
-fn parse_batch_body(body: &[u8]) -> Result<Vec<ChainSpec>, ApiError> {
+/// Resolves an optional top-level `"machine"` member: a registry name
+/// string, or an inline descriptor object in the codec format.
+/// Descriptors that parse but fail [`MachineDescriptor`] validation map
+/// to 422 with the typed reason; malformed documents map to 400.
+fn parse_machine(doc: &JsonValue) -> Result<Option<MachineDescriptor>, ApiError> {
+    let Some(member) = doc.get("machine") else {
+        return Ok(None);
+    };
+    if let Some(name) = member.as_str() {
+        return match MachineDescriptor::builtin(name) {
+            Some(desc) => Ok(Some(desc)),
+            None => Err(ApiError::new(
+                400,
+                format!(
+                    "unknown machine '{name}'; available: {}",
+                    MachineDescriptor::builtin_ids().join(", ")
+                ),
+            )),
+        };
+    }
+    if !matches!(member, JsonValue::Object(_)) {
+        return Err(ApiError::new(
+            400,
+            "\"machine\" must be a registry name or an inline descriptor object",
+        ));
+    }
+    match codec::decode_machine_value(member) {
+        Ok(desc) => Ok(Some(desc)),
+        Err(CodecError::Machine(e)) => Err(ApiError::new(
+            422,
+            format!("invalid machine descriptor: {e}"),
+        )),
+        Err(e) => Err(ApiError::new(400, format!("invalid machine: {e}"))),
+    }
+}
+
+/// Parses an untrusted `/compile` body into a spec plus its optional
+/// per-request machine.
+fn parse_body_spec(body: &[u8]) -> Result<(CompileSpec, Option<MachineDescriptor>), ApiError> {
     let doc = parse_untrusted(body)?;
+    let machine = parse_machine(&doc)?;
+    Ok((parse_spec_value(&doc)?, machine))
+}
+
+/// Parses an untrusted `/batch` body into its chain list plus the
+/// optional batch-wide machine.
+fn parse_batch_body(body: &[u8]) -> Result<(Vec<ChainSpec>, Option<MachineDescriptor>), ApiError> {
+    let doc = parse_untrusted(body)?;
+    let machine = parse_machine(&doc)?;
     let requests = doc
         .get("requests")
         .and_then(JsonValue::as_array)
@@ -376,7 +467,7 @@ fn parse_batch_body(body: &[u8]) -> Result<Vec<ChainSpec>, ApiError> {
             }
         }
     }
-    Ok(chains)
+    Ok((chains, machine))
 }
 
 fn parse_untrusted(body: &[u8]) -> Result<JsonValue, ApiError> {
@@ -525,11 +616,11 @@ pub fn default_options() -> ServeOptions {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flashfuser_core::MachineParams;
+    use flashfuser_core::MachineDescriptor;
     use flashfuser_tensor::Activation;
 
     fn spec_of(body: &str) -> Result<CompileSpec, ApiError> {
-        parse_body_spec(body.as_bytes())
+        parse_body_spec(body.as_bytes()).map(|(spec, _)| spec)
     }
 
     #[test]
@@ -615,7 +706,8 @@ mod tests {
             ]}"#,
         )
         .unwrap();
-        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.0.len(), 2);
+        assert!(ok.1.is_none());
         assert!(parse_batch_body(b"{\"requests\": []}").is_err());
         assert!(
             parse_batch_body(br#"{"requests": [{"graph": {"model": "GPT-2", "m": 128}}]}"#)
@@ -624,8 +716,52 @@ mod tests {
     }
 
     #[test]
+    fn machine_member_resolves_names_and_inline_descriptors() {
+        let chain =
+            r#""chain": {"family": "standard", "activation": "relu", "dims": [64, 256, 128, 128]}"#;
+        let parse = |body: String| parse_body_spec(body.as_bytes());
+
+        let (_, m) = parse(format!(r#"{{{chain}, "machine": "a100_sxm"}}"#)).unwrap();
+        assert_eq!(
+            m.unwrap().fingerprint(),
+            MachineDescriptor::a100_sxm().fingerprint()
+        );
+
+        let inline = codec::encode_machine(&MachineDescriptor::h100_sxm());
+        let (_, m) = parse(format!(r#"{{{chain}, "machine": {}}}"#, inline.trim_end())).unwrap();
+        assert_eq!(
+            m.unwrap().fingerprint(),
+            MachineDescriptor::h100_sxm().fingerprint()
+        );
+
+        let unknown = parse(format!(r#"{{{chain}, "machine": "tpu_v9"}}"#))
+            .err()
+            .unwrap();
+        assert_eq!(unknown.status, 400);
+        assert!(unknown.message.contains("h100_sxm"), "{}", unknown.message);
+
+        let wrong_type = parse(format!(r#"{{{chain}, "machine": 7}}"#))
+            .err()
+            .unwrap();
+        assert_eq!(wrong_type.status, 400);
+
+        // Parses as a descriptor but fails validation: typed 422.
+        let invalid = parse(format!(
+            r#"{{{chain}, "machine": {{"version": 1, "name": "x", "compute": {{"num_sms": 4, "clock_hz": 1e9, "peak_flops": 1e12, "max_cluster": 1, "barrier_cycles": 10, "kernel_launch_s": 1e-6}}, "tiers": []}}}}"#
+        ))
+        .err()
+        .unwrap();
+        assert_eq!(invalid.status, 422);
+        assert!(
+            invalid.message.contains("tier"),
+            "typed reason expected: {}",
+            invalid.message
+        );
+    }
+
+    #[test]
     fn stats_document_round_trips_through_core_json() {
-        let compiler = Arc::new(Compiler::new(MachineParams::h100_sxm()));
+        let compiler = Arc::new(Compiler::new(MachineDescriptor::h100_sxm()));
         let service = CompileService::new(compiler, Arc::new(ServeStats::new()));
         let doc = json::parse(&service.stats_json()).expect("stats JSON parses");
         assert_eq!(

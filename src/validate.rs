@@ -410,7 +410,7 @@ fn fused_predictions(compiler: &Compiler, compiled: &Compiled) -> (u64, u64, boo
     let params = compiler.params();
     let raw = plan
         .geometry
-        .mandatory_traffic(&plan.chain, plan.cluster, plan.tile, params.l2_bytes)
+        .mandatory_traffic(&plan.chain, plan.cluster, plan.tile, params.l2_bytes())
         .l2_raw_bytes;
     let config = compiler.config();
     let analysis = DataflowAnalyzer::new(params.clone())
@@ -427,7 +427,7 @@ fn fused_predictions(compiler: &Compiler, compiled: &Compiled) -> (u64, u64, boo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flashfuser_core::MachineParams;
+    use flashfuser_core::MachineDescriptor;
     use flashfuser_graph::ChainSpec;
     use flashfuser_tensor::Activation;
 
@@ -451,7 +451,7 @@ mod tests {
 
     #[test]
     fn validate_graph_reports_per_segment_and_passes_on_a_layer() {
-        let compiler = Compiler::new(MachineParams::h100_sxm());
+        let compiler = Compiler::new(MachineDescriptor::h100_sxm());
         let chain = ChainSpec::standard_ffn(16, 64, 32, 32, Activation::Gelu);
         let mut g = OpGraph::new();
         let x = g.add_input("x", 16, 32);
@@ -471,7 +471,7 @@ mod tests {
     fn validate_graph_passes_under_the_blocked_backend() {
         // The packed kernel must survive the same differential oracle at
         // the same tolerance — the reference side stays naive.
-        let compiler = Compiler::new(MachineParams::h100_sxm());
+        let compiler = Compiler::new(MachineDescriptor::h100_sxm());
         let chain = ChainSpec::standard_ffn(16, 64, 32, 32, Activation::Gelu);
         let mut g = OpGraph::new();
         let x = g.add_input("x", 16, 32);
@@ -498,7 +498,7 @@ mod tests {
 
     #[test]
     fn validate_graph_surfaces_compile_errors() {
-        let compiler = Compiler::new(MachineParams::h100_sxm());
+        let compiler = Compiler::new(MachineDescriptor::h100_sxm());
         let g = OpGraph::new();
         assert!(matches!(
             validate_graph(&compiler, &g, 0, DEFAULT_TOLERANCE),

@@ -325,6 +325,102 @@ fn fuzz_rejects_bad_dims_and_kernels() {
 }
 
 #[test]
+fn machine_flag_resolves_registry_names_and_descriptor_files() {
+    // A committed descriptor file: the compile target comes from data.
+    let tensix = concat!(env!("CARGO_MANIFEST_DIR"), "/machines/tensix_like.json");
+    let out = run(&[
+        "compile",
+        "128",
+        "4096",
+        "1024",
+        "1024",
+        "--machine",
+        tensix,
+        "--dry-run",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("on tensix_like"), "{text}");
+    // A registry name, on a different subcommand.
+    let out = run(&[
+        "graph",
+        "GPT-2",
+        "128",
+        "--machine",
+        "a100_sxm",
+        "--dry-run",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("A100-SXM4"), "{text}");
+    // fuzz names its target machine too.
+    let out = run(&["fuzz", "--seeds", "4", "--machine", tensix, "--dry-run"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("on tensix_like"), "{text}");
+}
+
+#[test]
+fn machine_flag_rejects_unknown_specs_and_flag_conflicts() {
+    // Neither a registry name nor a file: usage error listing what is.
+    let out = run(&[
+        "compile",
+        "128",
+        "512",
+        "416",
+        "256",
+        "--machine",
+        "tpu_v9",
+        "--dry-run",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("h100_sxm") && err.contains("a100_sxm"),
+        "error must list the registry: {err}"
+    );
+    // A file that exists but is not a machine document.
+    let readme = concat!(env!("CARGO_MANIFEST_DIR"), "/README.md");
+    let out = run(&[
+        "compile",
+        "128",
+        "512",
+        "416",
+        "256",
+        "--machine",
+        readme,
+        "--dry-run",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8(out.stderr)
+            .unwrap()
+            .contains("cannot decode"),
+        "decode failures are reported as such"
+    );
+    // --machine and --a100 contradict each other.
+    let out = run(&[
+        "compile",
+        "128",
+        "512",
+        "416",
+        "256",
+        "--machine",
+        "h100_sxm",
+        "--a100",
+        "--dry-run",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("mutually exclusive"));
+}
+
+#[test]
 fn fuzz_requires_seeds_and_rejects_positionals() {
     let out = run(&["fuzz"]);
     assert_eq!(out.status.code(), Some(2));

@@ -9,7 +9,7 @@ use flashfuser::workloads::{all_workloads, conv_chains, gated_ffn_chains};
 #[test]
 fn compile_entry_point_finds_a_plan() {
     let chain = ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Relu);
-    let compiled = flashfuser::compile(&chain, &MachineParams::h100_sxm()).unwrap();
+    let compiled = flashfuser::compile(&chain, &MachineDescriptor::h100_sxm()).unwrap();
     assert!(compiled.measured_seconds > 0.0);
     assert!(compiled.feasible_candidates > 0);
     assert!(compiled.global_bytes > 0);
@@ -19,7 +19,7 @@ fn compile_entry_point_finds_a_plan() {
 fn every_workload_has_a_feasible_or_fallback_path() {
     // All 26 paper workloads must run through the FlashFuser policy
     // without panicking, fused or not.
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let ff = FlashFuserPolicy::new(params);
     for w in all_workloads() {
         let r = ff.run(&w.chain);
@@ -31,7 +31,7 @@ fn every_workload_has_a_feasible_or_fallback_path() {
 fn searched_plans_execute_correctly_end_to_end() {
     // Search a plan with the compiler, execute it functionally on the
     // simulator, compare against the chain reference — the full stack.
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let engine = SearchEngine::new(params.clone());
     for (i, chain) in [
         ChainSpec::standard_ffn(32, 128, 64, 64, Activation::Relu),
@@ -60,7 +60,7 @@ fn all_top_k_plans_execute_correctly() {
     // Not just the winner: every finalist the engine would profile must
     // be a semantically correct kernel.
     let chain = ChainSpec::standard_ffn(32, 128, 64, 64, Activation::Relu);
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let engine = SearchEngine::new(params);
     let result = engine.search(&chain, &SearchConfig::default()).unwrap();
     let inputs = chain.make_inputs(7);
@@ -79,7 +79,7 @@ fn all_top_k_plans_execute_correctly() {
 #[test]
 fn flashfuser_wins_the_gated_suite() {
     // Fig. 10(c) headline: FlashFuser beats every baseline on S1-S8.
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let systems = suite(&params);
     for w in gated_ffn_chains() {
         let results: Vec<_> = systems.iter().map(|s| s.run(&w.chain)).collect();
@@ -101,7 +101,7 @@ fn flashfuser_wins_the_gated_suite() {
 fn chimera_cliff_reproduces_on_paper_workloads() {
     // Fig. 5: Chimera fuses the small conv chains but fails the large
     // FFN intermediates.
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let chimera = ChimeraPolicy::new(params);
     let small = &conv_chains()[0]; // C1: intermediate 1.6 MB? No: per Fig.5 criterion uses M*N*2.
     let _ = small;
@@ -115,7 +115,7 @@ fn chimera_cliff_reproduces_on_paper_workloads() {
 fn deterministic_across_runs() {
     // The whole pipeline is seeded: two runs give identical results.
     let chain = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu);
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let a = flashfuser::compile(&chain, &params).unwrap();
     let b = flashfuser::compile(&chain, &params).unwrap();
     assert_eq!(a.measured_seconds, b.measured_seconds);

@@ -22,7 +22,7 @@ fn tiny_model(gated: bool) -> ModelSpec {
 
 #[test]
 fn partitioner_recovers_g1_to_g5_exactly() {
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let pricer = UnfusedKernelPricer::new(params.clone(), flashfuser::UNFUSED_EFFICIENCY);
     for workload in gemm_chains().into_iter().take(5) {
         let chain = workload.chain;
@@ -52,7 +52,7 @@ fn partitioner_recovers_g1_to_g5_exactly() {
 #[test]
 fn two_layer_graph_segments_are_bit_identical_to_direct_compiles() {
     let model = tiny_model(false);
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let plan = compiler.compile_graph(&model.graph(128, 2)).unwrap();
 
     let fused: Vec<&FusedSegment> = plan.fused_segments().collect();
@@ -71,7 +71,7 @@ fn two_layer_graph_segments_are_bit_identical_to_direct_compiles() {
     // compiler (no cache shared with the graph compile).
     let direct_chain = ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Gelu);
     assert_eq!(fused[0].chain, direct_chain);
-    let direct = Compiler::new(MachineParams::h100_sxm())
+    let direct = Compiler::new(MachineDescriptor::h100_sxm())
         .compile(&direct_chain)
         .unwrap();
     assert_eq!(direct.plan, fused[0].compiled.plan);
@@ -85,7 +85,7 @@ fn two_layer_graph_segments_are_bit_identical_to_direct_compiles() {
 #[test]
 fn gated_layers_share_the_plan_key_with_direct_compiles() {
     let model = tiny_model(true);
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let plan = compiler.compile_graph(&model.graph(128, 2)).unwrap();
     assert_eq!(plan.fused_segments().count(), 2);
     assert_eq!(compiler.searches_run(), 1);
@@ -108,7 +108,7 @@ fn gated_layers_share_the_plan_key_with_direct_compiles() {
 #[test]
 fn stitched_totals_are_consistent_and_no_worse_than_unfused() {
     let model = tiny_model(false);
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let graph = model.graph(128, 2);
     let plan = compiler.compile_graph(&graph).unwrap();
 
@@ -143,7 +143,7 @@ fn stitched_totals_are_consistent_and_no_worse_than_unfused() {
 
 #[test]
 fn empty_graph_is_a_partition_error() {
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let err = compiler.compile_graph(&OpGraph::new()).unwrap_err();
     assert!(matches!(err, flashfuser::GraphCompileError::Partition(_)));
     assert!(err.to_string().contains("partition"));

@@ -24,7 +24,7 @@ fn validate(compiler: &Compiler, graph: &OpGraph, seed: u64, what: &str) -> Grap
 
 #[test]
 fn every_zoo_layer_graph_validates_at_small_scale() {
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     for model in model_zoo().into_iter().chain(large_model_zoo()) {
         let small = model.scaled_to(64);
         let graph = small.layer_graph(16);
@@ -66,7 +66,7 @@ fn multi_layer_model_graph_stitches_across_layers() {
     // Three stacked decoder layers: the plan cache serves layers 2–3,
     // and the stitched execution still matches the reference end to
     // end (residual adds cross every segment boundary).
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let model = model_zoo()[4].scaled_to(64); // GPT-2, shrunk
     let graph = model.graph(16, 3);
     let v = validate(&compiler, &graph, 7, "GPT-2 x3");
@@ -87,7 +87,7 @@ fn multi_layer_model_graph_stitches_across_layers() {
 fn gated_layer_graph_validates() {
     // A gated (SwiGLU) layer exercises the two-branch fused dataflow
     // plus the element-wise combine inside the kernel.
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let model = model_zoo()[1].scaled_to(64); // LLaMA-1B, shrunk
     assert!(model.gated);
     let graph = model.layer_graph(16);
@@ -97,7 +97,7 @@ fn gated_layer_graph_validates() {
 
 #[test]
 fn validation_is_deterministic_per_seed() {
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let graph = model_zoo()[3].scaled_to(64).layer_graph(16); // BERT
     let a = flashfuser::validate_graph(&compiler, &graph, 9, DEFAULT_TOLERANCE).unwrap();
     let b = flashfuser::validate_graph(&compiler, &graph, 9, DEFAULT_TOLERANCE).unwrap();
@@ -109,7 +109,7 @@ fn validation_is_deterministic_per_seed() {
 fn a100_target_validates_without_dsm() {
     // The A100 machine (no DSM pool, SMEM-only spill) must produce
     // plans whose execution moves zero DSM bytes.
-    let compiler = Compiler::new(MachineParams::a100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::a100_sxm());
     let graph = model_zoo()[4].scaled_to(64).layer_graph(16);
     let v = validate(&compiler, &graph, 5, "GPT-2 on A100");
     for s in &v.segments {

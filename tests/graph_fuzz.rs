@@ -27,7 +27,7 @@ fn compute_nodes(g: &OpGraph) -> Vec<NodeId> {
 
 #[test]
 fn partition_covers_every_node_once_and_contiguously_for_64_seeds() {
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let pricer = UnfusedKernelPricer::new(params.clone(), UNFUSED_EFFICIENCY);
     let config = fuzz_config();
     for seed in 0..64 {
@@ -62,7 +62,7 @@ fn compiled_plans_keep_the_fallback_invariant_for_64_seeds() {
     // GraphPlan::speedup() >= 1: the per-segment fallback (§IV-C3)
     // guarantees the stitched plan never loses to the unfused baseline,
     // no matter what the fuzzer generates.
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let config = fuzz_config();
     for seed in 0..64 {
         let g = rand_graph(seed, &config);
@@ -83,7 +83,7 @@ fn differential_validation_passes_on_64_fuzzed_graphs() {
     // The CI-quick acceptance bar: generator -> compiler -> stitched
     // execution vs per-op reference, 64 graphs, every failure
     // reproducible from its seed.
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let config = fuzz_config();
     let mut fused_total = 0usize;
     for seed in 0..64 {
@@ -104,6 +104,54 @@ fn differential_validation_passes_on_64_fuzzed_graphs() {
     );
 }
 
+#[test]
+fn differential_validation_passes_under_decoded_descriptors() {
+    // ISSUE 7: the fuzzer's oracle and the fallback invariant hold
+    // under machines that arrive as data, not just the in-code
+    // builtins — the committed Tensix-like file (SRAM-rich, modest
+    // DRAM, NoC priced as the cluster tier) and a JSON-round-tripped
+    // A100. `fuzz --machine FILE` drives the same path from the CLI.
+    let tensix = flashfuser_core::decode_machine(include_str!("../machines/tensix_like.json"))
+        .expect("committed descriptor decodes");
+    let a100_wire = flashfuser_core::decode_machine(&flashfuser_core::encode_machine(
+        &MachineDescriptor::a100_sxm(),
+    ))
+    .unwrap();
+    let config = fuzz_config();
+    for machine in [tensix, a100_wire] {
+        let compiler = Compiler::new(machine.clone());
+        let mut fused_total = 0usize;
+        for seed in 0..24 {
+            let g = rand_graph(seed, &config);
+            let plan = compiler
+                .compile_graph(&g)
+                .unwrap_or_else(|e| panic!("{}: seed {seed}: {e}", machine.name));
+            assert!(
+                plan.speedup() >= 1.0 - 1e-12,
+                "{}: seed {seed}: speedup {} < 1",
+                machine.name,
+                plan.speedup()
+            );
+            let v = flashfuser::validate_graph(&compiler, &g, seed, flashfuser::DEFAULT_TOLERANCE)
+                .unwrap_or_else(|e| {
+                    panic!("{}: seed {seed}: validation errored: {e}", machine.name)
+                });
+            assert!(
+                v.passed(),
+                "{}: seed {seed}: diverged: {:?}",
+                machine.name,
+                v.failures().collect::<Vec<_>>()
+            );
+            fused_total += v.fused_count();
+        }
+        assert!(
+            fused_total >= 4,
+            "{}: the population must exercise the fused path ({fused_total} fused segments)",
+            machine.name
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // Regression seeds: graphs the fuzzer actually caught bugs with. Each
 // pins the exact (seed, ops) pair from the original failing run.
@@ -119,7 +167,7 @@ fn regression_seed_0_infeasible_chain_fallback_traffic() {
     // executed traffic exceeded the plan's by the activation round
     // trip. The fallback now prices per-op; every unfused segment's
     // executed bytes must equal the plan's.
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let g = rand_graph(0, &RandGraphConfig::new().with_ops(12));
     let v = flashfuser::validate_graph(&compiler, &g, 0, flashfuser::DEFAULT_TOLERANCE).unwrap();
     assert!(
@@ -143,7 +191,7 @@ fn regression_seed_8_ops_30_f32_overflow_abstains() {
     // comparison returned NaN and NaN <= tol reported a divergence. The
     // oracle now abstains where the reference itself is non-finite (no
     // finite ground truth exists) instead of failing spuriously.
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let g = rand_graph(8, &RandGraphConfig::new().with_ops(30));
     let v = flashfuser::validate_graph(&compiler, &g, 8, flashfuser::DEFAULT_TOLERANCE).unwrap();
     assert!(
@@ -155,6 +203,52 @@ fn regression_seed_8_ops_30_f32_overflow_abstains() {
 }
 
 #[test]
+fn regression_tensix_seed_2_sram_rich_descriptor_fuses_every_segment() {
+    // Pinned from `fuzz --seeds 32 --machine machines/tensix_like.json`:
+    // with 1.43 MiB of L1 per core the analyzer places intermediates
+    // that spill off-chip on the H100's 227 KiB SMEM, and seed 2's
+    // three chains all take the fused path. Guards the capacity
+    // generalisation: tier capacities come from the descriptor, not
+    // from H100 constants.
+    let tensix = flashfuser_core::decode_machine(include_str!("../machines/tensix_like.json"))
+        .expect("committed descriptor decodes");
+    let compiler = Compiler::new(tensix);
+    let g = rand_graph(2, &RandGraphConfig::new().with_ops(12));
+    let v = flashfuser::validate_graph(&compiler, &g, 2, flashfuser::DEFAULT_TOLERANCE).unwrap();
+    assert!(v.passed(), "{:?}", v.failures().collect::<Vec<_>>());
+    assert_eq!(
+        (v.segments.len(), v.fused_count()),
+        (3, 3),
+        "seed 2 must fuse all three segments on the SRAM-rich target"
+    );
+}
+
+#[test]
+fn regression_tensix_seed_23_fallback_heavy_graph_still_reconciles() {
+    // Pinned from the same sweep: seed 23 partitions into six segments
+    // and none survive the fused-vs-unfused bar under tensix_like's
+    // modest DRAM bandwidth — every segment executes unfused, and the
+    // per-op traffic pricing must reconcile exactly (the seed-0
+    // regression, but reached through a descriptor instead of a
+    // degenerate chain).
+    let tensix = flashfuser_core::decode_machine(include_str!("../machines/tensix_like.json"))
+        .expect("committed descriptor decodes");
+    let compiler = Compiler::new(tensix);
+    let g = rand_graph(23, &RandGraphConfig::new().with_ops(12));
+    let v = flashfuser::validate_graph(&compiler, &g, 23, flashfuser::DEFAULT_TOLERANCE).unwrap();
+    assert!(v.passed(), "{:?}", v.failures().collect::<Vec<_>>());
+    assert_eq!(v.fused_count(), 0, "seed 23 must fall back everywhere");
+    assert!(v.segments.len() >= 6);
+    for s in &v.segments {
+        assert_eq!(
+            s.executed_global, s.predicted_global,
+            "segment {}: unfused traffic must reconcile",
+            s.index
+        );
+    }
+}
+
+#[test]
 fn regression_seed_34_deep_graph_cancellation_is_not_a_divergence() {
     // Found by `fuzz --seeds 256`: per-element relative error at a
     // deep segment boundary exceeded 1e-3 through benign cancellation
@@ -163,7 +257,7 @@ fn regression_seed_34_deep_graph_cancellation_is_not_a_divergence() {
     // (against the chain reference on identical stitched inputs) and
     // normwise, which keeps the fused kernel's own error orders of
     // magnitude under tolerance.
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     for seed in [34, 54, 109, 142, 170, 207] {
         let g = rand_graph(seed, &RandGraphConfig::new().with_ops(12));
         let v =

@@ -1,0 +1,200 @@
+//! Machine-descriptor codec tests (ISSUE 7 satellite): the versioned
+//! JSON encoding round-trips bit-exactly, truncation and junk never
+//! panic, the closed-world decoder rejects unknown fields, structural
+//! validation catches tier-order nonsense, and the fingerprint is
+//! invariant under label renames but not under numeric changes.
+
+use flashfuser_core::{
+    decode_machine, encode_machine, CodecError, MachineDescriptor, MachineError, MemLevel,
+};
+
+fn builtins() -> Vec<MachineDescriptor> {
+    MachineDescriptor::builtin_ids()
+        .iter()
+        .map(|id| MachineDescriptor::builtin(id).expect("registry id resolves"))
+        .collect()
+}
+
+#[test]
+fn round_trip_is_bit_identical_for_every_builtin_and_the_tensix_file() {
+    let mut descriptors = builtins();
+    descriptors.push(
+        decode_machine(include_str!("../machines/tensix_like.json"))
+            .expect("committed descriptor decodes"),
+    );
+    for original in descriptors {
+        let encoded = encode_machine(&original);
+        let decoded = decode_machine(&encoded)
+            .unwrap_or_else(|e| panic!("{}: canonical encoding must decode: {e}", original.name));
+
+        // Bit-identity, field by field: every float compared via
+        // to_bits, never through an epsilon.
+        assert_eq!(decoded.name, original.name);
+        let (c0, c1) = (original.compute(), decoded.compute());
+        assert_eq!(c1.num_sms, c0.num_sms);
+        assert_eq!(c1.max_cluster, c0.max_cluster);
+        for (a, b) in [
+            (c1.clock_hz, c0.clock_hz),
+            (c1.peak_flops, c0.peak_flops),
+            (c1.barrier_cycles, c0.barrier_cycles),
+            (c1.kernel_launch_s, c0.kernel_launch_s),
+        ] {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}: compute drifted",
+                original.name
+            );
+        }
+        for (t0, t1) in original.tiers().iter().zip(decoded.tiers()) {
+            assert_eq!(t1.name, t0.name);
+            assert_eq!(t1.scope, t0.scope);
+            assert_eq!(t1.capacity_bytes, t0.capacity_bytes);
+            for (a, b) in [
+                (t1.bandwidth, t0.bandwidth),
+                (t1.latency_cycles, t0.latency_cycles),
+                (t1.bandwidth_derate, t0.bandwidth_derate),
+                (t1.latency_slope_cycles, t0.latency_slope_cycles),
+                (t1.peak_bandwidth, t0.peak_bandwidth),
+            ] {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}/{}: tier float drifted",
+                    original.name,
+                    t0.name
+                );
+            }
+        }
+
+        // Fingerprints agree, and a second encode is byte-identical —
+        // the canonical form is a fixed point.
+        assert_eq!(decoded.fingerprint(), original.fingerprint());
+        assert_eq!(encode_machine(&decoded), encoded);
+    }
+}
+
+#[test]
+fn every_proper_prefix_of_the_encoding_is_rejected_without_panic() {
+    // Trailing whitespace is insignificant, so proper prefixes are
+    // taken against the trimmed document.
+    let full = encode_machine(&MachineDescriptor::h100_sxm());
+    let encoded = full.trim_end();
+    for len in 0..encoded.len() {
+        let prefix = &encoded[..len];
+        if !prefix.is_char_boundary(len) {
+            continue;
+        }
+        assert!(
+            decode_machine(prefix).is_err(),
+            "proper prefix of length {len} must not decode"
+        );
+    }
+    // And the full document still decodes (the loop above really was
+    // proper prefixes only).
+    assert!(decode_machine(encoded).is_ok());
+}
+
+#[test]
+fn unknown_fields_are_rejected_at_every_nesting_level() {
+    let encoded = encode_machine(&MachineDescriptor::h100_sxm());
+    // Splice an unknown member into the root, the compute object and a
+    // tier object in turn; the closed-world decoder must name-check.
+    for (anchor, label) in [
+        ("\"kind\": \"machine\"", "root"),
+        ("\"num_sms\":", "compute"),
+        ("\"scope\": \"cluster\"", "tier"),
+    ] {
+        let tampered = encoded.replacen(anchor, &format!("\"vendor_blob\": 1, {anchor}"), 1);
+        assert_ne!(tampered, encoded, "{label}: splice anchor must exist");
+        let err = decode_machine(&tampered)
+            .expect_err(&format!("{label}: unknown field must be rejected"));
+        assert!(
+            err.to_string().contains("vendor_blob"),
+            "{label}: error should name the offending field, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn wrong_version_and_wrong_kind_are_typed_errors() {
+    let encoded = encode_machine(&MachineDescriptor::a100_sxm());
+    let future = encoded.replacen("\"version\": 1", "\"version\": 2", 1);
+    assert!(matches!(
+        decode_machine(&future),
+        Err(CodecError::Version { .. })
+    ));
+    let wrong_kind = encoded.replacen("\"kind\": \"machine\"", "\"kind\": \"plan\"", 1);
+    assert!(decode_machine(&wrong_kind).is_err());
+}
+
+#[test]
+fn tier_order_and_duplicate_validation_survive_the_wire() {
+    let encoded = encode_machine(&MachineDescriptor::h100_sxm());
+    // Swapping two scope labels produces a structurally out-of-order
+    // tier list; the descriptor constructor catches it behind the
+    // decoder (CodecError::Machine).
+    let swapped = encoded
+        .replacen("\"scope\": \"register\"", "\"scope\": \"PLACEHOLDER\"", 1)
+        .replacen("\"scope\": \"block\"", "\"scope\": \"register\"", 1)
+        .replacen("\"scope\": \"PLACEHOLDER\"", "\"scope\": \"block\"", 1);
+    match decode_machine(&swapped) {
+        Err(CodecError::Machine(MachineError::TierOutOfOrder { .. })) => {}
+        other => panic!("swapped tiers must be TierOutOfOrder, got {other:?}"),
+    }
+    // Duplicating one scope is a DuplicateTier.
+    let duplicated = encoded.replacen("\"scope\": \"block\"", "\"scope\": \"register\"", 1);
+    match decode_machine(&duplicated) {
+        Err(CodecError::Machine(
+            MachineError::DuplicateTier(_) | MachineError::TierOutOfOrder { .. },
+        )) => {}
+        other => panic!("duplicated scope must fail structurally, got {other:?}"),
+    }
+}
+
+#[test]
+fn fingerprint_ignores_machine_and_tier_names_but_not_numbers() {
+    let base = MachineDescriptor::h100_sxm();
+    let renamed_machine = base.clone().with_name("some other box");
+    assert_eq!(renamed_machine.fingerprint(), base.fingerprint());
+
+    let renamed_tier = base
+        .clone()
+        .with_tier(MemLevel::Smem, |t| t.name = "scratchpad".to_string())
+        .expect("renaming a tier never invalidates");
+    assert_eq!(renamed_tier.fingerprint(), base.fingerprint());
+
+    // The renamed descriptor decodes back from the wire to the same
+    // fingerprint too (labels travel, identity does not change).
+    let round = decode_machine(&encode_machine(&renamed_tier)).unwrap();
+    assert_eq!(round.fingerprint(), base.fingerprint());
+    assert_eq!(round.tier(MemLevel::Smem).name, "scratchpad");
+
+    // Any numeric nudge moves the fingerprint.
+    let nudged = base
+        .clone()
+        .with_tier(MemLevel::Dsm, |t| t.bandwidth += 1.0)
+        .unwrap();
+    assert_ne!(nudged.fingerprint(), base.fingerprint());
+    let more_sms = base.clone().with_compute(|c| c.num_sms += 1).unwrap();
+    assert_ne!(more_sms.fingerprint(), base.fingerprint());
+}
+
+#[test]
+fn junk_documents_error_and_never_panic() {
+    for junk in [
+        "",
+        "null",
+        "[]",
+        "42",
+        "\"h100\"",
+        "{}",
+        "{\"version\": 1}",
+        "{\"version\": 1, \"compute\": {}, \"tiers\": []}",
+        "{\"version\": 1, \"name\": 3, \"compute\": {}, \"tiers\": []}",
+        "{\"version\": \"one\", \"compute\": {}, \"tiers\": []}",
+        "{\"version\": 1, \"compute\": null, \"tiers\": null}",
+    ] {
+        assert!(decode_machine(junk).is_err(), "junk must error: {junk:?}");
+    }
+}

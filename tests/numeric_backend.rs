@@ -104,7 +104,7 @@ fn stitched_execution_validates_under_both_kernels() {
     // the stitched execution under each backend must match the
     // always-naive reference interpretation within the one tolerance
     // the repo uses everywhere.
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let config = RandGraphConfig::new().with_ops(10);
     for seed in 0..6 {
         let graph = rand_graph(seed, &config);
@@ -126,7 +126,7 @@ fn stitched_execution_validates_under_both_kernels() {
 fn stitched_execution_validates_under_blocked_at_large_dims() {
     // Big-extent graphs are where the packed path's cache blocking (and
     // its ragged edges against 512-wide panels) actually engages.
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let config = RandGraphConfig::new().with_ops(6).with_max_dim(512);
     for seed in 0..2 {
         let graph = rand_graph(seed, &config);

@@ -22,7 +22,7 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 #[test]
 fn warm_hit_is_bit_identical_and_skips_the_search() {
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let chain = g3();
     let cold = compiler.compile(&chain).unwrap();
     let warm = compiler.compile(&chain).unwrap();
@@ -35,7 +35,7 @@ fn warm_hit_is_bit_identical_and_skips_the_search() {
     assert_eq!(cold.global_bytes, warm.global_bytes);
     assert_eq!(cold.feasible_candidates, warm.feasible_candidates);
     // And both agree with an uncached from-scratch compile.
-    let scratch = flashfuser::compile(&chain, &MachineParams::h100_sxm()).unwrap();
+    let scratch = flashfuser::compile(&chain, &MachineDescriptor::h100_sxm()).unwrap();
     assert_eq!(scratch.plan, warm.plan);
     assert_eq!(
         scratch.measured_seconds.to_bits(),
@@ -47,7 +47,7 @@ fn warm_hit_is_bit_identical_and_skips_the_search() {
 fn disk_store_round_trips_across_compiler_restarts() {
     let dir = temp_dir("restart");
     let chain = g3();
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let cold = {
         let compiler =
             Compiler::with_options(params.clone(), CompilerOptions::new().with_cache_dir(&dir))
@@ -75,7 +75,7 @@ fn machine_change_invalidates_the_key() {
     let chain = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu);
     {
         let h100 = Compiler::with_options(
-            MachineParams::h100_sxm(),
+            MachineDescriptor::h100_sxm(),
             CompilerOptions::new().with_cache_dir(&dir),
         )
         .unwrap();
@@ -83,7 +83,7 @@ fn machine_change_invalidates_the_key() {
     }
     // Same chain, same disk dir, different machine: must re-search.
     let a100 = Compiler::with_options(
-        MachineParams::a100_sxm(),
+        MachineDescriptor::a100_sxm(),
         CompilerOptions::new().with_cache_dir(&dir),
     )
     .unwrap();
@@ -97,7 +97,7 @@ fn machine_change_invalidates_the_key() {
 fn config_change_invalidates_the_key() {
     let dir = temp_dir("config");
     let chain = g3();
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     {
         let compiler =
             Compiler::with_options(params.clone(), CompilerOptions::new().with_cache_dir(&dir))
@@ -127,7 +127,7 @@ fn config_change_invalidates_the_key() {
 
 #[test]
 fn workload_names_are_metadata_not_identity() {
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let first = compiler.compile(&g3()).unwrap();
     // Content-identical chain under another name: hits, and the
     // returned plan carries the *requested* name — exactly what a
@@ -141,7 +141,7 @@ fn workload_names_are_metadata_not_identity() {
 
 #[test]
 fn batch_dedupes_and_preserves_input_order() {
-    let compiler = Compiler::new(MachineParams::h100_sxm());
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let a = g3();
     let b = ChainSpec::standard_ffn(128, 512, 256, 256, Activation::Relu).named("B");
     // 6 requests, 2 unique graphs, interleaved.
@@ -166,13 +166,13 @@ fn batch_dedupes_and_preserves_input_order() {
     }
     assert_eq!(plans[0].summary(), plans[2].summary());
     // Batch results equal per-request compiles, bit for bit.
-    let single = flashfuser::compile(&b, &MachineParams::h100_sxm()).unwrap();
+    let single = flashfuser::compile(&b, &MachineDescriptor::h100_sxm()).unwrap();
     assert_eq!(single.plan, plans[1]);
 }
 
 #[test]
 fn free_function_compile_batch_matches_compile() {
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let batch = vec![g3(), g3()];
     let results = flashfuser::compile_batch(&batch, &params);
     let reference = flashfuser::compile(&g3(), &params).unwrap();
@@ -190,12 +190,12 @@ fn free_function_compile_batch_matches_compile() {
 fn concurrent_compiles_coalesce_into_one_search() {
     const THREADS: usize = 8;
     // Reference: the profiler calls one search makes (= top-K width).
-    let reference = Compiler::new(MachineParams::h100_sxm());
+    let reference = Compiler::new(MachineDescriptor::h100_sxm());
     reference.compile(&g3()).unwrap();
     let calls_per_search = reference.profile_calls();
     assert!(calls_per_search > 0);
 
-    let compiler = Arc::new(Compiler::new(MachineParams::h100_sxm()));
+    let compiler = Arc::new(Compiler::new(MachineDescriptor::h100_sxm()));
     let gate = Arc::new(std::sync::Barrier::new(THREADS));
     let plans: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..THREADS)

@@ -6,7 +6,7 @@
 //! offline; every case is reproducible bit-for-bit.
 
 use flashfuser::comm::ClusterShape;
-use flashfuser::core::{BlockTile, DataflowAnalyzer, LoopSchedule, MachineParams};
+use flashfuser::core::{BlockTile, DataflowAnalyzer, LoopSchedule, MachineDescriptor};
 use flashfuser::graph::{ChainSpec, Dim};
 use flashfuser::sim::{execute_fused, TrafficCounters};
 use flashfuser::tensor::rng::SplitMix64;
@@ -58,7 +58,7 @@ fn feasible_plans_compute_the_reference() {
             ChainSpec::standard_ffn(m, n, k, l, Activation::Relu)
         };
         let tile = BlockTile::new(16, 16, 16, 16);
-        let analyzer = DataflowAnalyzer::new(MachineParams::h100_sxm());
+        let analyzer = DataflowAnalyzer::new(MachineDescriptor::h100_sxm());
         // Infeasible combinations are fine — the property only covers
         // plans the analyzer accepts.
         let Ok(analysis) = analyzer.analyze(&chain, &schedule, cluster, tile) else {
@@ -98,10 +98,10 @@ fn cost_is_positive_and_bounded_by_physics() {
         let n = dim_size(&mut rng);
         let k = dim_size(&mut rng);
         let chain = ChainSpec::standard_ffn(64, n, k, k, Activation::Relu);
-        let params = MachineParams::h100_sxm();
+        let params = MachineDescriptor::h100_sxm();
         if let Ok(compiled) = flashfuser::compile(&chain, &params) {
             // No plan can beat the speed of light: pure compute time.
-            let light = chain.total_flops() as f64 / params.peak_flops;
+            let light = chain.total_flops() as f64 / params.peak_flops();
             assert!(compiled.measured_seconds >= light * 0.5);
             assert!(compiled.measured_seconds.is_finite());
         }

@@ -21,7 +21,7 @@ fn stream_len(chain: &ChainSpec, config: &SearchConfig) -> u64 {
 
 #[test]
 fn prefilter_keeps_the_brute_force_winner_on_small_gemm_chains() {
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let engine = SearchEngine::new(params.clone());
     let config = SearchConfig::default();
     let mut tested = 0;
@@ -79,7 +79,7 @@ fn prefilter_keeps_the_brute_force_winner_on_small_gemm_chains() {
 
 #[test]
 fn parallel_guided_search_matches_sequential_on_the_simulator() {
-    let params = MachineParams::h100_sxm();
+    let params = MachineDescriptor::h100_sxm();
     let engine = SearchEngine::new(params.clone());
     for w in gemm_chains()
         .into_iter()

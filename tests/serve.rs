@@ -15,7 +15,7 @@
 use flashfuser::prelude::*;
 use flashfuser::serve::{client, ServeOptions};
 use flashfuser::service;
-use flashfuser_core::codec::{decode_record, encode_chain};
+use flashfuser_core::codec::{decode_record, encode_chain, encode_machine};
 use flashfuser_core::json;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -31,7 +31,7 @@ fn chain_body(chain: &ChainSpec) -> String {
 }
 
 fn start(options: ServeOptions) -> (flashfuser::serve::Server, Arc<Compiler>, SocketAddr) {
-    let compiler = Arc::new(Compiler::new(MachineParams::h100_sxm()));
+    let compiler = Arc::new(Compiler::new(MachineDescriptor::h100_sxm()));
     let server = service::start(Arc::clone(&compiler), ("127.0.0.1", 0), options)
         .expect("bind ephemeral loopback port");
     let addr = server.addr();
@@ -249,6 +249,159 @@ fn graph_requests_compile_through_the_shared_cache() {
         again.body, response.body,
         "graph summaries are bit-identical"
     );
+    server.shutdown();
+}
+
+#[test]
+fn machines_endpoint_lists_registry_and_requests_can_target_them() {
+    let (server, compiler, addr) = start(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    // GET /machines: every registry id, each with its full descriptor
+    // embedded as a decodable object.
+    let listing = client::get(addr, "/machines").expect("machines listing");
+    assert_eq!(listing.status, 200);
+    let doc = json::parse(listing.body_utf8()).expect("listing is JSON");
+    let machines = doc.get("machines").unwrap().as_array().unwrap();
+    assert_eq!(
+        doc.get("count").and_then(json::JsonValue::as_u64),
+        Some(machines.len() as u64)
+    );
+    let ids: Vec<&str> = machines
+        .iter()
+        .filter_map(|m| m.get("id").and_then(json::JsonValue::as_str))
+        .collect();
+    for id in MachineDescriptor::builtin_ids() {
+        assert!(ids.contains(id), "registry id {id} missing from {ids:?}");
+    }
+    for m in machines {
+        let tiers = m
+            .get("descriptor")
+            .and_then(|d| d.get("tiers"))
+            .and_then(json::JsonValue::as_array)
+            .expect("each entry embeds a descriptor with tiers");
+        assert_eq!(tiers.len(), 5, "canonical five-tier list");
+    }
+
+    // A request can target a machine by registry name or by inline
+    // descriptor; both address the same plan (same fingerprint, same
+    // cache entry) and return byte-identical records.
+    let chain = small_chain();
+    let by_name = client::post(
+        addr,
+        "/compile",
+        format!(
+            "{{\"chain\": {}, \"machine\": \"a100_sxm\"}}",
+            encode_chain(&chain)
+        )
+        .as_bytes(),
+    )
+    .expect("named-machine compile");
+    assert_eq!(by_name.status, 200, "{}", by_name.body_utf8());
+    let inline = encode_machine(&MachineDescriptor::a100_sxm());
+    let by_inline = client::post(
+        addr,
+        "/compile",
+        format!(
+            "{{\"chain\": {}, \"machine\": {}}}",
+            encode_chain(&chain),
+            inline.trim_end()
+        )
+        .as_bytes(),
+    )
+    .expect("inline-machine compile");
+    assert_eq!(by_inline.status, 200, "{}", by_inline.body_utf8());
+    assert_eq!(
+        by_inline.body, by_name.body,
+        "name and wire descriptor must hit the same cache entry"
+    );
+    assert_eq!(
+        compiler.searches_run(),
+        1,
+        "the inline A100 coalesces onto the named A100's plan"
+    );
+    // The default (H100) plan is a different machine: new search, and
+    // the record's measured timing differs.
+    let default = client::post(addr, "/compile", chain_body(&chain).as_bytes()).unwrap();
+    assert_eq!(default.status, 200);
+    assert_eq!(
+        compiler.searches_run(),
+        2,
+        "machine axis partitions the cache"
+    );
+    let a100_record = decode_record(by_name.body_utf8()).unwrap();
+    let h100_record = decode_record(default.body_utf8()).unwrap();
+    assert_ne!(
+        a100_record.seconds.to_bits(),
+        h100_record.seconds.to_bits(),
+        "A100 and H100 timings must differ"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn nonsense_machine_descriptors_map_to_422_with_typed_reasons() {
+    let (server, _compiler, addr) = start(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    // Tamper with the canonical H100 wire encoding: each mutation is
+    // well-formed JSON with the right schema, but a physically
+    // nonsensical machine — the structural validator must answer 422
+    // (not 400, not 500) with the typed reason in the error body.
+    let encoded = encode_machine(&MachineDescriptor::h100_sxm());
+    let zero_bw = encoded.replacen("\"bandwidth\": 31000000000000", "\"bandwidth\": 0", 1);
+    assert_ne!(zero_bw, encoded, "SMEM bandwidth anchor must exist");
+    let overflow = encoded.replacen(
+        "\"capacity_bytes\": 232448",
+        "\"capacity_bytes\": 281474976710657", // (1 << 48) + 1
+        1,
+    );
+    assert_ne!(overflow, encoded, "SMEM capacity anchor must exist");
+    let tiers_at = encoded.find("\"tiers\": [").expect("tiers member");
+    let empty_tiers = format!("{}\"tiers\": []\n}}\n", &encoded[..tiers_at]);
+
+    let chain = encode_chain(&small_chain());
+    let cases: &[(&str, &str)] = &[
+        (&zero_bw, "zero bandwidth"),
+        (&empty_tiers, "tier list"),
+        (&overflow, "capacity"),
+    ];
+    for (machine, reason) in cases {
+        let body = format!(
+            "{{\"chain\": {chain}, \"machine\": {}}}",
+            machine.trim_end()
+        );
+        let response = client::post(addr, "/compile", body.as_bytes()).expect("response");
+        assert_eq!(
+            response.status,
+            422,
+            "{reason}: got {}: {}",
+            response.status,
+            response.body_utf8()
+        );
+        let doc = json::parse(response.body_utf8()).expect("422 body is JSON");
+        let message = doc
+            .get("error")
+            .and_then(json::JsonValue::as_str)
+            .expect("error body names the problem");
+        assert!(
+            message.contains(reason),
+            "{reason}: error should carry the typed reason, got: {message}"
+        );
+    }
+    // An unknown registry name is a 400 that lists what does exist.
+    let unknown = client::post(
+        addr,
+        "/compile",
+        format!("{{\"chain\": {chain}, \"machine\": \"tpu_v9\"}}").as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(unknown.status, 400);
+    assert!(unknown.body_utf8().contains("h100_sxm"));
+    // The server keeps serving after every rejection.
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
     server.shutdown();
 }
 
