@@ -1,0 +1,190 @@
+//! Attention-fusion traffic record and `BENCH_attention.json` emitter —
+//! also the `attention-smoke` step of `scripts/verify.sh`.
+//!
+//! The acceptance bar of the attention tentpole (ISSUE 8): on the H100
+//! builtin *and* the committed SRAM-rich `machines/tensix_like.json`
+//! descriptor, the fused `Q×K^T → softmax → A×V` plan must move
+//! strictly fewer priced global bytes than the per-op unfused fallback
+//! (which round-trips the score matrix through global memory around a
+//! standalone softmax kernel: 3 reads + 1 write of `C` on top of the
+//! per-GEMM traffic). Every probe is also validated end to end against
+//! the per-op interpreter oracle through the whole-graph pipeline, so
+//! the byte win is attached to a numerically correct plan, not a cost
+//! model artifact.
+//!
+//! Gates (non-zero exit on violation):
+//!
+//! * every probe finds a feasible fused attention plan on both
+//!   machines (`plans_feasible`);
+//! * every stitched execution matches the oracle (`oracle_passed`);
+//! * every fused plan's priced global bytes are strictly lower than
+//!   the unfused fallback's (`bytes_strictly_lower`).
+
+use flashfuser::prelude::*;
+use flashfuser_bench::quick_mode;
+use flashfuser_core::{decode_machine, MachineDescriptor};
+use flashfuser_graph::OpKind;
+use flashfuser_tensor::KernelKind;
+
+/// One probe's outcome row.
+struct Row {
+    machine: String,
+    chain: String,
+    fused_bytes: u64,
+    unfused_bytes: u64,
+    speedup: f64,
+    feasible: bool,
+    oracle_ok: bool,
+}
+
+/// Loads the committed Tensix-like descriptor, tolerating both a
+/// workspace-root and a crate-dir working directory.
+fn tensix_like() -> MachineDescriptor {
+    let candidates = [
+        "machines/tensix_like.json",
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../machines/tensix_like.json"
+        ),
+    ];
+    for path in candidates {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            return decode_machine(&text).expect("machines/tensix_like.json decodes");
+        }
+    }
+    panic!("machines/tensix_like.json not found from {candidates:?}");
+}
+
+fn probes(quick: bool) -> Vec<ChainSpec> {
+    // Zoo-shaped windows: m = n = sequence length, k = l = head/hidden
+    // extent (how `lower_layer` emits them, scaled or plain).
+    let mut probes = vec![
+        ChainSpec::attention(128, 128, 64, 64, true),
+        ChainSpec::attention(256, 256, 64, 64, false),
+    ];
+    if !quick {
+        probes.push(ChainSpec::attention(384, 384, 64, 64, false));
+        probes.push(ChainSpec::attention(512, 512, 64, 64, true));
+    }
+    probes
+}
+
+fn main() {
+    let quick = quick_mode();
+    let machines = [MachineDescriptor::h100_sxm(), tensix_like()];
+    let probes = probes(quick);
+    println!("== attention fusion traffic (fused vs per-op unfused) ==");
+    println!(
+        "{:<24} {:<28} {:>14} {:>14} {:>8} {:>9} {:>8}",
+        "machine", "chain", "fused_bytes", "unfused_bytes", "speedup", "feasible", "oracle"
+    );
+
+    let numeric = NumericConfig {
+        kernel: KernelKind::Blocked,
+    };
+    let mut rows: Vec<Row> = Vec::with_capacity(machines.len() * probes.len());
+    for machine in &machines {
+        let compiler = Compiler::new(machine.clone());
+        for chain in &probes {
+            let d = chain.dims();
+            let mut graph = OpGraph::new();
+            let q = graph.add_input("q", d.m, d.k);
+            let out = graph.append_chain(chain, q, "attn");
+            graph.add_node(OpKind::Output, vec![out], "out");
+
+            let (fused_bytes, feasible) = match compiler.compile(chain) {
+                Ok(c) => (c.global_bytes, true),
+                Err(_) => (0, false),
+            };
+            let (speedup, oracle_ok) = match flashfuser::validate_graph_with(
+                &compiler,
+                &graph,
+                17,
+                flashfuser::DEFAULT_TOLERANCE,
+                numeric,
+            ) {
+                Ok(v) => {
+                    let attention_fused = v
+                        .plan
+                        .fused_segments()
+                        .any(|s| s.chain.kind().is_attention() && !s.fell_back);
+                    (v.plan.speedup(), v.passed() && attention_fused)
+                }
+                Err(e) => {
+                    eprintln!("  validation error on {}: {e}", machine.name);
+                    (f64::NAN, false)
+                }
+            };
+            let unfused_bytes = chain.unfused_global_bytes();
+            println!(
+                "{:<24} {:<28} {:>14} {:>14} {:>8.2} {:>9} {:>8}",
+                machine.name,
+                chain.to_string(),
+                fused_bytes,
+                unfused_bytes,
+                speedup,
+                feasible,
+                if oracle_ok { "ok" } else { "FAIL" }
+            );
+            rows.push(Row {
+                machine: machine.name.clone(),
+                chain: chain.to_string(),
+                fused_bytes,
+                unfused_bytes,
+                speedup,
+                feasible,
+                oracle_ok,
+            });
+        }
+    }
+
+    let plans_feasible = rows.iter().all(|r| r.feasible);
+    let oracle_passed = rows.iter().all(|r| r.oracle_ok);
+    let bytes_strictly_lower = rows
+        .iter()
+        .all(|r| r.feasible && r.fused_bytes < r.unfused_bytes);
+
+    let mut record = String::from("{\n");
+    record.push_str(&format!(
+        concat!(
+            "  \"bench\": \"attention\", \"quick\": {}, \"probes\": {},\n",
+            "  \"machines\": [\"H100-SXM5 (simulated)\", \"tensix_like\"],\n",
+            "  \"plans_feasible\": {}, \"oracle_passed\": {}, \"bytes_strictly_lower\": {},\n",
+            "  \"rows\": [\n",
+        ),
+        quick,
+        rows.len(),
+        plans_feasible,
+        oracle_passed,
+        bytes_strictly_lower
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        record.push_str(&format!(
+            "    {{\"machine\": \"{}\", \"chain\": \"{}\", \"fused_bytes\": {}, \"unfused_bytes\": {}, \"speedup\": {:.3}, \"feasible\": {}, \"oracle_ok\": {}}}{}\n",
+            flashfuser::core::json::escape(&r.machine),
+            flashfuser::core::json::escape(&r.chain),
+            r.fused_bytes,
+            r.unfused_bytes,
+            r.speedup,
+            r.feasible,
+            r.oracle_ok,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    record.push_str("  ]\n}\n");
+
+    let path = if quick {
+        "BENCH_attention.quick.json"
+    } else {
+        "BENCH_attention.json"
+    };
+    std::fs::write(path, record).expect("write bench record");
+    println!("wrote {path}");
+
+    if !(plans_feasible && oracle_passed && bytes_strictly_lower) {
+        eprintln!(
+            "bench_attention: FAIL (plans_feasible={plans_feasible}, oracle_passed={oracle_passed}, bytes_strictly_lower={bytes_strictly_lower})"
+        );
+        std::process::exit(1);
+    }
+}

@@ -91,6 +91,11 @@ pub enum AnalysisError {
     /// but the target does not implement the TMA atomic-reduce path —
     /// the case for every pre-Hopper baseline.
     InterClusterReduceUnavailable,
+    /// An attention chain with a schedule that does not materialise the
+    /// complete C (scores) strip before GEMM1: the rowwise softmax
+    /// needs every score of a row, so attention fuses only in the
+    /// C-strip order with the full N extent inside one cluster.
+    AttentionNeedsCStrip,
 }
 
 impl fmt::Display for AnalysisError {
@@ -128,6 +133,13 @@ impl fmt::Display for AnalysisError {
                 write!(
                     f,
                     "plan needs inter_cluster_reduce, unavailable on this target"
+                )
+            }
+            AnalysisError::AttentionNeedsCStrip => {
+                write!(
+                    f,
+                    "attention needs the C-strip order with N resident in one cluster \
+                     (rowwise softmax reads complete score rows)"
                 )
             }
         }
@@ -339,6 +351,17 @@ impl DataflowAnalyzer {
             (StripKind::EStrip, footprint, 2 * trips_n - 1)
         };
 
+        // Attention's rowwise softmax reads *complete* score rows, so a
+        // fused plan must materialise the whole C strip of a block-row
+        // before GEMM1 starts: only the C-strip order qualifies, and the
+        // full N extent must live inside one cluster (a spatial N grid
+        // would split rows across clusters with no DSM path between
+        // them).
+        let attention = chain.kind().is_attention();
+        if attention && (!c_strip_order || geometry.grid(Dim::N) > 1) {
+            return Err(AnalysisError::AttentionNeedsCStrip);
+        }
+
         // --- Greedy placement (Algorithm 1 lines 15-23). ------------------
         let free_smem = self.params.smem_bytes_per_sm() - smem_working;
         let free_reg = self.params.reg_bytes_per_sm() - reg_needed;
@@ -424,6 +447,20 @@ impl DataflowAnalyzer {
             let per_block = trips_m * trips_n * (cls_k - 1);
             dsm_steps += per_block;
             barriers += trips_m * trips_n;
+        }
+        if attention && cls_n > 1 {
+            // Rowwise softmax statistics: the C strip of one block-row is
+            // split across the cls_n column-owner blocks, so the row max
+            // and the row sum are each combined in an all-exchange round
+            // among those blocks — 2 rounds of cls_n*(cls_n-1) messages
+            // of tile.m f32 stats per strip, once per (m-trip, m-row).
+            // The stats live entirely in the cluster's DSM tier; nothing
+            // touches HBM (the traffic the paper saves).
+            let stat_bytes = 2 * cls_n * (cls_n - 1) * tile.m as u64 * 4;
+            let invocations = clusters * trips_m * cls_m;
+            dsm.dsm_bytes += invocations * stat_bytes;
+            dsm_steps += trips_m * 2 * (cls_n - 1);
+            barriers += trips_m * 2;
         }
         let shuffle_group = cluster.cls_shuffle() as u64;
         if shuffle_group > 1 {

@@ -89,16 +89,24 @@ fn dims4(m: usize, n: usize, k: usize, l: usize) -> String {
 
 /// Renders a chain as its canonical JSON object — the same form that
 /// appears inside [`encode_record`] and that the compilation server
-/// accepts in request bodies.
+/// accepts in request bodies. Attention chains carry an extra
+/// `"scaled"` boolean (absent means unscaled on decode).
 pub fn encode_chain(chain: &ChainSpec) -> String {
     let d = chain.dims();
-    let family = if chain.kind().is_gated() {
+    let family = if chain.kind().is_attention() {
+        "attention"
+    } else if chain.kind().is_gated() {
         "gated"
     } else {
         "standard"
     };
+    let scaled = if chain.kind().is_attention() {
+        format!("\"scaled\": {}, ", chain.softmax_scale_k() != 0)
+    } else {
+        String::new()
+    };
     format!(
-        "{{\"family\": \"{family}\", \"activation\": \"{activation}\", \
+        "{{\"family\": \"{family}\", {scaled}\"activation\": \"{activation}\", \
          \"name\": \"{name}\", \"dims\": {dims}}}",
         activation = chain.kind().activation(),
         name = json::escape(chain.name()),
@@ -111,12 +119,6 @@ pub fn encode_chain(chain: &ChainSpec) -> String {
 pub fn encode_record(r: &PlanRecord) -> String {
     let plan = &r.plan;
     let chain = &plan.chain;
-    let d = chain.dims();
-    let family = if chain.kind().is_gated() {
-        "gated"
-    } else {
-        "standard"
-    };
     let mut mapping_items = Vec::new();
     for (role, m) in plan.mapping.iter() {
         let allocs: Vec<String> = m
@@ -139,8 +141,7 @@ pub fn encode_record(r: &PlanRecord) -> String {
             "{{\n",
             "  \"version\": {version},\n",
             "  \"plan\": {{\n",
-            "    \"chain\": {{\"family\": \"{family}\", \"activation\": \"{activation}\", ",
-            "\"name\": \"{name}\", \"dims\": {dims}}},\n",
+            "    \"chain\": {chain},\n",
             "    \"schedule\": \"{schedule}\",\n",
             "    \"cluster\": {cluster},\n",
             "    \"tile\": {tile},\n",
@@ -153,10 +154,7 @@ pub fn encode_record(r: &PlanRecord) -> String {
             "}}\n",
         ),
         version = FORMAT_VERSION,
-        family = family,
-        activation = chain.kind().activation(),
-        name = json::escape(chain.name()),
-        dims = dims4(d.m, d.n, d.k, d.l),
+        chain = encode_chain(chain),
         schedule = plan.schedule.name(),
         cluster = dims4(
             plan.cluster.m(),
@@ -296,6 +294,15 @@ pub fn decode_chain(chain_v: &JsonValue) -> Result<ChainSpec, CodecError> {
     let chain = match field_str(chain_v, "family")? {
         "standard" => ChainSpec::standard_ffn(m, n, k, l, activation),
         "gated" => ChainSpec::gated_ffn(m, n, k, l, activation),
+        "attention" => {
+            let scaled = match chain_v.get("scaled") {
+                None => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| malformed("field 'scaled' is not a boolean"))?,
+            };
+            ChainSpec::attention(m, n, k, l, scaled)
+        }
         other => return Err(malformed(&format!("unknown chain family '{other}'"))),
     };
     Ok(match chain_v.get("name").and_then(JsonValue::as_str) {
@@ -644,6 +651,36 @@ mod tests {
         let decoded = decode_record(&encode_record(&record)).unwrap();
         assert_eq!(decoded, record);
         assert!(decoded.plan.chain.kind().is_gated());
+    }
+
+    #[test]
+    fn attention_round_trip() {
+        for chain in [
+            ChainSpec::attention(64, 64, 64, 64, true).named("attn"),
+            ChainSpec::attention(32, 128, 64, 64, false),
+        ] {
+            let doc = encode_chain(&chain);
+            let v = crate::json::parse(&doc).unwrap();
+            assert_eq!(decode_chain(&v).unwrap(), chain);
+        }
+        // A record built from a searched attention plan survives too —
+        // and its existence proves the search finds a feasible C-strip
+        // schedule for attention.
+        let chain = ChainSpec::attention(64, 64, 64, 64, true).named("attn-rec");
+        let engine = SearchEngine::new(MachineDescriptor::h100_sxm());
+        let result = engine.search(&chain, &SearchConfig::default()).unwrap();
+        let record = PlanRecord {
+            plan: result.best().analysis.plan().clone(),
+            seconds: 2.5e-5,
+            global_bytes: 100,
+            dsm_bytes: 10,
+            feasible: result.stats().feasible,
+        };
+        let text = encode_record(&record);
+        let decoded = decode_record(&text).unwrap();
+        assert_eq!(decoded, record);
+        assert!(decoded.plan.chain.kind().is_attention());
+        assert_eq!(encode_record(&decoded), text);
     }
 
     #[test]

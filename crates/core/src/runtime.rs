@@ -14,6 +14,7 @@ use crate::machine::MachineDescriptor;
 use crate::plan::FusedPlan;
 use crate::profiler::PlanProfiler;
 use crate::search::{SearchConfig, SearchEngine, SearchError};
+use flashfuser_graph::chain::ChainKind;
 use flashfuser_graph::{ChainDims, ChainSpec};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -72,6 +73,7 @@ impl KernelCache {
         let mut plans = BTreeMap::new();
         for &m in m_bins {
             let chain = match template.kind() {
+                ChainKind::Attention { scaled } => ChainSpec::attention(m, d.n, d.k, d.l, scaled),
                 k if k.is_gated() => ChainSpec::gated_ffn(m, d.n, d.k, d.l, k.activation()),
                 k => ChainSpec::standard_ffn(m, d.n, d.k, d.l, k.activation()),
             }

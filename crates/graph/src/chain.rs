@@ -21,21 +21,37 @@ pub enum ChainKind {
         /// Activation applied to the gate branch.
         activation: Activation,
     },
+    /// `E = softmax(A x B) x D` — attention (`Q×K^T → softmax → A×V`),
+    /// with `A = Q[M,K]`, `B = K^T[K,N]`, `D = V[N,L]`. The reduction
+    /// between the GEMMs is rowwise over N; `scaled` multiplies scores
+    /// by `1/sqrt(K)` first (scaled dot-product attention).
+    Attention {
+        /// `true` for scaled dot-product attention.
+        scaled: bool,
+    },
 }
 
 impl ChainKind {
-    /// The activation between GEMM0 and GEMM1.
+    /// The activation between GEMM0 and GEMM1 (`Identity` for attention
+    /// — the rowwise softmax is not an element-wise activation and is
+    /// applied separately at the strip level).
     pub fn activation(&self) -> Activation {
         match self {
             ChainKind::StandardFfn { activation } | ChainKind::GatedFfn { activation } => {
                 *activation
             }
+            ChainKind::Attention { .. } => Activation::Identity,
         }
     }
 
     /// `true` for gated (two parallel up-projection branches).
     pub fn is_gated(&self) -> bool {
         matches!(self, ChainKind::GatedFfn { .. })
+    }
+
+    /// `true` for attention (rowwise softmax between the GEMMs).
+    pub fn is_attention(&self) -> bool {
+        matches!(self, ChainKind::Attention { .. })
     }
 
     /// The combiner carried by `dsm_all_exchange`: `Add` for K-partitioned
@@ -89,6 +105,25 @@ impl ChainSpec {
         }
     }
 
+    /// Creates an attention chain `E[M,L] = softmax(Q[M,K] x Kt[K,N]) x
+    /// V[N,L]`, optionally scaled by `1/sqrt(K)`.
+    pub fn attention(m: usize, n: usize, k: usize, l: usize, scaled: bool) -> Self {
+        Self {
+            dims: ChainDims::new(m, n, k, l),
+            kind: ChainKind::Attention { scaled },
+            name: String::new(),
+        }
+    }
+
+    /// The `scale_k` of the chain's softmax node: `K` for scaled
+    /// attention, `0` otherwise (unscaled, or not an attention chain).
+    pub fn softmax_scale_k(&self) -> usize {
+        match self.kind {
+            ChainKind::Attention { scaled: true } => self.dims.k,
+            _ => 0,
+        }
+    }
+
     /// Attaches a workload name (`"G5"`, `"S3"`, ...), consuming `self`.
     pub fn named(mut self, name: &str) -> Self {
         self.name = name.to_string();
@@ -129,7 +164,11 @@ impl ChainSpec {
 
     /// Global bytes of the unfused execution.
     pub fn unfused_global_bytes(&self) -> u64 {
-        self.dims.unfused_global_bytes(self.kind.is_gated())
+        if self.kind.is_attention() {
+            self.dims.attention_unfused_global_bytes()
+        } else {
+            self.dims.unfused_global_bytes(self.kind.is_gated())
+        }
     }
 
     /// Arithmetic intensity (FLOP per global byte) of the fused execution;
@@ -161,6 +200,20 @@ impl ChainSpec {
                 let act = g.add_node(OpKind::Activation(activation), vec![gate], "act");
                 let mul = g.add_node(OpKind::Elementwise(BinaryOp::Mul), vec![act, up], "mul");
                 let e = g.add_node(OpKind::Matmul, vec![mul, dw], "E");
+                g.add_node(OpKind::Output, vec![e], "out");
+            }
+            ChainKind::Attention { .. } => {
+                let b = g.add_input("B", d.k, d.n);
+                let dw = g.add_input("D", d.n, d.l);
+                let c = g.add_node(OpKind::Matmul, vec![a, b], "scores");
+                let sm = g.add_node(
+                    OpKind::Softmax {
+                        scale_k: self.softmax_scale_k(),
+                    },
+                    vec![c],
+                    "probs",
+                );
+                let e = g.add_node(OpKind::Matmul, vec![sm, dw], "E");
                 g.add_node(OpKind::Output, vec![e], "out");
             }
         }
@@ -200,6 +253,13 @@ impl ChainSpec {
                 let c = flashfuser_tensor::gemm::matmul(&inputs.a, &inputs.b)?;
                 act.apply_matrix(&c)
             }
+            (ChainKind::Attention { .. }, _) => {
+                let scores = flashfuser_tensor::gemm::matmul(&inputs.a, &inputs.b)?;
+                flashfuser_tensor::rowwise_softmax(
+                    &scores,
+                    flashfuser_tensor::softmax_scale(self.softmax_scale_k()),
+                )
+            }
             (ChainKind::GatedFfn { .. }, Some(b_gate)) => {
                 let up = flashfuser_tensor::gemm::matmul(&inputs.a, &inputs.b)?;
                 let gate = flashfuser_tensor::gemm::matmul(&inputs.a, b_gate)?;
@@ -218,6 +278,8 @@ impl fmt::Display for ChainSpec {
         let kind = match self.kind {
             ChainKind::StandardFfn { activation } => format!("ffn/{activation}"),
             ChainKind::GatedFfn { activation } => format!("gated/{activation}"),
+            ChainKind::Attention { scaled: true } => "attn/scaled".to_string(),
+            ChainKind::Attention { scaled: false } => "attn".to_string(),
         };
         if self.name.is_empty() {
             write!(f, "{kind}[{}]", self.dims)

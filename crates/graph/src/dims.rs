@@ -184,6 +184,17 @@ impl ChainDims {
             self.fused_min_global_bytes(false) + 2 * self.intermediate_bytes_f16()
         }
     }
+
+    /// Global traffic of the *unfused* attention execution, kernel by
+    /// kernel: `(A+B+C) + 4C + (C+D+E)`. The middle term is a
+    /// stand-alone three-pass softmax kernel over the materialised
+    /// scores — rowwise max, exp+sum, normalize (three reads) plus the
+    /// probability write — so the intermediate round-trips six times in
+    /// total, versus zero when fused (row statistics stay in the
+    /// cluster's DSM tier).
+    pub fn attention_unfused_global_bytes(&self) -> u64 {
+        self.fused_min_global_bytes(false) + 6 * self.intermediate_bytes_f16()
+    }
 }
 
 impl fmt::Display for ChainDims {

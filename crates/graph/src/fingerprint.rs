@@ -135,6 +135,7 @@ fn kind_tag(kind: &OpKind) -> u64 {
         OpKind::Elementwise(_) => 4,
         OpKind::Output => 5,
         OpKind::Transpose => 6,
+        OpKind::Softmax { .. } => 7,
     }
 }
 
@@ -151,6 +152,7 @@ fn kind_payload(kind: &OpKind) -> u64 {
         // hashing the name avoids depending on discriminant order.
         OpKind::Activation(a) => h.write_str(&a.to_string()),
         OpKind::Elementwise(op) => h.write_str(&op.to_string()),
+        OpKind::Softmax { scale_k } => h.write_usize(*scale_k),
         OpKind::Matmul | OpKind::Transpose | OpKind::Output => {}
     }
     h.finish()

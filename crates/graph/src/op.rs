@@ -25,9 +25,20 @@ pub enum OpKind {
     Activation(Activation),
     /// Binary element-wise combiner of the two predecessor nodes.
     Elementwise(BinaryOp),
+    /// Rowwise softmax (max-shift, exp, normalize) of the predecessor
+    /// node. `scale_k > 0` multiplies by `1/sqrt(scale_k)` first —
+    /// scaled dot-product attention; `scale_k == 0` is plain softmax.
+    /// The reduction between attention's two GEMMs; fusible as the
+    /// middle of an attention chain window.
+    Softmax {
+        /// Head dimension deriving the scale (`0` = unscaled).
+        scale_k: usize,
+    },
     /// Matrix transpose of the predecessor node (`[r,c]` → `[c,r]`).
     /// Used when lowering attention score GEMMs (`Q x K^T`); pure data
-    /// movement, never fused.
+    /// movement that stays *outside* the fused attention window — the
+    /// matcher recovers `Q×K^T → softmax → A×V` with the transposed K
+    /// as an ordinary operand.
     Transpose,
     /// Graph output marker.
     Output,
@@ -40,6 +51,8 @@ impl fmt::Display for OpKind {
             OpKind::Matmul => write!(f, "matmul"),
             OpKind::Activation(a) => write!(f, "{a}"),
             OpKind::Elementwise(op) => write!(f, "{op}"),
+            OpKind::Softmax { scale_k: 0 } => write!(f, "softmax"),
+            OpKind::Softmax { scale_k } => write!(f, "softmax/{scale_k}"),
             OpKind::Transpose => write!(f, "transpose"),
             OpKind::Output => write!(f, "output"),
         }
@@ -109,7 +122,9 @@ impl OpGraph {
         let arity_ok = match kind {
             OpKind::Input(..) => inputs.is_empty(),
             OpKind::Matmul | OpKind::Elementwise(_) => inputs.len() == 2,
-            OpKind::Activation(_) | OpKind::Transpose | OpKind::Output => inputs.len() == 1,
+            OpKind::Activation(_) | OpKind::Softmax { .. } | OpKind::Transpose | OpKind::Output => {
+                inputs.len() == 1
+            }
         };
         assert!(arity_ok, "wrong arity for {kind}: {} inputs", inputs.len());
         self.push(OpNode {

@@ -6,6 +6,9 @@
 //!
 //! * standard / gated FFN chains ([`crate::OpGraph::append_chain`]) —
 //!   the windows the partitioner should recover and fuse;
+//! * attention motifs (`scores -> softmax -> ctx`, optionally through a
+//!   transposed-K input) when [`RandGraphConfig::attention_prob`] is
+//!   raised above its bit-stable default of zero;
 //! * element-wise glue, transposes and bare GEMMs — remainder work the
 //!   partitioner must price unfused;
 //! * residual-style binary nodes that reuse an *earlier* node, creating
@@ -56,6 +59,13 @@ pub struct RandGraphConfig {
     /// packed blocked kernel's cache blocking; the default
     /// ([`DEFAULT_MAX_DIM`]) keeps naive-kernel fuzzing affordable.
     pub max_dim: usize,
+    /// Probability that one growth step embeds an attention motif
+    /// (`Q x K^T -> softmax -> A x V`, randomly scaled, half the time
+    /// through a `Transpose` of a fresh K input). The default is `0.0`
+    /// and *must* stay so for stream stability: a zero probability
+    /// consumes no extra RNG draws, keeping default-config graphs
+    /// bit-identical across generator versions.
+    pub attention_prob: f64,
 }
 
 impl RandGraphConfig {
@@ -67,7 +77,19 @@ impl RandGraphConfig {
             chain_prob: 0.55,
             degenerate_prob: 0.2,
             max_dim: DEFAULT_MAX_DIM,
+            attention_prob: 0.0,
         }
+    }
+
+    /// This configuration with a different attention-motif probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_attention_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.attention_prob = p;
+        self
     }
 
     /// This configuration with a different target op count.
@@ -137,6 +159,35 @@ pub fn rand_graph(seed: u64, config: &RandGraphConfig) -> OpGraph {
     while compute < config.ops {
         step += 1;
         let (rows, cols) = shapes[spine];
+        // Guarded *before* any draw so a zero probability consumes no
+        // stream and default-config graphs stay bit-stable.
+        if config.attention_prob > 0.0 && rng.next_bool(config.attention_prob) {
+            // Attention motif: scores = spine x K^T, rowwise softmax,
+            // ctx = probs x V. Half the time K arrives untransposed and
+            // goes through a Transpose node — the transposed-K path the
+            // matcher must keep *outside* the fused window.
+            let n = dim(&mut rng);
+            let l = dim(&mut rng);
+            let scaled = rng.next_bool(0.5);
+            let kt = if rng.next_bool(0.5) {
+                let kin = g.add_input(&format!("K{step}"), n, cols);
+                g.add_node(OpKind::Transpose, vec![kin], &format!("kT{step}"))
+            } else {
+                g.add_input(&format!("Kt{step}"), cols, n)
+            };
+            let v = g.add_input(&format!("V{step}"), n, l);
+            let scores = g.add_node(OpKind::Matmul, vec![spine, kt], &format!("scores{step}"));
+            let scale_k = if scaled { cols } else { 0 };
+            let probs = g.add_node(
+                OpKind::Softmax { scale_k },
+                vec![scores],
+                &format!("softmax{step}"),
+            );
+            spine = g.add_node(OpKind::Matmul, vec![probs, v], &format!("ctx{step}"));
+            compute += 3;
+            sync_shapes(&g, &mut shapes);
+            continue;
+        }
         if rng.next_bool(config.chain_prob) {
             // Embed a whole fusible chain on the spine.
             let n = dim(&mut rng);
@@ -298,6 +349,36 @@ mod tests {
             rand_graph(7, &RandGraphConfig::new()),
             rand_graph(7, &RandGraphConfig::new().with_max_dim(64)),
         );
+    }
+
+    #[test]
+    fn attention_motifs_appear_and_defaults_stay_stable() {
+        let cfg = RandGraphConfig::new()
+            .with_ops(16)
+            .with_attention_prob(0.35);
+        let mut with_attention = 0;
+        for seed in 0..64 {
+            let g = rand_graph(seed, &cfg);
+            g.infer_shapes().unwrap();
+            let matches = match_chains(&g).unwrap();
+            with_attention += usize::from(matches.iter().any(|m| m.chain.kind().is_attention()));
+        }
+        assert!(
+            with_attention >= 16,
+            "attention windows too rare: {with_attention}/64"
+        );
+        // A zero probability consumes no extra stream draws: default
+        // graphs are bit-identical to pre-knob generator output.
+        assert_eq!(
+            rand_graph(7, &RandGraphConfig::new()),
+            rand_graph(7, &RandGraphConfig::new().with_attention_prob(0.0)),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_attention_prob_panics() {
+        let _ = RandGraphConfig::new().with_attention_prob(1.5);
     }
 
     #[test]

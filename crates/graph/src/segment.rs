@@ -6,11 +6,11 @@
 //!
 //! * [`OpGraph::infer_shapes`] — forward shape inference over the
 //!   topological node order;
-//! * [`match_chains`] — structural pattern matching of the two chain
+//! * [`match_chains`] — structural pattern matching of the three chain
 //!   families (standard FFN `act(A x B) x D`, gated FFN
-//!   `(act(A x B_gate) ⊙ (A x B_up)) x D`), each match verified against
-//!   the canonical form via the content fingerprints of
-//!   [`crate::fingerprint`];
+//!   `(act(A x B_gate) ⊙ (A x B_up)) x D`, attention
+//!   `softmax(Q x K^T) x V`), each match verified against the canonical
+//!   form via the content fingerprints of [`crate::fingerprint`];
 //! * [`OpGraph::op_cost`] — FLOP/byte pricing of a single node run as a
 //!   stand-alone (unfused) kernel, for everything the matcher leaves
 //!   behind;
@@ -19,10 +19,14 @@
 //!   model graphs (layer after layer) compose from the same canonical
 //!   pieces the matcher recovers.
 //!
-//! The matcher is deliberately conservative: weights must be dedicated
-//! graph inputs and every interior node must have exactly one consumer
-//! — if an intermediate escapes the chain it has to be materialised
-//! anyway, and the fused plan's traffic accounting would be wrong.
+//! The matcher is deliberately conservative: FFN weights must be
+//! dedicated graph inputs and every interior node must have exactly one
+//! consumer — if an intermediate escapes the chain it has to be
+//! materialised anyway, and the fused plan's traffic accounting would
+//! be wrong. Attention windows relax only the *operand* requirement:
+//! Q, K^T and V are usually computed projections (the K transpose stays
+//! outside the window), so they may be any node, while the interior
+//! (scores GEMM, softmax, output GEMM) keeps the single-consumer rule.
 
 use crate::chain::ChainSpec;
 use crate::op::{NodeId, OpGraph, OpKind};
@@ -126,7 +130,9 @@ impl OpGraph {
                     let (r, c) = shapes[node.inputs[0]];
                     (c, r)
                 }
-                OpKind::Activation(_) | OpKind::Output => shapes[node.inputs[0]],
+                OpKind::Activation(_) | OpKind::Softmax { .. } | OpKind::Output => {
+                    shapes[node.inputs[0]]
+                }
             };
             shapes.push(shape);
         }
@@ -161,6 +167,14 @@ impl OpGraph {
             OpKind::Elementwise(_) => OpCost {
                 flops: elems(shapes[id]),
                 bytes: 3 * F16 * elems(shapes[id]),
+            },
+            // A stand-alone softmax kernel is three rowwise passes (max,
+            // exp+sum, normalize) over the materialised scores plus the
+            // probability write: 4 element-wise FLOPs and 4 tensor-sized
+            // transfers per element.
+            OpKind::Softmax { .. } => OpCost {
+                flops: 4 * elems(shapes[id]),
+                bytes: 4 * F16 * elems(shapes[id]),
             },
             OpKind::Transpose => OpCost {
                 flops: 0,
@@ -202,6 +216,19 @@ impl OpGraph {
             }
         };
         let activation = chain.kind().activation();
+        if chain.kind().is_attention() {
+            let b = self.add_input(&label("B"), d.k, d.n);
+            let dw = self.add_input(&label("D"), d.n, d.l);
+            let c = self.add_node(OpKind::Matmul, vec![input, b], &label("scores"));
+            let sm = self.add_node(
+                OpKind::Softmax {
+                    scale_k: chain.softmax_scale_k(),
+                },
+                vec![c],
+                &label("probs"),
+            );
+            return self.add_node(OpKind::Matmul, vec![sm, dw], &label("E"));
+        }
         if chain.kind().is_gated() {
             let b_up = self.add_input(&label("B_up"), d.k, d.n);
             let b_gate = self.add_input(&label("B_gate"), d.k, d.n);
@@ -258,6 +285,19 @@ pub fn recover_chain_io(g: &OpGraph, e: NodeId) -> Option<ChainIo> {
     let (c, d) = (node.inputs[0], node.inputs[1]);
     match g.node(c).kind {
         OpKind::Activation(_) => {
+            let m0 = g.node(c).inputs[0];
+            if g.node(m0).kind != OpKind::Matmul {
+                return None;
+            }
+            Some(ChainIo {
+                input: g.node(m0).inputs[0],
+                b_up: g.node(m0).inputs[1],
+                b_gate: None,
+                d,
+                output: e,
+            })
+        }
+        OpKind::Softmax { .. } => {
             let m0 = g.node(c).inputs[0];
             if g.node(m0).kind != OpKind::Matmul {
                 return None;
@@ -354,14 +394,18 @@ pub fn match_chains(g: &OpGraph) -> Result<Vec<ChainMatch>, GraphShapeError> {
         if node.kind != OpKind::Matmul {
             continue;
         }
-        // `id` is the candidate GEMM1: E = C x D with D a dedicated
-        // weight input.
+        // `id` is the candidate GEMM1: E = C x D. Attention windows
+        // accept *any* producer for D (the value tensor V is usually a
+        // computed projection, not a dedicated weight); the FFN
+        // families keep the dedicated-weight requirement.
         let (c, d) = (node.inputs[0], node.inputs[1]);
-        if !is_dedicated_input(g, &counts, d) {
-            continue;
-        }
-        let m = match_standard(g, &shapes, &counts, id, c, d)
-            .or_else(|| match_gated(g, &shapes, &counts, id, c, d));
+        let m = match_attention(g, &shapes, &counts, id, c, d).or_else(|| {
+            if !is_dedicated_input(g, &counts, d) {
+                return None;
+            }
+            match_standard(g, &shapes, &counts, id, c, d)
+                .or_else(|| match_gated(g, &shapes, &counts, id, c, d))
+        });
         if let Some(m) = m {
             let canonical = m.chain.to_op_graph().fingerprint();
             let extracted = extract_with_shapes(g, &shapes, &m).fingerprint();
@@ -376,6 +420,54 @@ pub fn match_chains(g: &OpGraph) -> Result<Vec<ChainMatch>, GraphShapeError> {
         }
     }
     Ok(matches)
+}
+
+/// Matches `E = softmax(A x B) x D` — an attention window — ending at
+/// GEMM1 `e` with value tensor `d`.
+///
+/// Unlike the FFN families, the three *operands* (`A` = Q, `B` = K^T,
+/// `D` = V) may be arbitrary computed nodes: in a lowered attention
+/// layer they are the Q/K/V projection GEMMs and the K transpose, which
+/// all stay *outside* the window. Only the interior (scores GEMM,
+/// softmax, output GEMM) must be single-consumer. The softmax's
+/// `scale_k` must be `0` (plain) or exactly the contraction dim `K`
+/// (scaled dot-product); anything else is not the canonical chain form.
+fn match_attention(
+    g: &OpGraph,
+    shapes: &[Shape],
+    counts: &[usize],
+    e: NodeId,
+    c: NodeId,
+    d: NodeId,
+) -> Option<ChainMatch> {
+    let OpKind::Softmax { scale_k } = g.node(c).kind else {
+        return None;
+    };
+    if counts[c] != 1 {
+        return None;
+    }
+    let m0 = g.node(c).inputs[0];
+    if g.node(m0).kind != OpKind::Matmul || counts[m0] != 1 {
+        return None;
+    }
+    let (a, b) = (g.node(m0).inputs[0], g.node(m0).inputs[1]);
+    let (mm, kk) = shapes[a];
+    let nn = shapes[b].1;
+    let ll = shapes[d].1;
+    if scale_k != 0 && scale_k != kk {
+        return None;
+    }
+    let weights = [b, d]
+        .into_iter()
+        .filter(|&w| matches!(g.node(w).kind, OpKind::Input(..)))
+        .collect();
+    Some(ChainMatch {
+        chain: ChainSpec::attention(mm, nn, kk, ll, scale_k != 0),
+        nodes: vec![m0, c, e],
+        weights,
+        input: a,
+        output: e,
+    })
 }
 
 /// Matches `E = act(A x B) x D` ending at GEMM1 `e` with weight `d`.
@@ -488,7 +580,18 @@ fn extract_with_shapes(g: &OpGraph, shapes: &[Shape], m: &ChainMatch) -> OpGraph
     let mut out = OpGraph::new();
     let (ar, ac) = shapes[m.input];
     let a = out.add_input("A", ar, ac);
-    let e = if m.chain.kind().is_gated() {
+    let e = if m.chain.kind().is_attention() {
+        let e_node = m.output;
+        let sm = g.node(e_node).inputs[0];
+        let m0 = g.node(sm).inputs[0];
+        let b_shape = shapes[g.node(m0).inputs[1]];
+        let d_shape = shapes[g.node(e_node).inputs[1]];
+        let b = out.add_input("B", b_shape.0, b_shape.1);
+        let dw = out.add_input("D", d_shape.0, d_shape.1);
+        let c2 = out.add_node(OpKind::Matmul, vec![a, b], "scores");
+        let sm2 = out.add_node(g.node(sm).kind, vec![c2], "probs");
+        out.add_node(OpKind::Matmul, vec![sm2, dw], "E")
+    } else if m.chain.kind().is_gated() {
         // m.nodes is [up, gate, act, mul, e] sorted by id; recover the
         // roles structurally rather than by position.
         let e_node = m.output;

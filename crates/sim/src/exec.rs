@@ -31,7 +31,9 @@ use flashfuser_core::{FusedPlan, MemLevel, PlanError};
 use flashfuser_graph::chain::ChainInputs;
 use flashfuser_graph::Dim;
 use flashfuser_tensor::gemm::matmul_accumulate_with;
-use flashfuser_tensor::{Matrix, MicroKernel, NumericConfig, ShapeError};
+use flashfuser_tensor::{
+    rowwise_softmax_inplace, softmax_scale, Matrix, MicroKernel, NumericConfig, ShapeError,
+};
 use std::error::Error;
 use std::fmt;
 
@@ -42,6 +44,11 @@ pub enum ExecError {
     Shape(ShapeError),
     /// A gated chain was executed without its gate weight.
     MissingGateWeight,
+    /// An attention plan whose schedule is not the C-strip order with
+    /// the full N extent in one cluster — the rowwise softmax needs
+    /// complete score rows (defensive: the analyzer rejects such plans
+    /// at analysis time, so only hand-built plans reach this).
+    AttentionSchedule,
     /// The plan's stored geometry is illegal or stale for its own
     /// schedule/cluster/tile (hand-built or corrupted plans) — running
     /// it would index tiles out of bounds, so it is rejected up front.
@@ -53,6 +60,11 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::Shape(e) => write!(f, "{e}"),
             ExecError::MissingGateWeight => write!(f, "gated chain executed without gate weight"),
+            ExecError::AttentionSchedule => write!(
+                f,
+                "attention plan is not in the C-strip order with N in one cluster \
+                 (rowwise softmax needs complete score rows)"
+            ),
             ExecError::Plan(e) => write!(f, "degenerate plan geometry: {e}"),
         }
     }
@@ -113,6 +125,13 @@ pub fn execute_fused_with(
             inputs.a.shape(),
             (dims.m, dims.k),
         )));
+    }
+    if plan.chain.kind().is_attention() {
+        let s = &plan.schedule;
+        let c_strip = !s.is_spatial(Dim::N) && !s.is_spatial(Dim::L) && s.is_outer(Dim::L, Dim::N);
+        if !c_strip || plan.geometry.grid(Dim::N) > 1 {
+            return Err(ExecError::AttentionSchedule);
+        }
     }
     let gated = plan.chain.kind().is_gated();
     let b_gate = match (gated, &inputs.b_gate) {
@@ -253,12 +272,66 @@ impl Interp<'_> {
         for t_n in 0..tn {
             strip.push(self.gemm0_phase(row, t_n, tk, counters)?);
         }
+        if self.plan.chain.kind().is_attention() {
+            self.softmax_strip(row, &mut strip, counters)?;
+        }
         for t_l in 0..tl {
             let mut e_acc = vec![vec![Matrix::zeros(t.m, t.l)]; blocks];
             for (t_n, c_tiles) in strip.iter().enumerate() {
                 self.gemm1_accumulate(c_tiles, row, t_n, t_l, 1, &mut e_acc, counters)?;
             }
             self.reduce_and_store_single(row, t_l, &e_acc, e, counters)?;
+        }
+        Ok(())
+    }
+
+    /// Rowwise softmax over the complete C strip of one block-row — the
+    /// attention epilogue between the two GEMMs. The strip holds every
+    /// score of each row (the C-strip gate guarantees it), assembled
+    /// here in global column order so the shared
+    /// [`rowwise_softmax_inplace`] helper defines the arithmetic
+    /// bit-identically to the per-op oracle. When the strip is split
+    /// across `cls_n` column-owner blocks, the row max and row sum are
+    /// each combined in an all-exchange round among those blocks —
+    /// `2 * cls_n * (cls_n - 1)` messages of `tile.m` f32 stats, priced
+    /// in the DSM tier exactly as the analyzer predicts; nothing
+    /// touches HBM.
+    fn softmax_strip(
+        &self,
+        row: &RowCtx,
+        strip: &mut [Vec<Matrix>],
+        counters: &mut TrafficCounters,
+    ) -> Result<(), ExecError> {
+        let t = self.plan.tile;
+        let (cn, ck) = (row.cn, row.ck);
+        let tn = strip.len();
+        let scale = softmax_scale(self.plan.chain.softmax_scale_k());
+        // Assemble the block-row's scores in global column order
+        // (grid(N) == 1, so (t_n, bni) enumerates columns 0..N).
+        let mut rows = Matrix::zeros(t.m, tn * cn * t.n);
+        for (t_n, tiles) in strip.iter().enumerate() {
+            for bni in 0..cn {
+                let col0 = (t_n * cn + bni) * t.n;
+                rows.add_tile(0, col0, &tiles[bni * ck])?;
+            }
+        }
+        rowwise_softmax_inplace(&mut rows, scale);
+        for (t_n, tiles) in strip.iter_mut().enumerate() {
+            for bni in 0..cn {
+                let col0 = (t_n * cn + bni) * t.n;
+                let tile = rows.tile(0, col0, t.m, t.n)?;
+                for bki in 0..ck {
+                    tiles[bni * ck + bki] = tile.clone();
+                }
+            }
+        }
+        if cn > 1 {
+            counters.record_primitive("softmax_stats");
+            counters.add(
+                MemLevel::Dsm,
+                2 * cn as u64 * (cn as u64 - 1) * t.m as u64 * 4,
+            );
+            counters.barriers += 2;
         }
         Ok(())
     }
@@ -667,6 +740,97 @@ mod tests {
             );
             assert_eq!(naive_c, blocked_c);
         }
+    }
+
+    #[test]
+    fn attention_chain_matches_reference() {
+        for scaled in [false, true] {
+            let chain = ChainSpec::attention(32, 64, 48, 64, scaled);
+            let plan = make_plan(
+                &chain,
+                &[Dim::M],
+                &[Dim::L, Dim::N, Dim::K],
+                ClusterShape::new(1, 2, 1, 2).unwrap(),
+                BlockTile::new(16, 16, 16, 16),
+            );
+            let c = check_correct(&plan, 11);
+            assert!(
+                c.primitive_count("softmax_stats") > 0,
+                "split-N strip must exchange row stats"
+            );
+        }
+    }
+
+    #[test]
+    fn attention_single_block_keeps_stats_local() {
+        let chain = ChainSpec::attention(16, 32, 32, 32, true);
+        let plan = make_plan(
+            &chain,
+            &[Dim::M],
+            &[Dim::L, Dim::N, Dim::K],
+            ClusterShape::single_block(),
+            BlockTile::new(16, 16, 16, 16),
+        );
+        let c = check_correct(&plan, 12);
+        assert_eq!(c.dsm_bytes(), 0, "one block owns every score row");
+        assert_eq!(c.primitive_count("softmax_stats"), 0);
+    }
+
+    #[test]
+    fn attention_dsm_traffic_matches_analyzer_prediction() {
+        // The softmax row-stat exchange is priced by the same formula in
+        // the analyzer and charged by the executor: exact agreement.
+        let chain = ChainSpec::attention(32, 64, 64, 64, true);
+        let schedule = LoopSchedule::new(vec![Dim::M], vec![Dim::L, Dim::N, Dim::K]);
+        let cluster = ClusterShape::new(1, 2, 2, 4).unwrap();
+        let tile = BlockTile::new(16, 16, 16, 16);
+        let analysis = DataflowAnalyzer::new(MachineDescriptor::h100_sxm())
+            .analyze(&chain, &schedule, cluster, tile)
+            .unwrap();
+        let inputs = chain.make_inputs(13);
+        let expected = chain.reference_output(&inputs).unwrap();
+        let mut counters = TrafficCounters::new();
+        let got = execute_fused(analysis.plan(), &inputs, &mut counters).unwrap();
+        assert!(expected.approx_eq(&got, 1e-3).unwrap());
+        assert!(counters.primitive_count("softmax_stats") > 0);
+        assert!(counters.primitive_count("all_exchange.add") > 0);
+        assert_eq!(
+            counters.dsm_bytes(),
+            analysis.volume(flashfuser_core::MemLevel::Dsm)
+        );
+        assert_eq!(counters.global_bytes(), analysis.volume(MemLevel::L2));
+    }
+
+    #[test]
+    fn attention_rejects_non_c_strip_schedules() {
+        let chain = ChainSpec::attention(32, 64, 48, 64, true);
+        let tile = BlockTile::new(16, 16, 16, 16);
+        // The analyzer refuses at plan time (N inner of L)...
+        let bad = LoopSchedule::new(vec![Dim::M], vec![Dim::N, Dim::L, Dim::K]);
+        assert!(matches!(
+            DataflowAnalyzer::new(MachineDescriptor::h100_sxm()).analyze(
+                &chain,
+                &bad,
+                ClusterShape::single_block(),
+                tile
+            ),
+            Err(flashfuser_core::AnalysisError::AttentionNeedsCStrip)
+        ));
+        // ...and a hand-mutated plan trips the executor's own gate.
+        let mut plan = make_plan(
+            &chain,
+            &[Dim::M],
+            &[Dim::L, Dim::N, Dim::K],
+            ClusterShape::single_block(),
+            tile,
+        );
+        plan.schedule = bad;
+        let inputs = plan.chain.make_inputs(1);
+        let mut c = TrafficCounters::new();
+        assert!(matches!(
+            execute_fused(&plan, &inputs, &mut c),
+            Err(ExecError::AttentionSchedule)
+        ));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! arithmetic — GEMMs through a selectable
 //! [`MicroKernel`] backend (the naive
 //! reference loop by default), element-wise operators and activations
-//! through their scalar definitions, transposes as data movement. Whatever the whole-graph compiler and the stitched
+//! through their scalar definitions, transposes as data movement, and
+//! rowwise softmax through the shared
+//! [`rowwise_softmax`](flashfuser_tensor::rowwise_softmax) helper (the
+//! same definition every execution path uses). Whatever the whole-graph compiler and the stitched
 //! executor ([`crate::graph_exec`]) produce must agree with this
 //! interpreter within tolerance; no fusion decision can change the
 //! mathematics.
@@ -178,6 +181,10 @@ pub(crate) fn eval_compute(
         OpKind::Input(..) => unreachable!("input nodes are bound, not computed"),
         OpKind::Matmul => flashfuser_tensor::gemm::matmul_with(kernel, arg(0), arg(1)),
         OpKind::Activation(act) => Ok(act.apply_matrix(arg(0))),
+        OpKind::Softmax { scale_k } => Ok(flashfuser_tensor::rowwise_softmax(
+            arg(0),
+            flashfuser_tensor::softmax_scale(scale_k),
+        )),
         OpKind::Elementwise(op) => op.apply_matrix(arg(0), arg(1)),
         OpKind::Transpose => Ok(arg(0).transpose()),
         OpKind::Output => Ok(arg(0).clone()),
@@ -198,6 +205,8 @@ mod tests {
         for chain in [
             ChainSpec::standard_ffn(8, 24, 16, 12, Activation::Gelu),
             ChainSpec::gated_ffn(8, 24, 16, 12, Activation::Silu),
+            ChainSpec::attention(8, 24, 16, 12, false),
+            ChainSpec::attention(8, 24, 16, 12, true),
         ] {
             let g = chain.to_op_graph();
             // Bind the canonical chain inputs to the graph's input nodes

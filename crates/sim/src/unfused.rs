@@ -11,7 +11,7 @@ use crate::exec::ExecError;
 use flashfuser_core::{MachineDescriptor, MemLevel};
 use flashfuser_graph::chain::ChainInputs;
 use flashfuser_graph::ChainSpec;
-use flashfuser_tensor::{gemm, Matrix, NumericConfig};
+use flashfuser_tensor::{gemm, rowwise_softmax, softmax_scale, Matrix, NumericConfig};
 
 /// The outcome of an unfused execution: per-kernel times and the total.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +94,17 @@ pub fn execute_unfused_with(
         }
         let mut c = Matrix::zeros(inputs.a.rows(), inputs.b.cols());
         kernel.gemm_epilogue(&mut c, &inputs.a, &inputs.b, act)?;
+        c
+    };
+
+    // Attention: a stand-alone three-pass softmax kernel over the
+    // materialised scores — rowwise max, exp+sum, normalize (three
+    // reads) plus the probability write.
+    let c = if chain.kind().is_attention() {
+        counters.kernel_launches += 1;
+        counters.add(MemLevel::Global, 4 * dims.intermediate_bytes_f16());
+        rowwise_softmax(&c, softmax_scale(chain.softmax_scale_k()))
+    } else {
         c
     };
 
@@ -201,17 +212,35 @@ pub fn unfused_time(
         }
     };
 
+    let attention = chain.kind().is_attention();
     let gemm0_bytes = dims.a_bytes_f16()
         + dims.b_bytes_f16()
         + dims.intermediate_bytes_f16()
         + split_extra(dims.intermediate_bytes_f16(), dims.m, dims.k);
-    kernels.push(kernel("gemm0.up", dims.gemm0_flops(), gemm0_bytes));
+    kernels.push(kernel(
+        if attention {
+            "gemm0.scores"
+        } else {
+            "gemm0.up"
+        },
+        dims.gemm0_flops(),
+        gemm0_bytes,
+    ));
     if gated {
         kernels.push(kernel("gemm0.gate", dims.gemm0_flops(), gemm0_bytes));
         kernels.push(kernel(
             "act_mul",
             2 * dims.intermediate_bytes_f16() / 2,
             3 * dims.intermediate_bytes_f16(),
+        ));
+    }
+    if attention {
+        // Stand-alone three-pass softmax: shift, exp, normalize over
+        // M x N scores (4 flops/elem), three reads + one write.
+        kernels.push(kernel(
+            "softmax",
+            4 * dims.m as u64 * dims.n as u64,
+            4 * dims.intermediate_bytes_f16(),
         ));
     }
     kernels.push(kernel(
@@ -241,6 +270,7 @@ mod tests {
         for chain in [
             ChainSpec::standard_ffn(16, 48, 32, 32, Activation::Relu),
             ChainSpec::gated_ffn(16, 48, 32, 32, Activation::Silu),
+            ChainSpec::attention(16, 48, 32, 32, true),
         ] {
             let inputs = chain.make_inputs(3);
             let expected = chain.reference_output(&inputs).unwrap();
@@ -282,6 +312,8 @@ mod tests {
         for chain in [
             ChainSpec::standard_ffn(16, 48, 32, 32, Activation::Relu),
             ChainSpec::gated_ffn(16, 48, 32, 32, Activation::Silu),
+            ChainSpec::attention(16, 48, 32, 32, false),
+            ChainSpec::attention(16, 48, 32, 32, true),
         ] {
             let inputs = chain.make_inputs(4);
             let mut counters = TrafficCounters::new();
@@ -300,6 +332,16 @@ mod tests {
         let mut c2 = TrafficCounters::new();
         execute_unfused(&gated, &gated.make_inputs(1), &mut c2).unwrap();
         assert_eq!(c2.kernel_launches, 4);
+        let attn = ChainSpec::attention(16, 32, 32, 32, true);
+        let mut c3 = TrafficCounters::new();
+        execute_unfused(&attn, &attn.make_inputs(1), &mut c3).unwrap();
+        assert_eq!(c3.kernel_launches, 3, "gemm0 + softmax + gemm1");
+        assert_eq!(
+            unfused_time(&attn, &MachineDescriptor::h100_sxm(), 0.92)
+                .kernels
+                .len(),
+            3
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod im2col;
 pub mod kernel;
 pub mod matrix;
 pub mod rng;
+pub mod softmax;
 pub mod tile;
 
 pub use activation::{Activation, BinaryOp};
@@ -43,4 +44,5 @@ pub use error::ShapeError;
 pub use im2col::Conv2dSpec;
 pub use kernel::{BlockedKernel, KernelKind, MicroKernel, NaiveKernel, NumericConfig};
 pub use matrix::Matrix;
+pub use softmax::{rowwise_softmax, rowwise_softmax_inplace, softmax_scale};
 pub use tile::TileGrid;

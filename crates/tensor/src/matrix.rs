@@ -128,6 +128,16 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {} out of bounds ({})", r, self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Returns the value at `(r, c)`, or `None` when out of bounds.
     pub fn get(&self, r: usize, c: usize) -> Option<f32> {
         if r < self.rows && c < self.cols {

@@ -1,0 +1,114 @@
+//! Rowwise softmax — the reduction between attention's two GEMMs.
+//!
+//! Every layer of the stack that touches attention numerics funnels
+//! through this module: the interpreter oracle, the fused tile-level
+//! executor, the unfused kernel path and the chain reference outputs
+//! all call the same [`rowwise_softmax`] so that a fused plan and its
+//! oracle disagree only by floating-point summation order, never by
+//! definition.
+//!
+//! The implementation is the numerically safe three-step form:
+//! optional scale (`1/sqrt(d_k)` for scaled dot-product attention),
+//! max-shift so `exp` never overflows, then exp + normalize. Rows are
+//! independent; within a row the max and the sum are reduced in column
+//! order, which pins the bit pattern per kernel backend.
+
+use crate::matrix::Matrix;
+
+/// The softmax scale factor for a head dimension `scale_k`: `1` when
+/// `scale_k == 0` (plain softmax), `1/sqrt(scale_k)` otherwise.
+///
+/// Centralised so the graph layer, the executor and the oracle derive
+/// bit-identical scales from the same integer.
+pub fn softmax_scale(scale_k: usize) -> f32 {
+    if scale_k == 0 {
+        1.0
+    } else {
+        1.0 / (scale_k as f32).sqrt()
+    }
+}
+
+/// Applies scaled rowwise softmax in place: each row is multiplied by
+/// `scale`, shifted by its maximum, exponentiated and normalized to
+/// sum 1.
+///
+/// The max-shift makes the largest exponent exactly `exp(0) = 1`, so
+/// arbitrarily large inputs cannot overflow; a row of `-inf` would
+/// yield NaN, but finite inputs always produce a valid distribution.
+pub fn rowwise_softmax_inplace(m: &mut Matrix, scale: f32) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let mut max = f32::NEG_INFINITY;
+        for v in row.iter_mut() {
+            *v *= scale;
+            max = max.max(*v);
+        }
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Scaled rowwise softmax, returning a new matrix. See
+/// [`rowwise_softmax_inplace`].
+pub fn rowwise_softmax(m: &Matrix, scale: f32) -> Matrix {
+    let mut out = m.clone();
+    rowwise_softmax_inplace(&mut out, scale);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let m = Matrix::from_fn(5, 7, |r, c| (r as f32 - 2.0) * (c as f32 + 0.5));
+        let s = rowwise_softmax(&m, 1.0);
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn shift_invariance() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.3 - 1.0);
+        let shifted = m.map(|x| x + 123.5);
+        let a = rowwise_softmax(&m, 1.0);
+        let b = rowwise_softmax(&shifted, 1.0);
+        assert!(a.approx_eq(&b, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn huge_magnitudes_do_not_overflow() {
+        let m = Matrix::from_fn(2, 3, |r, c| 1e30 * (1.0 + (r * 3 + c) as f32));
+        let s = rowwise_softmax(&m, 1.0);
+        for v in s.as_slice() {
+            assert!(v.is_finite());
+        }
+        // The largest entry dominates completely at this magnitude.
+        assert_eq!(s.row(0)[2], 1.0);
+    }
+
+    #[test]
+    fn scale_matches_manual_prescaling() {
+        let m = Matrix::from_fn(4, 6, |r, c| (r as f32 + 1.0) * (c as f32 - 2.0));
+        let scale = softmax_scale(64);
+        let direct = rowwise_softmax(&m, scale);
+        let manual = rowwise_softmax(&m.map(|x| x * scale), 1.0);
+        assert!(direct.approx_eq(&manual, 1e-6).unwrap());
+        assert_eq!(softmax_scale(0), 1.0);
+        assert_eq!(softmax_scale(16), 0.25);
+    }
+}

@@ -77,9 +77,13 @@ impl ModelSpec {
     /// The layer is attention + FFN + element-wise remainder:
     ///
     /// * attention — Q/K/V projections, `Q x K^T` scores (via a
-    ///   `Transpose` node), a softmax stand-in (one element-wise pass;
-    ///   attention is never fused, so only its FLOP/byte pricing
-    ///   matters), the context GEMM and the output projection;
+    ///   `Transpose` node), a real scaled rowwise [`OpKind::Softmax`]
+    ///   (`scale_k = hidden`), the context GEMM and the output
+    ///   projection. The `scores -> softmax -> ctx` window is a
+    ///   recoverable attention chain: the partitioner fuses it with the
+    ///   row statistics held in the cluster's DSM tier, while the
+    ///   projections and the transpose stay ordinary per-op work
+    ///   outside the window;
     /// * the FFN as the canonical two-GEMM chain expansion
     ///   ([`OpGraph::append_chain`] of [`ModelSpec::ffn_chain`]), which
     ///   the graph partitioner recovers and fuses;
@@ -100,11 +104,7 @@ impl ModelSpec {
         let v = g.add_node(OpKind::Matmul, vec![x, wv], &l("v"));
         let kt = g.add_node(OpKind::Transpose, vec![k], &l("kT"));
         let scores = g.add_node(OpKind::Matmul, vec![q, kt], &l("scores"));
-        let probs = g.add_node(
-            OpKind::Activation(Activation::Identity),
-            vec![scores],
-            &l("softmax"),
-        );
+        let probs = g.add_node(OpKind::Softmax { scale_k: d }, vec![scores], &l("softmax"));
         let ctx = g.add_node(OpKind::Matmul, vec![probs, v], &l("ctx"));
         let attn = g.add_node(OpKind::Matmul, vec![ctx, wo], &l("attn"));
         let resid1 = g.add_node(
@@ -122,9 +122,9 @@ impl ModelSpec {
 
     /// Lowers `layers` decoder layers for `m` resident tokens into an
     /// operator DAG ending in an `Output` marker — the whole-graph
-    /// compilation input. Every layer's FFN is a recoverable fused
-    /// chain of identical shape, so a plan cache serves layers 2..n
-    /// from layer 1's search.
+    /// compilation input. Every layer's FFN *and* its attention window
+    /// are recoverable fused chains of identical shape, so a plan cache
+    /// serves layers 2..n from layer 1's searches.
     ///
     /// # Panics
     ///
@@ -303,8 +303,23 @@ mod tests {
         let model = &model_zoo()[4]; // GPT-2
         let g = model.graph(64, 3);
         let matches = flashfuser_graph::match_chains(&g).unwrap();
-        assert_eq!(matches.len(), 3, "one fusible FFN per layer");
-        for m in &matches {
+        assert_eq!(
+            matches.len(),
+            6,
+            "one fusible attention window and one FFN per layer"
+        );
+        let (attn, ffn): (Vec<_>, Vec<_>) =
+            matches.iter().partition(|m| m.chain.kind().is_attention());
+        assert_eq!(attn.len(), 3);
+        assert_eq!(ffn.len(), 3);
+        for m in &attn {
+            // seq = m = 64, scaled by 1/sqrt(hidden).
+            assert_eq!(
+                m.chain,
+                ChainSpec::attention(64, 64, model.hidden, model.hidden, true)
+            );
+        }
+        for m in &ffn {
             // Names are metadata; the structure is exactly the layer's
             // FFN chain.
             assert_eq!(m.chain, model.ffn_chain(64).named(""));
@@ -333,10 +348,16 @@ mod tests {
                 "{}: ratio {got} vs {want}",
                 model.name
             );
-            // The scaled layer graph recovers the same chain family.
+            // The scaled layer graph recovers the attention window and
+            // the same FFN chain family.
             let matches = flashfuser_graph::match_chains(&small.layer_graph(16)).unwrap();
-            assert_eq!(matches.len(), 1, "{}", model.name);
-            assert_eq!(matches[0].chain.kind().is_gated(), model.gated);
+            assert_eq!(matches.len(), 2, "{}", model.name);
+            let ffn = matches
+                .iter()
+                .find(|m| !m.chain.kind().is_attention())
+                .unwrap();
+            assert_eq!(ffn.chain.kind().is_gated(), model.gated);
+            assert!(matches.iter().any(|m| m.chain.kind().is_attention()));
         }
     }
 

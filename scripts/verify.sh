@@ -71,8 +71,18 @@ run_bench bench_serve
 echo "== machine-smoke (bench_machine) =="
 run_bench bench_machine
 
+# Attention-fusion smoke: bench_attention compiles zoo-shaped
+# Q.K^T -> softmax -> A.V windows on the H100 and the committed
+# Tensix-like descriptor, validates each against the per-op oracle,
+# and exits non-zero unless every fused plan moves strictly fewer
+# priced global bytes than the per-op unfused fallback.
+echo "== attention-smoke (bench_attention) =="
+run_bench bench_attention
+
 # Differential fuzzing smoke: generator -> compiler -> stitched
-# execution vs per-op reference. Any numeric or traffic divergence
+# execution vs per-op reference. The population is attention-bearing
+# (the generator's motif knob) and runs the packed blocked kernel
+# against the always-naive oracle. Any numeric or traffic divergence
 # fails the gate; the seed report names the exact repro invocation.
 if [ "${FLASHFUSER_QUICK}" = "1" ]; then
     FUZZ_SEEDS=16
@@ -81,12 +91,20 @@ else
     FUZZ_SEEDS=64
     FUZZ_REPORT=FUZZ_report.json
 fi
-echo "== fuzz-smoke (${FUZZ_SEEDS} seeds) =="
+echo "== fuzz-smoke (${FUZZ_SEEDS} seeds, attention 0.5, blocked kernel) =="
 if ! cargo run --release -q --bin flashfuser-cli -- \
-    fuzz --seeds "${FUZZ_SEEDS}" --report "${FUZZ_REPORT}"; then
+    fuzz --seeds "${FUZZ_SEEDS}" --attention 0.5 --kernel blocked --report "${FUZZ_REPORT}"; then
     echo "verify: FAIL — differential fuzzing diverged (see ${FUZZ_REPORT})" >&2
     exit 1
 fi
+grep -q '"failures": 0' "${FUZZ_REPORT}" || {
+    echo "verify: FAIL — ${FUZZ_REPORT} records failures" >&2
+    exit 1
+}
+grep -q '"attention_fused": true' "${FUZZ_REPORT}" || {
+    echo "verify: FAIL — the fuzz population fused no attention window (see ${FUZZ_REPORT})" >&2
+    exit 1
+}
 
 # Full mode only: a big-extent sweep under the blocked kernel, where the
 # packed path's cache blocking actually engages (the default dims cap

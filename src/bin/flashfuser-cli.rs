@@ -102,6 +102,10 @@ OPTIONS:
                        reference side always runs the naive oracle, so
                        the default also falsifies the packed kernel)
     --tol T            Fuzz: comparison tolerance (default 1e-3)
+    --attention P      Fuzz: probability in [0, 1] that a generator step
+                       emits a Q.K^T -> softmax -> A.V attention motif
+                       (default 0; the report then carries the
+                       'attention_fused' gate for CI)
     --report PATH      Fuzz: also write the per-seed report as JSON
     --port P           Serve: TCP port on 127.0.0.1 (default 8080; 0
                        picks an ephemeral port and prints it)
@@ -123,6 +127,7 @@ EXAMPLES:
     flashfuser-cli fuzz --seeds 64 --ops 16 --report FUZZ_report.json
     flashfuser-cli fuzz --seeds 8 --dims 512 --kernel blocked --report FUZZ_report.dims512.json
     flashfuser-cli fuzz --seeds 16 --kernel naive
+    flashfuser-cli fuzz --seeds 24 --attention 0.5 --report FUZZ_report.quick.json
     flashfuser-cli serve --port 8080 --workers 4 --queue-depth 64
     flashfuser-cli serve --port 8080 --cache-dir /tmp/ff-plans --a100
 ";
@@ -143,6 +148,7 @@ struct CommonOpts {
     dims: usize,
     kernel: KernelKind,
     tol: f32,
+    attention: f64,
     report: Option<String>,
     port: u16,
     queue_depth: usize,
@@ -172,6 +178,7 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
         dims: 64,
         kernel: KernelKind::Blocked,
         tol: flashfuser::DEFAULT_TOLERANCE,
+        attention: 0.0,
         report: None,
         port: 8080,
         queue_depth: 64,
@@ -185,8 +192,8 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
             "--a100" => opts.a100 = true,
             "--dry-run" => opts.dry_run = true,
             "--machine" | "--cache-dir" | "--workers" | "--repeat" | "--layers" | "--seeds"
-            | "--start" | "--ops" | "--dims" | "--kernel" | "--tol" | "--report" | "--port"
-            | "--queue-depth" => {
+            | "--start" | "--ops" | "--dims" | "--kernel" | "--tol" | "--attention"
+            | "--report" | "--port" | "--queue-depth" => {
                 let flag = args[i].clone();
                 i += 1;
                 let value = args
@@ -258,6 +265,14 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
                             .map_err(|_| format!("--tol: '{value}' is not a number"))?;
                         if !opts.tol.is_finite() || opts.tol <= 0.0 {
                             return Err("--tol must be positive".to_string());
+                        }
+                    }
+                    "--attention" => {
+                        opts.attention = value
+                            .parse()
+                            .map_err(|_| format!("--attention: '{value}' is not a number"))?;
+                        if !(0.0..=1.0).contains(&opts.attention) {
+                            return Err("--attention must be a probability in [0, 1]".to_string());
                         }
                     }
                     "--port" => {
@@ -698,6 +713,7 @@ struct FuzzOutcome {
     ops: usize,
     segments: usize,
     fused: usize,
+    attention_fused: usize,
     max_err: f32,
     passed: bool,
     error: Option<String>,
@@ -725,8 +741,8 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     };
     if opts.dry_run {
         println!(
-            "dry-run: would fuzz seeds {}..{end} ({} graph(s) of ~{} ops, dims <= {}, {} kernel, tol {:.1e}) on {}",
-            opts.start, seeds, opts.ops, opts.dims, opts.kernel, opts.tol, params.name
+            "dry-run: would fuzz seeds {}..{end} ({} graph(s) of ~{} ops, dims <= {}, {} kernel, tol {:.1e}, attention {:.2}) on {}",
+            opts.start, seeds, opts.ops, opts.dims, opts.kernel, opts.tol, opts.attention, params.name
         );
         return ExitCode::SUCCESS;
     }
@@ -736,13 +752,14 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     };
     let config = RandGraphConfig::new()
         .with_ops(opts.ops)
-        .with_max_dim(opts.dims);
+        .with_max_dim(opts.dims)
+        .with_attention_prob(opts.attention);
     let numeric = NumericConfig {
         kernel: opts.kernel,
     };
     println!(
-        "device: {}  seeds: {}..{end}  ops/graph: ~{}  dims: <= {}  kernel: {}  tol: {:.1e}",
-        params.name, opts.start, opts.ops, opts.dims, opts.kernel, opts.tol
+        "device: {}  seeds: {}..{end}  ops/graph: ~{}  dims: <= {}  kernel: {}  tol: {:.1e}  attention: {:.2}",
+        params.name, opts.start, opts.ops, opts.dims, opts.kernel, opts.tol, opts.attention
     );
     let t0 = std::time::Instant::now();
     let mut outcomes = Vec::with_capacity(seeds as usize);
@@ -762,11 +779,17 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         let outcome = match validate_graph_with(&compiler, &graph, seed, opts.tol, numeric) {
             Ok(v) => {
                 let passed = v.passed();
+                let attention_fused = v
+                    .plan
+                    .fused_segments()
+                    .filter(|s| s.chain.kind().is_attention() && !s.fell_back)
+                    .count();
                 let line = format!(
-                    "seed {seed:>6}: {:>2} nodes, {} segment(s) ({} fused), max err {:.2e}",
+                    "seed {seed:>6}: {:>2} nodes, {} segment(s) ({} fused, {} attention), max err {:.2e}",
                     graph.len(),
                     v.segments.len(),
                     v.fused_count(),
+                    attention_fused,
                     v.max_err
                 );
                 if passed {
@@ -792,6 +815,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                     ops: graph.len(),
                     segments: v.segments.len(),
                     fused: v.fused_count(),
+                    attention_fused,
                     max_err: v.max_err,
                     passed,
                     error: None,
@@ -805,6 +829,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                     ops: graph.len(),
                     segments: 0,
                     fused: 0,
+                    attention_fused: 0,
                     max_err: f32::INFINITY,
                     passed: false,
                     error: Some(e.to_string()),
@@ -838,15 +863,20 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
 /// Renders the per-seed fuzz report as JSON (hand-rolled, like every
 /// other JSON producer in this repository — no external crates).
 fn fuzz_report_json(opts: &CommonOpts, outcomes: &[FuzzOutcome], failures: usize) -> String {
+    // `attention_fused` is the CI gate: true iff at least one seed in
+    // the sweep compiled an attention window down the fused path.
+    let attention_fused = outcomes.iter().any(|o| o.attention_fused > 0);
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"seeds\": {},\n  \"start\": {},\n  \"ops\": {},\n  \"dims\": {},\n  \"kernel\": \"{}\",\n  \"tolerance\": {:e},\n  \"failures\": {},\n  \"results\": [\n",
+        "  \"seeds\": {},\n  \"start\": {},\n  \"ops\": {},\n  \"dims\": {},\n  \"kernel\": \"{}\",\n  \"tolerance\": {:e},\n  \"attention_prob\": {:e},\n  \"attention_fused\": {},\n  \"failures\": {},\n  \"results\": [\n",
         outcomes.len(),
         opts.start,
         opts.ops,
         opts.dims,
         opts.kernel,
         opts.tol,
+        opts.attention,
+        attention_fused,
         failures
     ));
     for (i, o) in outcomes.iter().enumerate() {
@@ -856,11 +886,12 @@ fn fuzz_report_json(opts: &CommonOpts, outcomes: &[FuzzOutcome], failures: usize
             "null".to_string()
         };
         out.push_str(&format!(
-            "    {{\"seed\": {}, \"nodes\": {}, \"segments\": {}, \"fused\": {}, \"max_err\": {}, \"passed\": {}{}}}{}\n",
+            "    {{\"seed\": {}, \"nodes\": {}, \"segments\": {}, \"fused\": {}, \"attention_fused\": {}, \"max_err\": {}, \"passed\": {}{}}}{}\n",
             o.seed,
             o.ops,
             o.segments,
             o.fused,
+            o.attention_fused,
             err,
             o.passed,
             o.error

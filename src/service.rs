@@ -582,11 +582,16 @@ fn require_u64_array(v: &JsonValue, key: &str, len: usize) -> Result<Vec<usize>,
 fn graph_summary_json(model: &ModelSpec, m: usize, layers: usize, plan: &GraphPlan) -> String {
     let fused = plan.fused_segments().count();
     let fell_back = plan.fused_segments().filter(|f| f.fell_back).count();
+    let attention_fused = plan
+        .fused_segments()
+        .filter(|f| f.chain.kind().is_attention() && !f.fell_back)
+        .count();
     format!(
         concat!(
             "{{\n",
             "  \"model\": \"{model}\", \"m\": {m}, \"layers\": {layers},\n",
             "  \"segments\": {segments}, \"fused\": {fused}, \"fell_back\": {fell_back},\n",
+            "  \"attention_fused\": {attention_fused},\n",
             "  \"seconds_bits\": {seconds_bits}, \"seconds_approx\": \"{seconds:e}\",\n",
             "  \"unfused_seconds_bits\": {unfused_bits}, ",
             "\"unfused_seconds_approx\": \"{unfused:e}\",\n",
@@ -599,6 +604,7 @@ fn graph_summary_json(model: &ModelSpec, m: usize, layers: usize, plan: &GraphPl
         segments = plan.segments.len(),
         fused = fused,
         fell_back = fell_back,
+        attention_fused = attention_fused,
         seconds_bits = plan.seconds.to_bits(),
         seconds = plan.seconds,
         unfused_bits = plan.unfused_seconds.to_bits(),

@@ -497,6 +497,29 @@ mod tests {
     }
 
     #[test]
+    fn validate_graph_passes_on_an_attention_window() {
+        // A bare attention motif: the partitioner must recover and fuse
+        // it, and the fused kernel must agree with the per-op oracle
+        // with its traffic reconciled exactly.
+        let compiler = Compiler::new(MachineDescriptor::h100_sxm());
+        let mut g = OpGraph::new();
+        let q = g.add_input("q", 32, 32);
+        let kt = g.add_input("kT", 32, 48);
+        let v = g.add_input("v", 48, 32);
+        let scores = g.add_node(OpKind::Matmul, vec![q, kt], "scores");
+        let probs = g.add_node(OpKind::Softmax { scale_k: 32 }, vec![scores], "softmax");
+        let ctx = g.add_node(OpKind::Matmul, vec![probs, v], "ctx");
+        g.add_node(OpKind::Output, vec![ctx], "out");
+        let val = validate_graph(&compiler, &g, 5, DEFAULT_TOLERANCE).unwrap();
+        assert!(val.passed(), "{:?}", val.failures().collect::<Vec<_>>());
+        assert_eq!(val.fused_count(), 1);
+        assert!(val
+            .plan
+            .fused_segments()
+            .any(|s| s.chain.kind().is_attention()));
+    }
+
+    #[test]
     fn validate_graph_surfaces_compile_errors() {
         let compiler = Compiler::new(MachineDescriptor::h100_sxm());
         let g = OpGraph::new();

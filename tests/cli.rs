@@ -429,3 +429,47 @@ fn fuzz_requires_seeds_and_rejects_positionals() {
     let out = run(&["fuzz", "--seeds", "0"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn fuzz_attention_sweep_gates_fused_attention_in_the_report() {
+    // The CI fuzz-smoke invocation: an attention-bearing population
+    // under the blocked kernel must pass against the naive oracle and
+    // stamp the report with the attention_fused gate.
+    let report = std::env::temp_dir().join(format!("ff-fuzz-attn-{}.json", std::process::id()));
+    let report_str = report.to_str().unwrap();
+    let out = run(&[
+        "fuzz",
+        "--seeds",
+        "8",
+        "--ops",
+        "10",
+        "--attention",
+        "0.5",
+        "--kernel",
+        "blocked",
+        "--report",
+        report_str,
+    ]);
+    assert!(
+        out.status.success(),
+        "fuzz diverged:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("attention: 0.50"), "{text}");
+    let json = std::fs::read_to_string(&report).expect("report written");
+    std::fs::remove_file(&report).ok();
+    assert!(json.contains("\"failures\": 0"), "{json}");
+    assert!(json.contains("\"attention_fused\": true"), "{json}");
+    assert!(json.contains("\"attention_prob\": 5e-1"), "{json}");
+}
+
+#[test]
+fn fuzz_rejects_bad_attention_probabilities() {
+    let out = run(&["fuzz", "--seeds", "1", "--attention", "1.5", "--dry-run"]);
+    assert_eq!(out.status.code(), Some(2), "probability above 1");
+    let out = run(&["fuzz", "--seeds", "1", "--attention", "-0.1", "--dry-run"]);
+    assert_eq!(out.status.code(), Some(2), "negative probability");
+    let out = run(&["fuzz", "--seeds", "1", "--attention", "lots", "--dry-run"]);
+    assert_eq!(out.status.code(), Some(2), "non-numeric probability");
+}

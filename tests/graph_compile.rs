@@ -56,30 +56,54 @@ fn two_layer_graph_segments_are_bit_identical_to_direct_compiles() {
     let plan = compiler.compile_graph(&model.graph(128, 2)).unwrap();
 
     let fused: Vec<&FusedSegment> = plan.fused_segments().collect();
-    assert_eq!(fused.len(), 2, "one fused FFN per layer");
+    assert_eq!(
+        fused.len(),
+        4,
+        "one fused attention + one fused FFN per layer"
+    );
+    let ffn: Vec<&&FusedSegment> = fused
+        .iter()
+        .filter(|s| !s.chain.kind().is_attention())
+        .collect();
+    let attn: Vec<&&FusedSegment> = fused
+        .iter()
+        .filter(|s| s.chain.kind().is_attention())
+        .collect();
+    assert_eq!(ffn.len(), 2);
+    assert_eq!(attn.len(), 2);
     assert_eq!(
         compiler.searches_run(),
-        1,
-        "layer 2 must be served by the plan cache"
+        2,
+        "layer 2 must be served by the plan cache for both chain kinds"
     );
-    assert!(compiler.cache_stats().hits() >= 1);
-    // Both layers share the chain and therefore the exact plan.
-    assert_eq!(fused[0].compiled, fused[1].compiled);
-    assert!(fused[0].searched && !fused[1].searched);
+    assert!(compiler.cache_stats().hits() >= 2);
+    // Both layers share each chain and therefore the exact plan.
+    assert_eq!(ffn[0].compiled, ffn[1].compiled);
+    assert!(ffn[0].searched && !ffn[1].searched);
+    assert_eq!(attn[0].compiled, attn[1].compiled);
+    assert!(attn[0].searched && !attn[1].searched);
 
-    // Bit-identical to a direct compile of the same chain on a fresh
+    // Bit-identical to direct compiles of the same chains on a fresh
     // compiler (no cache shared with the graph compile).
     let direct_chain = ChainSpec::standard_ffn(128, 1024, 256, 256, Activation::Gelu);
-    assert_eq!(fused[0].chain, direct_chain);
+    assert_eq!(ffn[0].chain, direct_chain);
     let direct = Compiler::new(MachineDescriptor::h100_sxm())
         .compile(&direct_chain)
         .unwrap();
-    assert_eq!(direct.plan, fused[0].compiled.plan);
+    assert_eq!(direct.plan, ffn[0].compiled.plan);
     assert_eq!(
         direct.measured_seconds.to_bits(),
-        fused[0].compiled.measured_seconds.to_bits()
+        ffn[0].compiled.measured_seconds.to_bits()
     );
-    assert_eq!(direct.global_bytes, fused[0].compiled.global_bytes);
+    assert_eq!(direct.global_bytes, ffn[0].compiled.global_bytes);
+
+    let direct_attn_chain = ChainSpec::attention(128, 128, 256, 256, true);
+    assert_eq!(attn[0].chain, direct_attn_chain);
+    let direct_attn = Compiler::new(MachineDescriptor::h100_sxm())
+        .compile(&direct_attn_chain)
+        .unwrap();
+    assert_eq!(direct_attn.plan, attn[0].compiled.plan);
+    assert_eq!(direct_attn.global_bytes, attn[0].compiled.global_bytes);
 }
 
 #[test]
@@ -87,21 +111,25 @@ fn gated_layers_share_the_plan_key_with_direct_compiles() {
     let model = tiny_model(true);
     let compiler = Compiler::new(MachineDescriptor::h100_sxm());
     let plan = compiler.compile_graph(&model.graph(128, 2)).unwrap();
-    assert_eq!(plan.fused_segments().count(), 2);
-    assert_eq!(compiler.searches_run(), 1);
+    assert_eq!(plan.fused_segments().count(), 4);
+    assert_eq!(compiler.searches_run(), 2);
     for segment in plan.fused_segments() {
-        assert!(segment.chain.kind().is_gated());
+        let kind = segment.chain.kind();
+        assert!(kind.is_gated() || kind.is_attention());
     }
     // A direct compile of the layer chain on the *same* compiler hits
     // the segment's cache entry (names are metadata, the key is
     // content-addressed).
     let direct = compiler.compile(&model.ffn_chain(128)).unwrap();
-    assert_eq!(compiler.searches_run(), 1, "direct compile must hit");
-    let fused: Vec<&FusedSegment> = plan.fused_segments().collect();
-    assert_eq!(direct.plan.summary(), fused[0].compiled.plan.summary());
+    assert_eq!(compiler.searches_run(), 2, "direct compile must hit");
+    let gated: Vec<&FusedSegment> = plan
+        .fused_segments()
+        .filter(|s| s.chain.kind().is_gated())
+        .collect();
+    assert_eq!(direct.plan.summary(), gated[0].compiled.plan.summary());
     assert_eq!(
         direct.measured_seconds.to_bits(),
-        fused[0].compiled.measured_seconds.to_bits()
+        gated[0].compiled.measured_seconds.to_bits()
     );
 }
 

@@ -277,3 +277,74 @@ fn regression_seed_34_deep_graph_cancellation_is_not_a_divergence() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Attention-motif population (ISSUE 8): the generator's attention knob
+// must produce windows the whole stack fuses and validates, pinned on
+// both the H100 builtin and the committed Tensix-like descriptor.
+// ---------------------------------------------------------------------
+
+#[test]
+fn attention_seed_2_fuses_every_window_on_h100_and_tensix() {
+    // Pinned from `fuzz --seeds 16 --ops 10 --attention 0.5` (and the
+    // same sweep with `--machine machines/tensix_like.json`): seed 2
+    // draws three attention motifs and all three take the fused path on
+    // both targets, with the stitched execution matching the per-op
+    // interpreter oracle.
+    let tensix = flashfuser_core::decode_machine(include_str!("../machines/tensix_like.json"))
+        .expect("committed descriptor decodes");
+    let config = RandGraphConfig::new().with_ops(10).with_attention_prob(0.5);
+    for machine in [MachineDescriptor::h100_sxm(), tensix] {
+        let compiler = Compiler::new(machine.clone());
+        let g = rand_graph(2, &config);
+        let v = flashfuser::validate_graph(&compiler, &g, 2, flashfuser::DEFAULT_TOLERANCE)
+            .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
+        assert!(
+            v.passed(),
+            "{}: {:?}",
+            machine.name,
+            v.failures().collect::<Vec<_>>()
+        );
+        let attention_fused = v
+            .plan
+            .fused_segments()
+            .filter(|s| s.chain.kind().is_attention() && !s.fell_back)
+            .count();
+        assert_eq!(
+            attention_fused, 3,
+            "{}: seed 2 must fuse all three attention windows",
+            machine.name
+        );
+    }
+}
+
+#[test]
+fn attention_population_keeps_the_invariants_for_32_seeds() {
+    // The coverage and fallback invariants hold with the attention knob
+    // on, and the population genuinely exercises the fused-attention
+    // path (a knob that generated windows nothing fused would gate
+    // nothing).
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
+    let config = RandGraphConfig::new().with_ops(10).with_attention_prob(0.5);
+    let mut attention_fused = 0usize;
+    for seed in 0..32 {
+        let g = rand_graph(seed, &config);
+        let v = flashfuser::validate_graph(&compiler, &g, seed, flashfuser::DEFAULT_TOLERANCE)
+            .unwrap_or_else(|e| panic!("seed {seed}: validation errored: {e}"));
+        assert!(
+            v.passed(),
+            "seed {seed}: diverged: {:?}",
+            v.failures().collect::<Vec<_>>()
+        );
+        assert!(v.plan.speedup() >= 1.0 - 1e-12, "seed {seed}");
+        attention_fused += v
+            .plan
+            .fused_segments()
+            .filter(|s| s.chain.kind().is_attention() && !s.fell_back)
+            .count();
+    }
+    assert!(
+        attention_fused >= 10,
+        "the population must exercise fused attention ({attention_fused} windows in 32 graphs)"
+    );
+}

@@ -145,3 +145,126 @@ fn stitched_execution_validates_under_blocked_at_large_dims() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Softmax numerics (ISSUE 8): the rowwise softmax shared by the
+// reference interpreter and the fused executor, alone and between the
+// two GEMMs of an attention window.
+// ---------------------------------------------------------------------
+
+use flashfuser::tensor::{rowwise_softmax, softmax_scale};
+
+#[test]
+fn softmax_rows_sum_to_one_across_random_shapes() {
+    let mut rng = SplitMix64::new(0x50F7);
+    for case in 0..32 {
+        let rows = 1 + rng.next_index(60);
+        let cols = 1 + rng.next_index(300);
+        let x = seeded_matrix(rows, cols, 3000 + case);
+        let p = rowwise_softmax(&x, softmax_scale(if case % 2 == 0 { 0 } else { 64 }));
+        for r in 0..rows {
+            let sum: f64 = p.row(r).iter().map(|&v| f64::from(v)).sum();
+            assert!(
+                (sum - 1.0).abs() <= 1e-6,
+                "case {case} ({rows}x{cols}) row {r}: sum {sum}"
+            );
+            assert!(p.row(r).iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+}
+
+#[test]
+fn softmax_is_shift_invariant() {
+    // softmax(x + c) == softmax(x): the max-shift removes any uniform
+    // row offset before exp, so even large shifts stay within rounding.
+    let x = seeded_matrix(24, 96, 11);
+    let base = rowwise_softmax(&x, 1.0);
+    // Shifts stay small enough that `x + shift` itself keeps x's low
+    // mantissa bits — beyond that the *inputs* differ, not the softmax.
+    for shift in [1.0f32, -37.5, 512.0] {
+        let mut shifted = x.clone();
+        for v in shifted.as_mut_slice() {
+            *v += shift;
+        }
+        let p = rowwise_softmax(&shifted, 1.0);
+        for (a, b) in p.as_slice().iter().zip(base.as_slice()) {
+            assert!((a - b).abs() <= 1e-6, "shift {shift}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn softmax_survives_large_magnitude_inputs() {
+    // exp overflows f32 beyond ~88; the max-shift keeps every exponent
+    // <= 0, so rows built from huge logits stay finite and normalized.
+    let mut x = seeded_matrix(8, 64, 13);
+    for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+        *v = *v * 1e37 * if i % 3 == 0 { -1.0 } else { 1.0 };
+    }
+    let p = rowwise_softmax(&x, 1.0);
+    assert!(p.as_slice().iter().all(|v| v.is_finite()));
+    for r in 0..8 {
+        let sum: f64 = p.row(r).iter().map(|&v| f64::from(v)).sum();
+        assert!((sum - 1.0).abs() <= 1e-6, "row {r}: sum {sum}");
+    }
+}
+
+#[test]
+fn softmax_and_attention_chains_are_bit_deterministic_per_kernel() {
+    // The standalone reduction is bit-deterministic...
+    let x = seeded_matrix(32, 128, 17);
+    let first = rowwise_softmax(&x, softmax_scale(64));
+    let second = rowwise_softmax(&x, softmax_scale(64));
+    assert!(first
+        .as_slice()
+        .iter()
+        .zip(second.as_slice())
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+    // ...and so is the whole attention chain: the reference pipeline
+    // on identical inputs...
+    let chain = ChainSpec::attention(32, 48, 64, 24, true);
+    let inputs = chain.make_inputs(19);
+    let first = chain.reference_output(&inputs).unwrap();
+    let second = chain.reference_output(&inputs).unwrap();
+    assert!(first
+        .as_slice()
+        .iter()
+        .zip(second.as_slice())
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+    // ...and the stitched fused execution under each numeric backend.
+    let g = chain.to_op_graph();
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
+    for kind in KernelKind::all() {
+        let numeric = NumericConfig { kernel: kind };
+        let a = validate_graph_with(&compiler, &g, 29, DEFAULT_TOLERANCE, numeric).unwrap();
+        let b = validate_graph_with(&compiler, &g, 29, DEFAULT_TOLERANCE, numeric).unwrap();
+        assert!(a.passed(), "{kind}: max err {:.2e}", a.max_err);
+        assert_eq!(
+            a.max_err.to_bits(),
+            b.max_err.to_bits(),
+            "{kind}: repeated attention validations diverged"
+        );
+    }
+}
+
+#[test]
+fn attention_graphs_validate_under_both_kernels() {
+    // Naive-vs-blocked agreement on the GEMMs surrounding the softmax:
+    // attention-bearing random graphs must validate against the
+    // always-naive reference interpreter under either backend.
+    let compiler = Compiler::new(MachineDescriptor::h100_sxm());
+    let config = RandGraphConfig::new().with_ops(10).with_attention_prob(0.6);
+    for seed in 0..6 {
+        let graph = rand_graph(seed, &config);
+        for kind in KernelKind::all() {
+            let numeric = NumericConfig { kernel: kind };
+            let v =
+                validate_graph_with(&compiler, &graph, seed, DEFAULT_TOLERANCE, numeric).unwrap();
+            assert!(
+                v.passed(),
+                "seed {seed} under {kind}: diverged (max err {:.2e})",
+                v.max_err
+            );
+        }
+    }
+}

@@ -253,6 +253,38 @@ fn graph_requests_compile_through_the_shared_cache() {
 }
 
 #[test]
+fn graph_requests_answer_fused_attention_evidence_over_tcp() {
+    let (server, _compiler, addr) = start(ServeOptions::default());
+    // The graph summary must attest that the attention windows fused
+    // (not merely that *something* fused).
+    let body = "{\"graph\": {\"model\": \"GPT-2\", \"m\": 64, \"layers\": 2}}";
+    let response = client::post(addr, "/compile", body.as_bytes()).expect("graph compile");
+    assert_eq!(response.status, 200, "{}", response.body_utf8());
+    let doc = json::parse(response.body_utf8()).expect("graph summary parses");
+    let attention_fused = doc
+        .get("attention_fused")
+        .and_then(json::JsonValue::as_u64)
+        .expect("summary carries attention_fused");
+    assert_eq!(attention_fused, 2, "one fused attention window per layer");
+    let fused = doc.get("fused").and_then(json::JsonValue::as_u64).unwrap();
+    assert!(
+        fused >= attention_fused + 2,
+        "FFNs fuse alongside attention, got fused={fused}"
+    );
+
+    // A direct attention chain request answers a full fused-plan
+    // record through the same codec as every other chain family.
+    let chain = ChainSpec::attention(64, 64, 64, 64, true).named("attn-itest");
+    let response = client::post(addr, "/compile", chain_body(&chain).as_bytes()).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body_utf8());
+    let record = decode_record(response.body_utf8()).expect("attention record decodes");
+    assert_eq!(record.plan.chain, chain);
+    assert!(record.plan.chain.kind().is_attention());
+    assert!(record.seconds > 0.0);
+    server.shutdown();
+}
+
+#[test]
 fn machines_endpoint_lists_registry_and_requests_can_target_them() {
     let (server, compiler, addr) = start(ServeOptions {
         workers: 2,
