@@ -13,7 +13,16 @@
 //! 3. **same-key burst** — K concurrent requests for one *new* shape,
 //!    which must trigger exactly one search (single-flight coalescing
 //!    + cache);
-//! 4. **stats + shutdown** — `GET /stats` is parsed with
+//! 4. **connection reuse** — the same traffic two ways: one-shot
+//!    (connect per request, `Connection: close`) versus one persistent
+//!    keep-alive connection driving pipelined batches. The throughput
+//!    ratio is the keep-alive payoff and is gated;
+//! 5. **warm-snapshot replica** — `POST /admin/snapshot` exports the
+//!    warm plan cache, a *fresh* compiler + server preloads it, and the
+//!    whole shape mix replays against the replica — which must answer
+//!    every request from the snapshot (zero new searches, byte-identical
+//!    responses);
+//! 6. **stats + shutdown** — `GET /stats` is parsed with
 //!    `flashfuser_core::json` (the same parser the server uses) and
 //!    the server is shut down through `POST /admin/shutdown`.
 //!
@@ -29,9 +38,15 @@
 //!   multiplexing client + worker threads over one core, so the bar
 //!   there is 10x (same policy as PR 1's parallel-speedup criterion;
 //!   the record carries `host_threads` so the reader can tell which
-//!   bar applied).
-//! * every response for the probe shape is byte-identical;
-//! * the same-key burst runs exactly one search.
+//!   bar applied);
+//! * every response for the probe shape is byte-identical — across
+//!   cold/warm/coalesced requests *and* across one-shot vs pipelined
+//!   connections *and* across the snapshot-preloaded replica;
+//! * the same-key burst runs exactly one search;
+//! * keep-alive throughput beats one-shot by ≥ 10x on ≥ 4-core hosts
+//!   (≥ 2x on smaller hosts, same split as above) — `reuse_ok`;
+//! * the preloaded replica re-serves the mix with **zero** searches and
+//!   ≥ 90 % hit rate — `snapshot_warm`.
 
 use flashfuser::serve::client;
 use flashfuser::serve::ServeOptions;
@@ -224,7 +239,126 @@ fn main() {
     });
     let burst_searches = compiler.searches_run() - searches_before;
 
-    // -- 4. stats + shutdown --------------------------------------------
+    // -- 4. connection reuse --------------------------------------------
+    // Same warm traffic, two connection disciplines. `/healthz` keeps
+    // the handler cost near zero so the ratio isolates what this phase
+    // is about: per-request connection setup/teardown vs reuse.
+    let oneshot_n: usize = if quick { 100 } else { 200 };
+    let reuse_depth: usize = 16;
+    let reuse_batches: usize = if quick { 25 } else { 50 };
+    let t_oneshot = Instant::now();
+    for _ in 0..oneshot_n {
+        match client::get(addr, "/healthz") {
+            Ok(response) if response.status == 200 => {}
+            _ => {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let oneshot_rps = oneshot_n as f64 / t_oneshot.elapsed().as_secs_f64().max(1e-9);
+    let batch_items: Vec<(&str, &str, &[u8])> = (0..reuse_depth)
+        .map(|_| ("GET", "/healthz", &[] as &[u8]))
+        .collect();
+    let mut keep = client::Connection::open(addr).expect("open keep-alive connection");
+    let t_reuse = Instant::now();
+    for _ in 0..reuse_batches {
+        match keep.pipeline(&batch_items) {
+            Ok(responses) => {
+                for response in responses {
+                    if response.status != 200 {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(_) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let reuse_n = reuse_depth * reuse_batches;
+    let reuse_rps = reuse_n as f64 / t_reuse.elapsed().as_secs_f64().max(1e-9);
+    let reuse_ratio = reuse_rps / oneshot_rps.max(1e-9);
+    // The same connection must also serve real compiles, pipelined,
+    // byte-identical to the one-shot probe.
+    let compile_batch: Vec<(&str, &str, &[u8])> = (0..4)
+        .map(|_| ("POST", "/compile", mix[0].as_bytes()))
+        .collect();
+    match keep.pipeline(&compile_batch) {
+        Ok(responses) => {
+            for response in responses {
+                if response.status != 200 || response.body != probe_body {
+                    identical.store(false, Ordering::Relaxed);
+                }
+            }
+        }
+        Err(_) => {
+            errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    drop(keep);
+
+    // -- 5. warm-snapshot replica ---------------------------------------
+    let snap_dir = std::env::temp_dir().join(format!("ff-bench-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let snapshot_body = format!("{{\"dir\": \"{}\"}}", snap_dir.display());
+    let response =
+        client::post(addr, "/admin/snapshot", snapshot_body.as_bytes()).expect("snapshot export");
+    assert_eq!(response.status, 200, "snapshot export must succeed");
+    let export_doc = json::parse(response.body_utf8()).expect("snapshot response parses");
+    let snapshot_exported = export_doc
+        .get("exported")
+        .and_then(json::JsonValue::as_u64)
+        .expect("snapshot response carries the export count");
+    assert!(
+        snapshot_exported >= mix.len() as u64,
+        "snapshot must cover the whole mix: exported {snapshot_exported} < {}",
+        mix.len()
+    );
+    // A brand-new compiler (empty cache, zero searches) boots from the
+    // snapshot — the fresh-replica deployment story.
+    let replica_compiler = Arc::new(
+        Compiler::with_options(h100(), CompilerOptions::new()).expect("memory-only compiler"),
+    );
+    let preloaded = replica_compiler
+        .preload(&snap_dir)
+        .expect("preload the snapshot");
+    assert_eq!(
+        preloaded as u64, snapshot_exported,
+        "preload reads every record"
+    );
+    let replica = service::start(
+        Arc::clone(&replica_compiler),
+        ("127.0.0.1", 0),
+        ServeOptions {
+            workers,
+            queue_depth: 64,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind the replica");
+    let replica_addr = replica.addr();
+    let mut replica_identical = true;
+    for (i, body) in mix.iter().enumerate() {
+        let response =
+            client::post(replica_addr, "/compile", body.as_bytes()).expect("replica compile");
+        if response.status != 200 {
+            errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if i == 0 && response.body != probe_body {
+            replica_identical = false;
+        }
+    }
+    let replica_stats = fetch_stats(replica_addr);
+    let preload_hits = stat(&replica_stats, "snapshot", "preload_hits");
+    let replica_hits =
+        stat(&replica_stats, "cache", "mem_hits") + stat(&replica_stats, "cache", "disk_hits");
+    let replica_misses = stat(&replica_stats, "cache", "misses");
+    let snapshot_hit_rate = replica_hits as f64 / (replica_hits + replica_misses).max(1) as f64;
+    let snapshot_searches = replica_compiler.searches_run();
+    replica.shutdown();
+    let _ = std::fs::remove_dir_all(&snap_dir);
+
+    // -- 6. stats + shutdown --------------------------------------------
     let stats = fetch_stats(addr);
     let rejected = stat(&stats, "admission", "rejected_busy");
     let dropped = stat(&stats, "outcomes", "dropped");
@@ -248,6 +382,15 @@ fn main() {
     let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
     let ratio_target = if host_threads >= 4 { 100.0 } else { 10.0 };
     let ratio_ok = quick || cold_over_warm_p99 >= ratio_target;
+    // Keep-alive payoff bar: 10x on real multi-core hosts, 2x when the
+    // scheduler multiplexes client + reactor + workers over <4 cores
+    // (PR 1's parallel-speedup policy split).
+    let reuse_target = if host_threads >= 4 { 10.0 } else { 2.0 };
+    let reuse_ok = reuse_ratio >= reuse_target;
+    let snapshot_warm = snapshot_searches == 0
+        && snapshot_hit_rate >= 0.90
+        && replica_identical
+        && preload_hits >= mix.len() as u64;
 
     println!(
         "cold:  min {:.2} ms, mean {:.2} ms",
@@ -268,9 +411,18 @@ fn main() {
         burst_searches
     );
     println!(
+        "reuse: one-shot {oneshot_rps:.0} req/s vs pipelined {reuse_rps:.0} req/s \
+         ({reuse_ratio:.1}x, target {reuse_target:.0}x)"
+    );
+    println!(
+        "snapshot: exported {snapshot_exported}, preload hits {preload_hits}, \
+         replica searches {snapshot_searches}, replica hit rate {:.1}%",
+        snapshot_hit_rate * 100.0
+    );
+    println!(
         "gates: errors={errors} rejected={rejected} bit_identical={bit_identical} \
          warm_faster={warm_faster} cold/warm_p99={cold_over_warm_p99:.0}x hit_ok={hit_ok} \
-         burst_ok={burst_ok}"
+         burst_ok={burst_ok} reuse_ok={reuse_ok} snapshot_warm={snapshot_warm}"
     );
 
     let record = format!(
@@ -287,6 +439,14 @@ fn main() {
             "\"host_threads\": {host_threads},\n",
             "  \"hit_rate\": {hit_rate:.3}, \"coalesced\": {coalesced}, ",
             "\"burst_searches\": {burst_searches},\n",
+            "  \"oneshot_rps\": {oneshot_rps:.1}, \"reuse_rps\": {reuse_rps:.1},\n",
+            "  \"reuse_ratio\": {reuse_ratio:.2}, \"reuse_target\": {reuse_target:.0}, ",
+            "\"reuse_ok\": {reuse_ok},\n",
+            "  \"snapshot_exported\": {snapshot_exported}, ",
+            "\"preload_hits\": {preload_hits}, ",
+            "\"snapshot_searches\": {snapshot_searches},\n",
+            "  \"snapshot_hit_rate\": {snapshot_hit_rate:.3}, ",
+            "\"snapshot_warm\": {snapshot_warm},\n",
             "  \"errors\": {errors}, \"rejected_busy\": {rejected},\n",
             "  \"bit_identical\": {bit_identical}, \"warm_faster\": {warm_faster}\n",
             "}}\n",
@@ -307,6 +467,16 @@ fn main() {
         hit_rate = hit_rate,
         coalesced = coalesced,
         burst_searches = burst_searches,
+        oneshot_rps = oneshot_rps,
+        reuse_rps = reuse_rps,
+        reuse_ratio = reuse_ratio,
+        reuse_target = reuse_target,
+        reuse_ok = reuse_ok,
+        snapshot_exported = snapshot_exported,
+        preload_hits = preload_hits,
+        snapshot_searches = snapshot_searches,
+        snapshot_hit_rate = snapshot_hit_rate,
+        snapshot_warm = snapshot_warm,
         errors = errors,
         rejected = rejected,
         bit_identical = bit_identical,
@@ -326,7 +496,9 @@ fn main() {
         && warm_faster
         && hit_ok
         && burst_ok
-        && ratio_ok;
+        && ratio_ok
+        && reuse_ok
+        && snapshot_warm;
     if !pass {
         eprintln!("bench_serve: GATE VIOLATION (see {path})");
         std::process::exit(1);

@@ -98,6 +98,13 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     pub fn contains(&self, key: &K) -> bool {
         self.map.contains_key(key)
     }
+
+    /// Iterates over live entries without disturbing recency — for
+    /// snapshot/export passes that must observe the cache, not use it.
+    /// Order is unspecified (`HashMap` order).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, (v, _))| (k, v))
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +166,18 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         Lru::<u32, u32>::new(0);
+    }
+
+    #[test]
+    fn iter_sees_every_entry_without_touching_recency() {
+        let mut lru = Lru::new(3);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.insert("c", 3);
+        let mut seen: Vec<_> = lru.iter().map(|(k, v)| (*k, *v)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![("a", 1), ("b", 2), ("c", 3)]);
+        // Iteration refreshed nothing: "a" is still the eviction victim.
+        assert_eq!(lru.insert("d", 4).unwrap(), ("a", 1));
     }
 }

@@ -76,12 +76,29 @@ impl DiskStore {
 
     /// Number of record files currently in the directory (diagnostics).
     pub fn file_count(&self) -> usize {
-        fs::read_dir(&self.dir).map_or(0, |entries| {
-            entries
-                .filter_map(Result::ok)
-                .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-                .count()
-        })
+        self.keys().len()
+    }
+
+    /// Every key with a record file in the directory — the discovery
+    /// half of a snapshot import. Files whose names are not a valid
+    /// [`PlanKey::file_stem`] are skipped silently (same spirit as
+    /// corrupt records being misses).
+    pub fn keys(&self) -> Vec<PlanKey> {
+        fs::read_dir(&self.dir).map_or_else(
+            |_| Vec::new(),
+            |entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                    .filter_map(|p| {
+                        p.file_stem()
+                            .and_then(|s| s.to_str())
+                            .and_then(PlanKey::from_file_stem)
+                    })
+                    .collect()
+            },
+        )
     }
 }
 

@@ -1,8 +1,15 @@
 //! A minimal blocking HTTP client for tests, benchmarks and smoke
 //! scripts.
 //!
-//! One request per connection, mirroring the server's
-//! `Connection: close` discipline: connect, write, read to EOF, parse.
+//! Two shapes, matching the server's two connection disciplines:
+//!
+//! * The free functions ([`get`], [`post`], [`request`], [`raw`]) are
+//!   one-shot — connect, send `Connection: close`, read to EOF, parse.
+//! * [`Connection`] keeps one socket open across requests (the
+//!   keep-alive path): responses are framed by `Content-Length` rather
+//!   than EOF, and [`Connection::pipeline`] writes a whole batch before
+//!   reading any response, which is what the reuse benchmark measures.
+//!
 //! This is intentionally *not* a general client — it exists so the
 //! load generator and the integration tests need no external tooling
 //! (no `curl` on the verification path).
@@ -102,6 +109,165 @@ pub fn raw(addr: SocketAddr, bytes: &[u8]) -> io::Result<ClientResponse> {
     }
 }
 
+/// A persistent keep-alive connection.
+///
+/// Unlike the one-shot helpers, responses are cut out of the stream by
+/// their `Content-Length`, so the same socket carries request after
+/// request — including pipelined batches.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed by a framed response.
+    buf: Vec<u8>,
+}
+
+impl Connection {
+    /// Connects with the same timeouts as the one-shot helpers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connect/configure error.
+    pub fn open(addr: SocketAddr) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(Connection {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request *without* reading its response (the pipelining
+    /// half of the protocol). No `Connection: close` — the point is
+    /// reuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying write error.
+    pub fn send(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<()> {
+        let mut bytes = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
+            self.stream.peer_addr()?,
+            body.len()
+        )
+        .into_bytes();
+        bytes.extend_from_slice(body);
+        self.stream.write_all(&bytes)
+    }
+
+    /// Writes `bytes` verbatim — for tests that trickle or send
+    /// malformed requests over a live keep-alive connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying write error.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads the next `Content-Length`-framed response off the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error, or `InvalidData`/
+    /// `UnexpectedEof` when the stream ends mid-response.
+    pub fn recv(&mut self) -> io::Result<ClientResponse> {
+        loop {
+            if let Some((response, consumed)) = parse_framed(&self.buf)? {
+                self.buf.drain(..consumed);
+                return Ok(response);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-response",
+                    ))
+                }
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+
+    /// One request/response round trip on the persistent socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error, or `InvalidData` when the
+    /// response cannot be parsed.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        self.send(method, path, body)?;
+        self.recv()
+    }
+
+    /// Writes every request in `batch` back-to-back, then reads every
+    /// response in order — HTTP/1.1 pipelining, the maximum-reuse shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O or framing error encountered.
+    pub fn pipeline(&mut self, batch: &[(&str, &str, &[u8])]) -> io::Result<Vec<ClientResponse>> {
+        for &(method, path, body) in batch {
+            self.send(method, path, body)?;
+        }
+        let mut responses = Vec::with_capacity(batch.len());
+        for _ in batch {
+            responses.push(self.recv()?);
+        }
+        Ok(responses)
+    }
+}
+
+/// Cuts one complete `Content-Length`-framed response off the front of
+/// `buf`, returning it with the number of bytes it occupied. `Ok(None)`
+/// means "incomplete, read more".
+///
+/// # Errors
+///
+/// `InvalidData` when the head is present but unparseable or carries no
+/// usable `Content-Length` (this client never sends requests whose
+/// responses could be EOF-framed on a keep-alive socket).
+fn parse_framed(buf: &[u8]) -> io::Result<Option<(ClientResponse, usize)>> {
+    let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head_end = pos + 4;
+    let invalid = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let head =
+        std::str::from_utf8(&buf[..head_end]).map_err(|_| invalid("non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| invalid("empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("bad status line"))?;
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    let length: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| invalid("keep-alive response without Content-Length"))?;
+    let total = head_end + length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        ClientResponse {
+            status,
+            headers,
+            body: buf[head_end..total].to_vec(),
+        },
+        total,
+    )))
+}
+
 fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
     let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
     let head = std::str::from_utf8(&raw[..head_end]).ok()?;
@@ -139,5 +305,29 @@ mod tests {
     fn garbage_is_none_not_panic() {
         assert!(parse_response(b"").is_none());
         assert!(parse_response(b"not http at all\r\n\r\n").is_none());
+    }
+
+    #[test]
+    fn framed_parser_waits_for_the_full_body_and_keeps_surplus() {
+        let one = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbody";
+        let two = [&one[..], &one[..]].concat();
+        // Every strict prefix of one response is "incomplete", never an
+        // error and never a short body.
+        for cut in 0..one.len() {
+            assert!(parse_framed(&one[..cut]).unwrap().is_none(), "cut {cut}");
+        }
+        let (r, consumed) = parse_framed(&two).unwrap().unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body_utf8(), "body");
+        // Exactly one response consumed; the pipelined second stays.
+        assert_eq!(consumed, one.len());
+        let (r2, _) = parse_framed(&two[consumed..]).unwrap().unwrap();
+        assert_eq!(r2.body_utf8(), "body");
+    }
+
+    #[test]
+    fn framed_parser_rejects_unframeable_responses() {
+        assert!(parse_framed(b"HTTP/1.1 200 OK\r\n\r\n").is_err());
+        assert!(parse_framed(b"garbage\r\n\r\n").is_err());
     }
 }

@@ -1,0 +1,337 @@
+//! Per-connection state for the keep-alive reactor.
+//!
+//! Each accepted socket becomes a [`Conn`]: a nonblocking stream plus
+//! the two buffers and the little state machine the reactor advances —
+//!
+//! ```text
+//!   Reading ──complete request──▶ Dispatched ──completion──▶ Reading
+//!      │                              │                         │
+//!      │ parse error / deadline       │ keep-alive exhausted    │
+//!      ▼                              ▼                         │
+//!   Draining ◀─────────────────── (close after flush) ◀─────────┘
+//! ```
+//!
+//! * **Reading**: accumulating bytes until [`Conn::next_request`] can
+//!   cut a complete request off the front of the buffer. Pipelined
+//!   surplus stays buffered for the next cut. A per-request deadline
+//!   (re-armed every time a response completes, *not* once per
+//!   connection) bounds how long a trickling peer can sit here.
+//! * **Dispatched**: exactly one request is in the admission queue or a
+//!   worker. At most one — so responses never reorder under
+//!   pipelining, and a connection can never occupy more than one queue
+//!   slot. The socket is still read (into the bounded buffer) so peer
+//!   disconnects surface early.
+//! * **Draining**: the closing handshake. The response (or error) has
+//!   been staged and the write side half-closed; reads are discarded
+//!   until the peer's EOF or a short deadline, because closing a socket
+//!   with unread bytes makes TCP send RST, which can destroy the very
+//!   response sitting in the kernel's send buffer.
+
+use crate::http::{self, Request, Response};
+use crate::reactor::Interest;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// How long a [`ConnState::Draining`] connection waits for the peer's
+/// EOF before giving up and closing anyway.
+pub const DRAIN_BUDGET: Duration = Duration::from_millis(250);
+
+/// Where a connection is in its request/response cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Waiting for (more of) the next request.
+    Reading,
+    /// One request handed to the admission queue; awaiting completion.
+    Dispatched,
+    /// Write side closed; discarding reads until EOF or the drain
+    /// deadline.
+    Draining,
+}
+
+/// What a buffer-filling read pass observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// New bytes arrived (there may be more; the buffer hit its cap or
+    /// the socket ran dry).
+    Bytes,
+    /// Nothing to read right now.
+    Blocked,
+    /// The peer closed its write side (EOF).
+    Eof,
+}
+
+/// One live connection owned by the reactor.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    /// Unparsed request bytes (may hold several pipelined requests).
+    pub read_buf: Vec<u8>,
+    /// Encoded response bytes not yet accepted by the kernel.
+    pub write_buf: Vec<u8>,
+    /// State-machine position.
+    pub state: ConnState,
+    /// When the current state times out (read deadline in `Reading`,
+    /// drain cutoff in `Draining`; ignored while `Dispatched`).
+    pub deadline: Instant,
+    /// Responses completed on this connection.
+    pub served: u64,
+    /// The dispatched request's negotiated keep-alive (already
+    /// intersected with the per-connection request budget).
+    pub pending_keep: bool,
+    /// Set once the peer sent EOF: no further requests can arrive, so
+    /// the connection closes once the buffered ones are answered.
+    pub peer_eof: bool,
+    /// Set when the connection must close once `write_buf` flushes.
+    pub close_after_flush: bool,
+}
+
+impl Conn {
+    /// Adopts an accepted stream: makes it nonblocking, disables Nagle
+    /// (pipelined responses are small back-to-back writes; leaving
+    /// Nagle on stalls each behind the peer's delayed ACK), and arms
+    /// the first request deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error if the socket cannot be made nonblocking.
+    pub fn new(stream: TcpStream, read_timeout: Duration) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            state: ConnState::Reading,
+            deadline: Instant::now() + read_timeout,
+            served: 0,
+            pending_keep: false,
+            peer_eof: false,
+            close_after_flush: false,
+        })
+    }
+
+    /// The fd for the reactor's poll set.
+    pub fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.stream.as_raw_fd()
+    }
+
+    /// What this connection wants the poller to watch, given the
+    /// read-buffer high-water mark (pipelining backpressure: a full
+    /// buffer stops reading until responses drain it).
+    pub fn interest(&self, high_water: usize) -> Interest {
+        let read = match self.state {
+            ConnState::Draining => true,
+            _ => !self.peer_eof && self.read_buf.len() < high_water,
+        };
+        Interest {
+            read,
+            write: !self.write_buf.is_empty(),
+        }
+    }
+
+    /// Pulls whatever the socket has into `read_buf`, up to
+    /// `high_water`.
+    ///
+    /// # Errors
+    ///
+    /// A socket error means the connection is dead; the caller drops it.
+    pub fn fill(&mut self, high_water: usize) -> io::Result<Fill> {
+        let mut chunk = [0u8; 16 * 1024];
+        let mut got_bytes = false;
+        loop {
+            if self.read_buf.len() >= high_water {
+                return Ok(if got_bytes {
+                    Fill::Bytes
+                } else {
+                    Fill::Blocked
+                });
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_eof = true;
+                    return Ok(Fill::Eof);
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    got_bytes = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(if got_bytes {
+                        Fill::Bytes
+                    } else {
+                        Fill::Blocked
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads and discards (the `Draining` close handshake).
+    ///
+    /// # Errors
+    ///
+    /// A socket error here just means the peer is gone; callers close.
+    pub fn drain_discard(&mut self) -> io::Result<Fill> {
+        let mut sink = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut sink) {
+                Ok(0) => return Ok(Fill::Eof),
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(Fill::Blocked),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Cuts the next complete request off the front of `read_buf`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parse error; the caller answers it and closes.
+    pub fn next_request(
+        &mut self,
+        max_body_bytes: usize,
+    ) -> Result<Option<Request>, http::HttpError> {
+        match http::parse_request(&self.read_buf, max_body_bytes)? {
+            Some((request, consumed)) => {
+                self.read_buf.drain(..consumed);
+                Ok(Some(request))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Stages an encoded response behind any bytes already queued.
+    pub fn stage(&mut self, response: &Response, keep_alive: bool) {
+        self.write_buf
+            .extend_from_slice(&http::encode_response(response, keep_alive));
+    }
+
+    /// Pushes staged bytes into the socket. Returns `true` when the
+    /// buffer is empty.
+    ///
+    /// # Errors
+    ///
+    /// A write error (peer reset) means the connection is dead.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while !self.write_buf.is_empty() {
+            match self.stream.write(&self.write_buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.write_buf.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Enters the `Draining` close handshake: half-close the write side
+    /// so the peer sees response + EOF, then discard reads until their
+    /// EOF (or the budget) lets us close without an RST.
+    pub fn begin_drain(&mut self, now: Instant) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+        self.state = ConnState::Draining;
+        self.deadline = now + DRAIN_BUDGET;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        (peer, Conn::new(accepted, Duration::from_secs(5)).unwrap())
+    }
+
+    #[test]
+    fn fill_parse_stage_flush_round_trip() {
+        let (mut peer, mut conn) = pair();
+        peer.write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+            .unwrap();
+        // Wait for the bytes to land (loopback, but still async).
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while conn.read_buf.len() < 38 {
+            assert!(Instant::now() < deadline, "bytes never arrived");
+            let _ = conn.fill(64 * 1024).unwrap();
+        }
+        // Two pipelined requests cut in order.
+        let a = conn.next_request(1024).unwrap().unwrap();
+        assert_eq!(a.path, "/a");
+        let b = conn.next_request(1024).unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        assert!(conn.next_request(1024).unwrap().is_none());
+        assert!(conn.read_buf.is_empty());
+        // Stage two responses and flush them to the peer.
+        conn.stage(&Response::json(200, "{\"r\": \"a\"}"), true);
+        conn.stage(&Response::json(200, "{\"r\": \"b\"}"), false);
+        assert!(conn.flush().unwrap());
+        peer.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut got = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match peer.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => got.extend_from_slice(&chunk[..n]),
+                Err(_) => break,
+            }
+            if got.ends_with(b"{\"r\": \"b\"}") {
+                break;
+            }
+        }
+        let text = String::from_utf8(got).unwrap();
+        assert!(text.contains("Connection: keep-alive"));
+        assert!(text.contains("Connection: close"));
+        assert!(text.ends_with("{\"r\": \"b\"}"));
+    }
+
+    #[test]
+    fn high_water_caps_the_read_buffer() {
+        let (mut peer, mut conn) = pair();
+        peer.write_all(&[b'x'; 4096]).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let _ = conn.fill(100).unwrap();
+            if conn.read_buf.len() >= 100 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "bytes never arrived");
+        }
+        // The buffer stops at the cap (one chunk may overshoot it, but
+        // never by more than a chunk) and interest drops read.
+        assert!(conn.read_buf.len() <= 100 + 16 * 1024);
+        assert!(!conn.interest(100).read);
+    }
+
+    #[test]
+    fn peer_eof_is_sticky_and_drops_read_interest() {
+        let (peer, mut conn) = pair();
+        drop(peer);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            if conn.fill(1024).unwrap() == Fill::Eof {
+                break;
+            }
+            assert!(Instant::now() < deadline, "EOF never observed");
+        }
+        assert!(conn.peer_eof);
+        assert!(!conn.interest(1024).read);
+        assert!(!conn.interest(1024).write);
+    }
+}

@@ -1,13 +1,26 @@
 //! A deliberately small HTTP/1.1 reader/writer.
 //!
-//! This is not a general HTTP implementation: it reads exactly one
-//! request per connection (the server always answers
-//! `Connection: close`), understands only what the compilation API
-//! needs — a request line, headers, and an optional `Content-Length`
-//! body — and enforces hard caps on header and body size so untrusted
-//! peers cannot make a worker allocate without bound. Everything
-//! outside that envelope is a typed [`HttpError`] the server maps to a
-//! 4xx response.
+//! This is not a general HTTP implementation: it understands only what
+//! the compilation API needs — a request line, headers, and an optional
+//! `Content-Length` body — and enforces hard caps on header and body
+//! size so untrusted peers cannot make a worker allocate without bound.
+//! Everything outside that envelope is a typed [`HttpError`] the server
+//! maps to a 4xx response.
+//!
+//! Two entry points share one parser:
+//!
+//! * [`parse_request`] is incremental and allocation-bounded: it looks
+//!   at a byte buffer, returns `Ok(None)` until a full request is
+//!   present, and on success reports how many bytes it consumed so the
+//!   caller can retain pipelined surplus. The keep-alive reactor calls
+//!   this on every readable connection.
+//! * [`read_request`] wraps the same parser around a blocking `Read`
+//!   for the strict one-shot paths (the 503 rejector, tests).
+//!
+//! Keep-alive negotiation happens at parse time: HTTP/1.1 defaults to
+//! persistent, HTTP/1.0 to close, and a `Connection` header overrides
+//! either way. The server intersects [`Request::keep_alive`] with its
+//! own per-connection budget before answering.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -30,6 +43,11 @@ pub struct Request {
     pub headers: BTreeMap<String, String>,
     /// The request body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// What the peer negotiated: `true` when the connection may serve
+    /// another request after this one (HTTP/1.1 default, or an explicit
+    /// `Connection: keep-alive` on HTTP/1.0), `false` when the peer
+    /// asked to close (or spoke HTTP/1.0 without opting in).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -84,34 +102,51 @@ impl HttpError {
     }
 }
 
-/// Reads one request from `stream`, enforcing `max_body_bytes`.
+/// Tries to parse one request from the front of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` when a complete request
+/// (head and body) is present — `consumed` is the byte count to drain
+/// from the buffer, and anything after it is pipelined surplus the
+/// caller must keep. Returns `Ok(None)` when more bytes are needed.
 ///
 /// # Errors
 ///
-/// Returns [`HttpError`] on anything other than a well-formed request
-/// within the size caps; socket errors (including read timeouts) map to
-/// [`HttpError::Io`].
-pub fn read_request(stream: &mut impl Read, max_body_bytes: usize) -> Result<Request, HttpError> {
-    // Read in chunks until the blank line; whatever follows it in the
-    // last chunk is the start of the body. (One read per byte would
-    // cost ~100+ syscalls per request on the hot path.)
-    let mut data = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(pos) = data.windows(4).position(|w| w == b"\r\n\r\n") {
-            break pos + 4;
-        }
-        if data.len() >= MAX_HEAD_BYTES {
-            return Err(HttpError::HeadTooLarge);
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err(HttpError::Truncated),
-            Ok(n) => data.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(HttpError::Io(e.to_string())),
+/// Returns [`HttpError`] as soon as the buffered prefix is known to be
+/// unservable: an oversized or malformed head does not wait for more
+/// bytes, and an oversized `Content-Length` fails before the body
+/// arrives.
+pub fn parse_request(
+    buf: &[u8],
+    max_body_bytes: usize,
+) -> Result<Option<(Request, usize)>, HttpError> {
+    let head_end = match buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(pos) => pos + 4,
+        None => {
+            if buf.len() >= MAX_HEAD_BYTES {
+                return Err(HttpError::HeadTooLarge);
+            }
+            return Ok(None);
         }
     };
-    let head = std::str::from_utf8(&data[..head_end])
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::HeadTooLarge);
+    }
+    let (mut request, content_length) = parse_head(&buf[..head_end])?;
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge(max_body_bytes));
+    }
+    let total = head_end + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    request.body = buf[head_end..total].to_vec();
+    Ok(Some((request, total)))
+}
+
+/// Parses a complete head (request line + headers + blank line) into a
+/// body-less [`Request`] plus the declared `Content-Length`.
+fn parse_head(head: &[u8]) -> Result<(Request, usize), HttpError> {
+    let head = std::str::from_utf8(head)
         .map_err(|_| HttpError::Malformed("head is not UTF-8".to_string()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
@@ -143,31 +178,55 @@ pub fn read_request(stream: &mut impl Read, max_body_bytes: usize) -> Result<Req
             .parse::<usize>()
             .map_err(|_| HttpError::Malformed(format!("bad content-length '{v}'")))?,
     };
-    if content_length > max_body_bytes {
-        return Err(HttpError::BodyTooLarge(max_body_bytes));
+    let connection = headers.get("connection").map(|v| v.to_ascii_lowercase());
+    let has_token = |t: &str| {
+        connection
+            .as_deref()
+            .is_some_and(|v| v.split(',').any(|tok| tok.trim() == t))
+    };
+    let keep_alive = if version == "HTTP/1.1" {
+        !has_token("close")
+    } else {
+        has_token("keep-alive")
+    };
+    Ok((
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body: Vec::new(),
+            keep_alive,
+        },
+        content_length,
+    ))
+}
+
+/// Reads one request from `stream`, enforcing `max_body_bytes`.
+///
+/// Blocking wrapper around [`parse_request`]; bytes beyond the first
+/// complete request are discarded (one-shot callers close afterwards).
+///
+/// # Errors
+///
+/// Returns [`HttpError`] on anything other than a well-formed request
+/// within the size caps; socket errors (including read timeouts) map to
+/// [`HttpError::Io`].
+pub fn read_request(stream: &mut impl Read, max_body_bytes: usize) -> Result<Request, HttpError> {
+    // Read in chunks, re-parsing after each one. (One read per byte
+    // would cost ~100+ syscalls per request on the hot path.)
+    let mut data = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some((request, _consumed)) = parse_request(&data, max_body_bytes)? {
+            return Ok(request);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Truncated),
+            Ok(n) => data.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
     }
-    // Body bytes already pulled in with the head, then the remainder
-    // from the stream. Surplus beyond Content-Length is ignored (the
-    // connection answers one request and closes).
-    let mut body = data[head_end..].to_vec();
-    body.truncate(content_length);
-    let already = body.len();
-    if content_length > already {
-        body.resize(content_length, 0);
-        stream.read_exact(&mut body[already..]).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                HttpError::Truncated
-            } else {
-                HttpError::Io(e.to_string())
-            }
-        })?;
-    }
-    Ok(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        headers,
-        body,
-    })
 }
 
 /// One response to write back.
@@ -222,26 +281,36 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes `response` to `stream` (`Connection: close` always).
+/// Serializes `response` with an explicit `Connection` decision — the
+/// reactor's encoder (responses are staged into a per-connection write
+/// buffer, never written directly to the socket).
+pub fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if let Some(seconds) = response.retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&response.body);
+    out
+}
+
+/// Writes `response` to `stream` (`Connection: close` always — the
+/// one-shot rejector path).
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error; callers treat a failed write as a
 /// dead peer and drop the connection.
 pub fn write_response(stream: &mut impl Write, response: &Response) -> io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        response.status,
-        response.reason(),
-        response.content_type,
-        response.body.len(),
-    );
-    if let Some(seconds) = response.retry_after {
-        head.push_str(&format!("Retry-After: {seconds}\r\n"));
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
+    stream.write_all(&encode_response(response, false))?;
     stream.flush()
 }
 
@@ -315,6 +384,52 @@ mod tests {
     }
 
     #[test]
+    fn incremental_parse_waits_then_consumes_exactly_one_request() {
+        let first = b"POST /compile HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let raw = [&first[..], b"GET /next HTTP/1.1\r\n\r\n"].concat();
+        // Every strict prefix of the first request: need more bytes.
+        for cut in 0..first.len() {
+            let verdict = parse_request(&raw[..cut], DEFAULT_MAX_BODY_BYTES).unwrap();
+            assert!(verdict.is_none(), "prefix of {cut} bytes parsed early");
+        }
+        // The full buffer yields the first request and leaves the
+        // pipelined second one untouched.
+        let (req, consumed) = parse_request(&raw, DEFAULT_MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/compile");
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(&raw[consumed..], b"GET /next HTTP/1.1\r\n\r\n");
+        let (second, rest) = parse_request(&raw[consumed..], DEFAULT_MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(second.path, "/next");
+        assert_eq!(rest, raw.len() - consumed);
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_the_version_defaults() {
+        assert!(parse(b"GET /x HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        assert!(!parse(b"GET /x HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            !parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            parse(b"GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        // Token lists and case both resolve.
+        assert!(
+            !parse(b"GET /x HTTP/1.1\r\nConnection: TE, Close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
     fn response_round_trips_through_a_buffer() {
         let mut out = Vec::new();
         let mut resp = Response::json(503, "{\"error\": \"busy\"}");
@@ -324,7 +439,17 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.contains("Content-Length: 17\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"error\": \"busy\"}"));
+    }
+
+    #[test]
+    fn encode_response_mirrors_the_keep_alive_decision() {
+        let resp = Response::json(200, "{}");
+        let keep = String::from_utf8(encode_response(&resp, true)).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        let close = String::from_utf8(encode_response(&resp, false)).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
     }
 
     #[test]

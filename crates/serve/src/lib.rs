@@ -6,21 +6,36 @@
 //! (paper Tab. 8) but pure, so a serving deployment wants one shared
 //! plan cache and single-flight coalescing across *all* concurrent
 //! requests — which requires a process that outlives any one request.
+//! And because real clients amortize handshakes, connections are
+//! persistent: HTTP/1.1 keep-alive with pipelining, multiplexed by a
+//! single readiness reactor rather than a thread per connection.
 //!
 //! This crate contains the generic machinery only; it knows nothing
 //! about chains, plans or compilers:
 //!
-//! * [`http`] — a strict one-request-per-connection HTTP/1.1
-//!   reader/writer with hard size caps;
+//! * [`http`] — an incremental HTTP/1.1 parser/encoder with hard size
+//!   caps and parse-time keep-alive negotiation (1.1 defaults to
+//!   keep-alive, 1.0 to close, `Connection` header tokens override);
+//! * [`reactor`] — std-only readiness polling (`poll(2)` declared
+//!   directly on Linux, a sleep-scan fallback elsewhere) plus the
+//!   self-pipe waker other threads use to interrupt it;
+//! * [`conn`] — the per-connection state machine (`Reading` →
+//!   `Dispatched` → back, with a `Draining` close handshake), its
+//!   buffers, and the per-*request* read deadline that keeps slowloris
+//!   protection intact on long-lived connections;
 //! * [`queue`] — the bounded admission queue: backpressure by
 //!   construction, drain-on-close for graceful shutdown;
-//! * [`server`] — acceptor + fixed worker pool, wired to a [`Handler`]
-//!   implementation; saturation answers `503` + `Retry-After` from the
-//!   acceptor thread;
+//! * [`server`] — acceptor + reactor + fixed worker pool, wired to a
+//!   [`Handler`] implementation; queue saturation answers `503` +
+//!   `Retry-After` inline *without* costing the client its connection,
+//!   and a connection-count valve rejects floods before they reach the
+//!   reactor;
 //! * [`stats`] — relaxed-atomic counters and log-bucketed latency
 //!   histograms (p50/p99 in O(64) with no allocation per sample);
 //! * [`client`] — the minimal blocking client the load generator and
-//!   tests use, so the verification path needs no external tooling.
+//!   tests use (one-shot helpers plus a pipelining-capable keep-alive
+//!   [`client::Connection`]), so the verification path needs no
+//!   external tooling.
 //!
 //! The application side (routing, JSON bodies, the compiler itself)
 //! lives in the `flashfuser` facade crate's `service` module, which
@@ -28,8 +43,10 @@
 //! stays reusable and cycle-free.
 
 pub mod client;
+pub mod conn;
 pub mod http;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 pub mod stats;
 

@@ -1,34 +1,49 @@
-//! The serving shell: one acceptor, a bounded queue, a fixed worker
-//! pool, and a graceful-shutdown protocol.
-//!
-//! The shape is deliberately boring (it is the thread-per-core shape
-//! every pre-async serving system used, and it is easy to reason
-//! about under load):
+//! The serving shell: one acceptor, a readiness reactor owning every
+//! connection, a bounded queue, a fixed worker pool, and a
+//! graceful-shutdown protocol.
 //!
 //! ```text
-//!   accept() ──try_push──▶ [bounded queue] ──pop──▶ worker × N
-//!      │ full?                                        │
-//!      └──▶ 503 + Retry-After                         └──▶ Handler
+//!   accept() ──register──▶ reactor (poll) ──try_push──▶ [queue] ──pop──▶ worker × N
+//!      │ too many conns?      │   ▲    │ full?                             │
+//!      └──▶ 503 (rejector)    │   └────┴──▶ 503 inline, conn stays open    └─▶ Handler
+//!                             │  completions (waker)◀───────────────────────────┘
 //! ```
 //!
-//! * The **acceptor** never does request work; it only admits or
-//!   rejects, so saturation answers in microseconds even when every
-//!   worker is busy searching.
-//! * **Workers** own a connection end to end: read, handle, write,
-//!   close. `Connection: close` per request keeps the state machine
-//!   trivial; the compilation payloads dwarf connection setup.
+//! * The **acceptor** never does request work; it only admits (hand the
+//!   socket to the reactor) or rejects (the connection-count valve), so
+//!   saturation answers in microseconds even when every worker is busy.
+//! * The **reactor** is a single thread multiplexing every live
+//!   connection over [`crate::reactor`]'s `poll`: it reads nonblocking
+//!   sockets into per-connection buffers, cuts complete requests off
+//!   the front ([`crate::conn`] keeps pipelined surplus), dispatches at
+//!   most one request per connection into the admission queue, and
+//!   writes completed responses back. Keep-alive is the default
+//!   (HTTP/1.1 semantics), bounded by a per-connection request budget
+//!   and a per-request read deadline — re-armed for every request, so
+//!   slowloris protection does not weaken on long-lived connections.
+//! * **Workers** only compute: pop a request, run the [`Handler`]
+//!   (panics cost a 500, not a thread), hand the response back to the
+//!   reactor via the completion list + waker.
+//! * **Queue saturation** answers `503` + `Retry-After` inline from the
+//!   reactor and *keeps the connection open* — a rejected request must
+//!   not cost the client its warm connection. Parse errors close, as
+//!   HTTP requires once framing is lost.
 //! * **Shutdown** is a control signal (a [`Response::shutdown`] flag
 //!   set by the handler, or [`Server::shutdown`] called directly):
-//!   admissions stop, queued requests drain, workers exit, the
-//!   acceptor is woken by a loopback connect so nothing blocks forever.
+//!   admissions stop, dispatched requests complete and flush, workers
+//!   exit, the acceptor is woken by a loopback connect so nothing
+//!   blocks forever.
 
+use crate::conn::{Conn, ConnState, Fill};
 use crate::http::{self, HttpError, Request, Response};
 use crate::queue::{Push, Queue};
+use crate::reactor::{self, Interest, WakeReceiver, Waker};
 use crate::stats::ServeStats;
+use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -48,18 +63,28 @@ pub struct ServeOptions {
     /// Admission-queue depth (`0` is clamped to 1). Bounds worst-case
     /// queueing delay; beyond it the server answers 503.
     pub queue_depth: usize,
-    /// Total budget for reading one request (head + body). Enforced as
-    /// a deadline across every read, so a peer trickling one byte per
-    /// second cannot hold a worker hostage any longer than a stalled
-    /// one.
+    /// Total budget for reading one request (head + body), re-armed per
+    /// request. A peer trickling one byte per second cannot hold a
+    /// connection slot any longer than a stalled one, no matter how
+    /// many requests it already completed.
     pub read_timeout: Duration,
-    /// Per-connection socket write timeout.
+    /// Per-connection socket write timeout (the rejector path; reactor
+    /// writes are nonblocking).
     pub write_timeout: Duration,
     /// Request-body cap in bytes; larger payloads answer 413.
     pub max_body_bytes: usize,
+    /// Live-connection cap; beyond it new sockets get a one-shot 503
+    /// from a rejector thread instead of a reactor slot.
+    pub max_connections: usize,
+    /// Requests served per connection before the server answers
+    /// `Connection: close` (bounds per-connection state lifetime).
+    pub max_requests_per_conn: u64,
     /// Test-only: hold each request in the worker for this long before
     /// handling, to make saturation deterministic in integration tests.
     pub debug_handle_delay: Option<Duration>,
+    /// Test-only: make the first N rejector threads panic after taking
+    /// their slot, to regression-test the slot drop guard.
+    pub debug_reject_panics: u64,
 }
 
 impl Default for ServeOptions {
@@ -70,33 +95,57 @@ impl Default for ServeOptions {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            max_connections: 1024,
+            max_requests_per_conn: 1024,
             debug_handle_delay: None,
+            debug_reject_panics: 0,
         }
     }
 }
 
-/// A connection admitted by the acceptor, stamped for queue-wait
-/// accounting.
-struct Admitted {
-    stream: TcpStream,
+/// One request handed from the reactor to the worker pool.
+struct Job {
+    token: u64,
+    request: Request,
     at: Instant,
+}
+
+/// One finished response handed back from a worker to the reactor.
+struct Completion {
+    token: u64,
+    response: Response,
+    at: Instant,
+}
+
+/// State shared between acceptor, workers and the reactor thread.
+struct ReactorShared {
+    /// Sockets accepted but not yet adopted by the reactor.
+    registrations: Mutex<Vec<TcpStream>>,
+    /// Responses computed but not yet staged onto their connection.
+    completions: Mutex<Vec<Completion>>,
+    /// Pops the reactor out of `poll` after pushing to either list.
+    waker: Waker,
+    /// Live connections (acceptor-side admission valve).
+    conn_count: AtomicUsize,
 }
 
 /// Coordinates the one-shot transition into shutdown.
 struct ShutdownSignal {
     flag: AtomicBool,
-    queue: Arc<Queue<Admitted>>,
+    queue: Arc<Queue<Job>>,
+    waker: Waker,
     addr: SocketAddr,
 }
 
 impl ShutdownSignal {
     /// Begins shutdown exactly once: close admissions, wake the
-    /// acceptor with a loopback connect.
+    /// reactor, wake the acceptor with a loopback connect.
     fn trigger(&self) {
         if self.flag.swap(true, Ordering::SeqCst) {
             return;
         }
         self.queue.close();
+        self.waker.wake();
         // The acceptor may be blocked in accept(); a throwaway connect
         // wakes it so it can observe the flag and exit. A wildcard bind
         // address is not connectable — rewrite it to the loopback of
@@ -131,16 +180,18 @@ pub struct Server {
     addr: SocketAddr,
     signal: Arc<ShutdownSignal>,
     acceptor: JoinHandle<()>,
+    reactor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (port 0 picks an ephemeral port) and starts the
-    /// acceptor and worker pool.
+    /// acceptor, the reactor, and the worker pool.
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error when the listener cannot bind.
+    /// Returns the underlying I/O error when the listener cannot bind,
+    /// the waker pair cannot be created, or a thread cannot spawn.
     pub fn start(
         addr: impl ToSocketAddrs,
         handler: Arc<dyn Handler>,
@@ -149,24 +200,33 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let (waker, wake_rx) = reactor::wake_pair()?;
         let queue = Arc::new(Queue::new(options.queue_depth));
         let signal = Arc::new(ShutdownSignal {
             flag: AtomicBool::new(false),
             queue: Arc::clone(&queue),
+            waker: waker.clone(),
             addr,
+        });
+        let shared = Arc::new(ReactorShared {
+            registrations: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+            waker,
+            conn_count: AtomicUsize::new(0),
         });
         let workers_n = if options.workers == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
             options.workers
         };
-        // If any later spawn fails, already-spawned workers must not be
-        // leaked blocked in pop() forever: close the queue, join them,
-        // then surface the error.
-        let cleanup = |workers: Vec<JoinHandle<()>>, e: io::Error| -> io::Error {
+        // If any later spawn fails, already-spawned threads must not be
+        // leaked blocked forever: close the queue, wake the reactor,
+        // join what exists, then surface the error.
+        let cleanup = |threads: Vec<JoinHandle<()>>, e: io::Error| -> io::Error {
             queue.close();
-            for worker in workers {
-                let _ = worker.join();
+            shared.waker.wake();
+            for thread in threads {
+                let _ = thread.join();
             }
             e
         };
@@ -175,33 +235,58 @@ impl Server {
             let queue = Arc::clone(&queue);
             let handler = Arc::clone(&handler);
             let stats = Arc::clone(&stats);
-            let signal = Arc::clone(&signal);
+            let shared = Arc::clone(&shared);
             let options = options.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("serve-worker-{i}"))
-                .spawn(move || worker_loop(&queue, &*handler, &stats, &signal, &options));
+                .spawn(move || worker_loop(&queue, &*handler, &stats, &shared, &options));
             match spawned {
                 Ok(handle) => workers.push(handle),
                 Err(e) => return Err(cleanup(workers, e)),
             }
         }
-        let acceptor = {
-            let queue = Arc::clone(&queue);
-            let stats = Arc::clone(&stats);
-            let signal = Arc::clone(&signal);
-            let max_body_bytes = options.max_body_bytes;
+        let reactor = {
+            let ctx = ReactorCtx {
+                shared: Arc::clone(&shared),
+                queue: Arc::clone(&queue),
+                signal: Arc::clone(&signal),
+                stats: Arc::clone(&stats),
+                options: options.clone(),
+            };
             let spawned = std::thread::Builder::new()
-                .name("serve-acceptor".to_string())
-                .spawn(move || acceptor_loop(&listener, &queue, stats, &signal, max_body_bytes));
+                .name("serve-reactor".to_string())
+                .spawn(move || reactor_loop(ctx, wake_rx));
             match spawned {
                 Ok(handle) => handle,
                 Err(e) => return Err(cleanup(workers, e)),
+            }
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let stats = Arc::clone(&stats);
+            let acceptor_signal = Arc::clone(&signal);
+            let options = options.clone();
+            let spawned = std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || {
+                    acceptor_loop(&listener, &shared, &stats, &acceptor_signal, &options)
+                });
+            match spawned {
+                Ok(handle) => handle,
+                Err(e) => {
+                    // The reactor must exit too before the error returns.
+                    signal.trigger();
+                    let mut threads = workers;
+                    threads.push(reactor);
+                    return Err(cleanup(threads, e));
+                }
             }
         };
         Ok(Server {
             addr,
             signal,
             acceptor,
+            reactor,
             workers,
         })
     }
@@ -217,7 +302,7 @@ impl Server {
     }
 
     /// Triggers graceful shutdown and joins every thread: admissions
-    /// stop, queued requests finish, workers exit.
+    /// stop, dispatched requests finish and flush, workers exit.
     pub fn shutdown(self) {
         self.signal.trigger();
         self.join();
@@ -231,6 +316,7 @@ impl Server {
 
     fn join(self) {
         let _ = self.acceptor.join();
+        let _ = self.reactor.join();
         for worker in self.workers {
             let _ = worker.join();
         }
@@ -239,11 +325,12 @@ impl Server {
 
 fn acceptor_loop(
     listener: &TcpListener,
-    queue: &Queue<Admitted>,
-    stats: Arc<ServeStats>,
+    shared: &ReactorShared,
+    stats: &Arc<ServeStats>,
     signal: &ShutdownSignal,
-    max_body_bytes: usize,
+    options: &ServeOptions,
 ) {
+    let reject_poison = Arc::new(AtomicU64::new(options.debug_reject_panics));
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -253,8 +340,8 @@ fn acceptor_loop(
                 }
                 // Transient failure (aborted connection) or resource
                 // exhaustion (EMFILE under a flood): back off briefly
-                // instead of spinning a core that the workers need to
-                // drain the very connections holding the descriptors.
+                // instead of spinning a core the reactor needs to drain
+                // the very connections holding the descriptors.
                 std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
@@ -266,16 +353,22 @@ fn acceptor_loop(
             return;
         }
         stats.accepted.fetch_add(1, Ordering::Relaxed);
-        match queue.try_push(Admitted {
-            stream,
-            at: Instant::now(),
-        }) {
-            Push::Admitted => {}
-            Push::Saturated(admitted) | Push::Closed(admitted) => {
-                stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
-                reject_busy(admitted.stream, Arc::clone(&stats), max_body_bytes);
-            }
+        if shared.conn_count.load(Ordering::SeqCst) >= options.max_connections.max(1) {
+            // The reactor is at its connection budget: answer a one-shot
+            // 503 from a short-lived rejector thread rather than taking
+            // a slot that would starve established keep-alive peers.
+            stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            reject_busy(
+                stream,
+                Arc::clone(stats),
+                options.max_body_bytes,
+                Arc::clone(&reject_poison),
+            );
+            continue;
         }
+        shared.conn_count.fetch_add(1, Ordering::SeqCst);
+        shared.registrations.lock().unwrap().push(stream);
+        shared.waker.wake();
     }
 }
 
@@ -284,20 +377,49 @@ fn acceptor_loop(
 /// a dropped connection is still backpressure).
 const MAX_REJECTORS: u64 = 64;
 
+/// Owns one slot of the [`MAX_REJECTORS`] budget; gives it back on drop.
+///
+/// The decrement must live in a drop guard, not at the end of the
+/// rejector body: a rejector that panics mid-rejection would otherwise
+/// leak its slot forever, and [`MAX_REJECTORS`] leaks later the valve
+/// silently stops answering 503s at all.
+struct RejectorSlot(Arc<ServeStats>);
+
+impl Drop for RejectorSlot {
+    fn drop(&mut self) {
+        self.0.rejectors.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Answers 503 + `Retry-After` without blocking the acceptor: the
 /// request must be *read* before the response is written and the socket
 /// closed (closing with unread bytes makes TCP send RST and may discard
 /// the response), and reading waits on the peer — so each rejection
 /// runs on a short-lived thread with tight timeouts.
-fn reject_busy(stream: TcpStream, stats: Arc<ServeStats>, max_body_bytes: usize) {
+fn reject_busy(
+    stream: TcpStream,
+    stats: Arc<ServeStats>,
+    max_body_bytes: usize,
+    poison: Arc<AtomicU64>,
+) {
     if stats.rejectors.fetch_add(1, Ordering::SeqCst) >= MAX_REJECTORS {
         stats.rejectors.fetch_sub(1, Ordering::SeqCst);
         return; // flood valve: drop without ceremony
     }
-    let on_spawn_failure = Arc::clone(&stats);
+    let slot = RejectorSlot(Arc::clone(&stats));
+    // From here on the slot is owned by the guard: every exit from the
+    // closure — return, panic, or the closure being dropped unspawned —
+    // runs the decrement exactly once.
     let spawned = std::thread::Builder::new()
         .name("serve-reject".to_string())
         .spawn(move || {
+            let _slot = slot;
+            if poison
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok()
+            {
+                panic!("debug_reject_panics: poisoned rejector");
+            }
             let mut stream = stream;
             let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
             // Drain the request (under the server's own body cap) so
@@ -314,13 +436,13 @@ fn reject_busy(stream: TcpStream, stats: Arc<ServeStats>, max_body_bytes: usize)
             .is_ok();
             let mut response = Response::json(
                 503,
-                "{\"error\": \"server saturated: admission queue is full\", \"retry\": true}",
+                "{\"error\": \"server saturated: too many connections\", \"retry\": true}",
             );
             response.retry_after = Some(1);
             let _ = http::write_response(&mut stream, &response);
             if !fully_read {
                 // The request errored mid-read (oversized body, bad
-                // head): same RST hazard as the worker's error path —
+                // head): same RST hazard as the reactor's error path —
                 // half-close and keep draining briefly so the 503
                 // survives.
                 let _ = stream.shutdown(std::net::Shutdown::Write);
@@ -331,12 +453,10 @@ fn reject_busy(stream: TcpStream, stats: Arc<ServeStats>, max_body_bytes: usize)
                 let mut sink = [0u8; 4096];
                 while matches!(reader.read(&mut sink), Ok(n) if n > 0) {}
             }
-            stats.rejectors.fetch_sub(1, Ordering::SeqCst);
         });
-    if spawned.is_err() {
-        // The closure never ran, so its decrement never will either.
-        on_spawn_failure.rejectors.fetch_sub(1, Ordering::SeqCst);
-    }
+    // On spawn failure the closure is dropped unrun, which drops the
+    // guard and releases the slot — nothing to do here.
+    drop(spawned);
 }
 
 /// A read view of a `TcpStream` that enforces one overall deadline:
@@ -363,87 +483,365 @@ impl Read for DeadlineStream<'_> {
 }
 
 fn worker_loop(
-    queue: &Queue<Admitted>,
+    queue: &Queue<Job>,
     handler: &dyn Handler,
     stats: &ServeStats,
-    signal: &ShutdownSignal,
+    shared: &ReactorShared,
     options: &ServeOptions,
 ) {
-    while let Some(admitted) = queue.pop() {
-        stats
-            .queue_wait
-            .record(admitted.at.elapsed().as_micros() as u64);
+    while let Some(job) = queue.pop() {
+        stats.queue_wait.record_duration(job.at.elapsed());
         stats.in_flight.fetch_add(1, Ordering::Relaxed);
-        serve_one(admitted, handler, stats, signal, options);
+        if let Some(delay) = options.debug_handle_delay {
+            std::thread::sleep(delay);
+        }
+        // A panicking handler must cost one 500, not one worker thread
+        // (the pool is fixed; a shrunk pool is a silent capacity leak).
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handler.handle(&job.request)
+        }))
+        .unwrap_or_else(|_| {
+            Response::json(500, "{\"error\": \"internal error handling request\"}")
+        });
         stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        shared.completions.lock().unwrap().push(Completion {
+            token: job.token,
+            response,
+            at: job.at,
+        });
+        shared.waker.wake();
     }
 }
 
-fn serve_one(
-    admitted: Admitted,
-    handler: &dyn Handler,
+/// Everything the reactor thread owns by value.
+struct ReactorCtx {
+    shared: Arc<ReactorShared>,
+    queue: Arc<Queue<Job>>,
+    signal: Arc<ShutdownSignal>,
+    stats: Arc<ServeStats>,
+    options: ServeOptions,
+}
+
+/// How long after shutdown the reactor keeps flushing and draining
+/// before force-closing whatever remains.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(2);
+
+fn reactor_loop(ctx: ReactorCtx, mut wake_rx: WakeReceiver) {
+    // Pipelining backpressure: a connection's unparsed buffer may hold
+    // one maximal request plus a chunk of the next before the reactor
+    // stops reading it until responses drain the front.
+    let high_water = ctx.options.max_body_bytes + http::MAX_HEAD_BYTES + 4096;
+    let max_requests = ctx.options.max_requests_per_conn.max(1);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    // Jobs pushed but not yet completed (their connection may die
+    // first; the count must survive that).
+    let mut outstanding: usize = 0;
+    let mut grace: Option<Instant> = None;
+
+    loop {
+        let now = Instant::now();
+
+        // 1. Adopt newly accepted sockets.
+        let fresh: Vec<TcpStream> = std::mem::take(&mut *ctx.shared.registrations.lock().unwrap());
+        for stream in fresh {
+            if ctx.signal.is_triggered() {
+                ctx.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                continue; // admissions are over
+            }
+            match Conn::new(stream, ctx.options.read_timeout) {
+                Ok(conn) => {
+                    conns.insert(next_token, conn);
+                    next_token += 1;
+                }
+                Err(_) => {
+                    ctx.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+
+        // 2. Stage completed responses.
+        let done: Vec<Completion> = std::mem::take(&mut *ctx.shared.completions.lock().unwrap());
+        for completion in done {
+            outstanding -= 1;
+            let wants_shutdown = completion.response.shutdown;
+            if let Some(conn) = conns.get_mut(&completion.token) {
+                let keep = conn.pending_keep && !wants_shutdown && !ctx.signal.is_triggered();
+                conn.stage(&completion.response, keep);
+                conn.served += 1;
+                ctx.stats.count_status(completion.response.status);
+                ctx.stats.latency.record_duration(completion.at.elapsed());
+                if keep {
+                    conn.state = ConnState::Reading;
+                    conn.deadline = Instant::now() + ctx.options.read_timeout;
+                } else {
+                    conn.state = ConnState::Reading;
+                    conn.close_after_flush = true;
+                }
+            } else {
+                // The connection died while its request was in flight.
+                ctx.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            if wants_shutdown {
+                ctx.signal.trigger();
+            }
+        }
+
+        // 3. Advance every connection's state machine; drop the dead.
+        let mut dead: Vec<u64> = Vec::new();
+        for (&token, conn) in conns.iter_mut() {
+            let alive = advance(
+                token,
+                conn,
+                now,
+                &ctx.queue,
+                &ctx.stats,
+                &ctx.signal,
+                &ctx.options,
+                max_requests,
+                &mut outstanding,
+            );
+            if !alive {
+                dead.push(token);
+            }
+        }
+        for token in dead {
+            conns.remove(&token);
+            ctx.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+        }
+
+        // 4. Shutdown: once nothing is dispatched and every buffer has
+        // flushed (or the grace period expires), close up shop.
+        if ctx.signal.is_triggered() {
+            let grace_at = *grace.get_or_insert(now + SHUTDOWN_GRACE);
+            let all_flushed = conns
+                .values()
+                .all(|c| c.write_buf.is_empty() && c.state != ConnState::Dispatched);
+            if (outstanding == 0 && all_flushed && conns.is_empty()) || now >= grace_at {
+                ctx.shared
+                    .conn_count
+                    .fetch_sub(conns.len(), Ordering::SeqCst);
+                return;
+            }
+        }
+
+        // 5. Sleep until a socket is ready, a deadline is due, or a
+        // waker byte arrives (registration, completion, shutdown).
+        let mut entries: Vec<(std::os::unix::io::RawFd, Interest)> =
+            vec![(wake_rx.raw_fd(), Interest::READ)];
+        let mut tokens: Vec<u64> = vec![u64::MAX];
+        let mut next_deadline: Option<Instant> = grace;
+        for (&token, conn) in &conns {
+            let interest = conn.interest(high_water);
+            if interest.read || interest.write {
+                entries.push((conn.raw_fd(), interest));
+                tokens.push(token);
+            }
+            if conn.state != ConnState::Dispatched {
+                next_deadline = Some(next_deadline.map_or(conn.deadline, |d| d.min(conn.deadline)));
+            }
+        }
+        let timeout = next_deadline.map(|d| d.saturating_duration_since(now));
+        let ready = reactor::wait(&entries, timeout).unwrap_or_default();
+
+        // 6. Service readiness: pull bytes (or drain the closing
+        // handshake); the next advance pass does the parsing.
+        let mut dead: Vec<u64> = Vec::new();
+        for idx in ready {
+            if idx == 0 {
+                wake_rx.drain();
+                continue;
+            }
+            let token = tokens[idx];
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            let outcome = if conn.state == ConnState::Draining {
+                conn.drain_discard()
+            } else {
+                conn.fill(high_water)
+            };
+            match outcome {
+                Ok(Fill::Eof) if conn.state == ConnState::Draining => dead.push(token),
+                Ok(_) => {}
+                Err(_) => {
+                    if !conn.write_buf.is_empty() {
+                        ctx.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    dead.push(token);
+                }
+            }
+        }
+        for token in dead {
+            conns.remove(&token);
+            ctx.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Advances one connection: flush, parse, dispatch, enforce deadlines.
+/// Returns `false` when the connection should be dropped.
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    token: u64,
+    conn: &mut Conn,
+    now: Instant,
+    queue: &Queue<Job>,
     stats: &ServeStats,
     signal: &ShutdownSignal,
     options: &ServeOptions,
-) {
-    let Admitted { mut stream, at } = admitted;
-    let _ = stream.set_write_timeout(Some(options.write_timeout));
-    if let Some(delay) = options.debug_handle_delay {
-        std::thread::sleep(delay);
+    max_requests: u64,
+    outstanding: &mut usize,
+) -> bool {
+    if flush_or_drop(conn, stats).is_err() {
+        return false;
     }
-    let deadline = Instant::now() + options.read_timeout;
-    let read_outcome = http::read_request(
-        &mut DeadlineStream {
-            stream: &stream,
-            deadline,
-        },
-        options.max_body_bytes,
-    );
-    let mut request_fully_read = true;
-    let response = match read_outcome {
-        // A panicking handler must cost one 500, not one worker thread
-        // (the pool is fixed; a shrunk pool is a silent capacity leak).
-        Ok(request) => {
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                handler.handle(&request)
-            })) {
-                Ok(response) => response,
-                Err(_) => Response::json(500, "{\"error\": \"internal error handling request\"}"),
+    match conn.state {
+        ConnState::Draining => {
+            match conn.drain_discard() {
+                Ok(Fill::Eof) | Err(_) => return false,
+                Ok(_) => {}
             }
+            now < conn.deadline
         }
-        Err(error) => {
-            request_fully_read = false;
-            error_response(&error)
+        ConnState::Dispatched => true,
+        ConnState::Reading => {
+            if !conn.close_after_flush {
+                // Cut and answer as many requests as possible without a
+                // worker (errors, 503s); dispatch at most one.
+                loop {
+                    match conn.next_request(options.max_body_bytes) {
+                        Ok(Some(request)) => {
+                            let keep_req = request.keep_alive && conn.served + 1 < max_requests;
+                            match queue.try_push(Job {
+                                token,
+                                request,
+                                at: Instant::now(),
+                            }) {
+                                Push::Admitted => {
+                                    *outstanding += 1;
+                                    if conn.served > 0 {
+                                        stats.reused.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    conn.pending_keep = keep_req;
+                                    conn.state = ConnState::Dispatched;
+                                    break;
+                                }
+                                Push::Saturated(_) => {
+                                    // Backpressure must not cost the
+                                    // client its warm connection: answer
+                                    // inline and keep listening.
+                                    stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                                    let mut response = Response::json(
+                                        503,
+                                        "{\"error\": \"server saturated: admission queue is full\", \"retry\": true}",
+                                    );
+                                    response.retry_after = Some(1);
+                                    conn.stage(&response, keep_req);
+                                    conn.served += 1;
+                                    if keep_req {
+                                        conn.deadline = now + options.read_timeout;
+                                        continue;
+                                    }
+                                    conn.close_after_flush = true;
+                                    break;
+                                }
+                                Push::Closed(_) => {
+                                    let response = Response::json(
+                                        503,
+                                        "{\"error\": \"server is shutting down\", \"retry\": true}",
+                                    );
+                                    conn.stage(&response, false);
+                                    conn.close_after_flush = true;
+                                    break;
+                                }
+                            }
+                        }
+                        Ok(None) => {
+                            if conn.peer_eof {
+                                if conn.read_buf.is_empty() {
+                                    // Clean end of a keep-alive session.
+                                    if conn.write_buf.is_empty() {
+                                        return false;
+                                    }
+                                    conn.close_after_flush = true;
+                                } else {
+                                    // EOF mid-request: typed 400.
+                                    stage_error(conn, &HttpError::Truncated, stats);
+                                }
+                            } else if now >= conn.deadline {
+                                if conn.read_buf.is_empty() {
+                                    // Idle timeout: quiet close (the
+                                    // standard keep-alive discipline).
+                                    if conn.write_buf.is_empty() {
+                                        return false;
+                                    }
+                                    conn.close_after_flush = true;
+                                } else {
+                                    // Trickling peer: the per-request
+                                    // read deadline fired mid-request.
+                                    let response = Response::json(
+                                        400,
+                                        "{\"error\": \"request read deadline exceeded\"}",
+                                    );
+                                    stats.count_status(response.status);
+                                    conn.stage(&response, false);
+                                    conn.close_after_flush = true;
+                                }
+                            } else if signal.is_triggered() && conn.write_buf.is_empty() {
+                                // Shutting down and nothing pending
+                                // here: close now rather than waiting
+                                // out the read deadline.
+                                return false;
+                            }
+                            break;
+                        }
+                        Err(error) => {
+                            stage_error(conn, &error, stats);
+                            break;
+                        }
+                    }
+                }
+            }
+            if flush_or_drop(conn, stats).is_err() {
+                return false;
+            }
+            if conn.close_after_flush
+                && conn.write_buf.is_empty()
+                && conn.state != ConnState::Draining
+            {
+                if conn.peer_eof {
+                    // Peer already finished sending: no RST hazard,
+                    // close outright.
+                    return false;
+                }
+                conn.begin_drain(now);
+            }
+            true
         }
-    };
-    match http::write_response(&mut stream, &response) {
-        Ok(()) => {
-            stats.count_status(response.status);
-            stats.latency.record(at.elapsed().as_micros() as u64);
-        }
+    }
+}
+
+/// Flushes staged bytes; on a dead socket counts the loss and errors.
+fn flush_or_drop(conn: &mut Conn, stats: &ServeStats) -> Result<(), ()> {
+    match conn.flush() {
+        Ok(_) => Ok(()),
         Err(_) => {
-            stats.dropped.fetch_add(1, Ordering::Relaxed);
+            if !conn.write_buf.is_empty() {
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(())
         }
     }
-    if !request_fully_read {
-        // The peer may still be sending the request we refused (a 413
-        // body, a malformed stream): closing with unread bytes makes
-        // TCP send RST, which can destroy the queued error response —
-        // the same hazard reject_busy drains against. Half-close our
-        // side so the peer sees response + EOF promptly, then drain
-        // briefly until the peer finishes or the budget runs out.
-        let _ = stream.shutdown(std::net::Shutdown::Write);
-        let drain_deadline = Instant::now() + Duration::from_millis(250);
-        let mut reader = DeadlineStream {
-            stream: &stream,
-            deadline: drain_deadline,
-        };
-        let mut sink = [0u8; 4096];
-        while matches!(reader.read(&mut sink), Ok(n) if n > 0) {}
-    }
-    if response.shutdown {
-        signal.trigger();
-    }
+}
+
+/// Stages the typed response for a request that never parsed and marks
+/// the connection for close (HTTP framing is lost after a parse error).
+fn stage_error(conn: &mut Conn, error: &HttpError, stats: &ServeStats) {
+    let response = error_response(error);
+    stats.count_status(response.status);
+    conn.stage(&response, false);
+    conn.close_after_flush = true;
 }
 
 /// The response for a request that never parsed.
@@ -583,6 +981,42 @@ mod tests {
     }
 
     #[test]
+    fn saturation_does_not_cost_a_keep_alive_client_its_connection() {
+        let (server, stats) = start_echo(ServeOptions {
+            workers: 1,
+            queue_depth: 1,
+            debug_handle_delay: Some(Duration::from_millis(500)),
+            ..ServeOptions::default()
+        });
+        let addr = server.addr();
+        // Two slow requests occupy worker + queue — staggered, so the
+        // first is popped into the worker before the second arrives to
+        // fill the queue slot (fired together on one core, both can
+        // race the pop and bounce, leaving the queue empty).
+        let hold_a = std::thread::spawn(move || client::get(addr, "/hold"));
+        std::thread::sleep(Duration::from_millis(150));
+        let hold_b = std::thread::spawn(move || client::get(addr, "/hold"));
+        std::thread::sleep(Duration::from_millis(150));
+        let mut conn = client::Connection::open(addr).unwrap();
+        let rejected = conn.request("GET", "/burst", b"").unwrap();
+        assert_eq!(rejected.status, 503, "worker + queue held -> inline 503");
+        assert_eq!(
+            rejected.headers.get("retry-after").map(String::as_str),
+            Some("1"),
+            "inline 503 carries the retry hint"
+        );
+        // Once the holds drain, the SAME connection gets served: the
+        // 503 kept it usable.
+        assert!(hold_a.join().unwrap().is_ok());
+        assert!(hold_b.join().unwrap().is_ok());
+        let served = conn.request("GET", "/burst", b"").unwrap();
+        assert_eq!(served.status, 200, "connection never recovered after a 503");
+        drop(conn);
+        server.shutdown();
+        assert!(stats.rejected_busy.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
     fn handler_panic_costs_a_500_not_a_worker() {
         let (server, stats) = start_echo(ServeOptions {
             workers: 1, // the pool IS one worker; losing it would hang
@@ -607,7 +1041,7 @@ mod tests {
         });
         let addr = server.addr();
         // One byte every 100 ms keeps any *per-read* timeout from
-        // firing; only an overall deadline frees the worker.
+        // firing; only an overall deadline frees the connection slot.
         let mut slow = TcpStream::connect(addr).unwrap();
         for _ in 0..8 {
             use std::io::Write;
@@ -616,8 +1050,8 @@ mod tests {
             }
             std::thread::sleep(Duration::from_millis(100));
         }
-        // The sole worker must be free again despite `slow` never
-        // completing a request.
+        // The pool must be free despite `slow` never completing a
+        // request.
         let ok = client::get(addr, "/after-trickle").unwrap();
         assert_eq!(ok.status, 200);
         drop(slow);
@@ -626,6 +1060,62 @@ mod tests {
             stats.client_errors.load(Ordering::Relaxed) >= 1,
             "the trickler was answered 400, not serviced forever"
         );
+    }
+
+    #[test]
+    fn keep_alive_deadline_rearms_per_request_not_per_connection() {
+        let (server, stats) = start_echo(ServeOptions {
+            workers: 1,
+            read_timeout: Duration::from_millis(300),
+            ..ServeOptions::default()
+        });
+        let addr = server.addr();
+        let mut conn = client::Connection::open(addr).unwrap();
+        // Two full requests spaced most of a deadline apart: each one
+        // re-arms the clock, so the connection survives well past
+        // 1 x read_timeout of total wall time.
+        for _ in 0..3 {
+            let r = conn.request("GET", "/ping", b"").unwrap();
+            assert_eq!(r.status, 200);
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        // Now trickle the NEXT request: the per-request deadline must
+        // fire even though the connection as a whole has been healthy
+        // for ~600 ms already.
+        conn.send_raw(b"GET /tric").unwrap();
+        let r = conn.recv();
+        // The server answers 400 (deadline mid-head) and closes.
+        match r {
+            Ok(resp) => assert_eq!(resp.status, 400),
+            Err(_) => panic!("expected a 400 before close, got a dead socket"),
+        }
+        server.shutdown();
+        assert!(stats.client_errors.load(Ordering::Relaxed) >= 1);
+        assert_eq!(stats.ok_responses.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn request_budget_closes_the_connection_politely() {
+        let (server, _stats) = start_echo(ServeOptions {
+            workers: 1,
+            max_requests_per_conn: 3,
+            ..ServeOptions::default()
+        });
+        let addr = server.addr();
+        let mut conn = client::Connection::open(addr).unwrap();
+        for i in 0..3 {
+            let r = conn.request("GET", "/budget", b"").unwrap();
+            assert_eq!(r.status, 200);
+            let is_last = i == 2;
+            assert_eq!(
+                r.headers.get("connection").map(String::as_str),
+                Some(if is_last { "close" } else { "keep-alive" }),
+                "request {i} negotiated the wrong connection header"
+            );
+        }
+        // The budget is spent; the server has closed its side.
+        assert!(conn.request("GET", "/past-budget", b"").is_err());
+        server.shutdown();
     }
 
     #[test]
@@ -638,8 +1128,8 @@ mod tests {
         let addr = server.addr();
         let raw = client::raw(addr, b"THIS IS NOT HTTP\r\n\r\n").unwrap();
         assert_eq!(raw.status, 400);
-        // A client that connects and sends nothing times out server-side
-        // and the worker moves on.
+        // A client that connects and sends nothing is quietly closed at
+        // the deadline and its slot reclaimed.
         let idle = TcpStream::connect(addr).unwrap();
         std::thread::sleep(Duration::from_millis(300));
         drop(idle);
@@ -647,5 +1137,52 @@ mod tests {
         assert_eq!(ok.status, 200);
         server.shutdown();
         assert!(stats.client_errors.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn poisoned_rejectors_do_not_leak_their_slots() {
+        // Silence the panic hook for the deliberately-poisoned rejector
+        // threads (everything else still reports normally).
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if std::thread::current().name() != Some("serve-reject") {
+                prev(info);
+            }
+        }));
+        let poisoned = MAX_REJECTORS + 2;
+        let (server, stats) = start_echo(ServeOptions {
+            workers: 1,
+            max_connections: 1,
+            debug_reject_panics: poisoned,
+            ..ServeOptions::default()
+        });
+        let addr = server.addr();
+        // Occupy the only reactor slot so every further connection goes
+        // through the rejector.
+        let _parked = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // More panicking rejectors than MAX_REJECTORS, sequentially:
+        // without the drop guard each one would leak a slot and the
+        // valve would go permanently silent after 64.
+        for i in 0..poisoned {
+            let r = client::get(addr, "/flood");
+            assert!(r.is_err(), "poisoned rejector {i} still answered: {r:?}");
+        }
+        // The guard returned every slot: the next rejection is a real,
+        // polite 503 again.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while stats.rejectors.load(Ordering::SeqCst) != 0 {
+            assert!(Instant::now() < deadline, "rejector gauge never settled");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let r = client::get(addr, "/after-poison").unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.headers.get("retry-after").map(String::as_str), Some("1"));
+        assert_eq!(
+            stats.rejected_busy.load(Ordering::Relaxed),
+            poisoned + 1,
+            "every over-cap connection was counted"
+        );
+        server.shutdown();
     }
 }

@@ -39,6 +39,15 @@ impl LatencyHistogram {
         }
     }
 
+    /// Records an elapsed [`std::time::Duration`], saturating at
+    /// `u64::MAX` microseconds. `Duration::as_micros` returns `u128`;
+    /// the silent `as u64` truncation this replaces would wrap a
+    /// ~584 000-year sample into a small number — never observable from
+    /// a real clock, but a histogram must not be the place that wraps.
+    pub fn record_duration(&self, elapsed: std::time::Duration) {
+        self.record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
     /// Records one sample.
     pub fn record(&self, us: u64) {
         // Bucket i holds samples whose bit length is i: [2^(i-1), 2^i).
@@ -114,6 +123,10 @@ pub struct ServeStats {
     /// Rejection threads currently writing 503s (the acceptor's flood
     /// valve watches this).
     pub rejectors: AtomicU64,
+    /// Requests served beyond the first on their connection — the
+    /// keep-alive payoff (`reused / latency.count()` approximates the
+    /// connection-reuse rate).
+    pub reused: AtomicU64,
     /// End-to-end service latency (admission to response written).
     pub latency: LatencyHistogram,
     /// Time spent queued before a worker picked the request up.
@@ -173,6 +186,27 @@ mod tests {
         assert_eq!(h.quantile_us(1.0), u64::MAX);
         // The zero sample lands in bucket 0 whose upper bound is 0.
         assert_eq!(h.quantile_us(0.01), 0);
+    }
+
+    #[test]
+    fn duration_recording_saturates_instead_of_truncating() {
+        use std::time::Duration;
+        let h = LatencyHistogram::new();
+        // A duration whose microsecond count exceeds u64 (u128 range):
+        // the old `as u64` cast would wrap this to 0xFFFF_FFFF_FFFF_FFFE
+        // & friends or worse, a tiny number; saturation pins it to MAX.
+        h.record_duration(Duration::MAX);
+        assert_eq!(h.max_us(), u64::MAX);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+        // A zero-length duration lands in bucket 0 (upper bound 0), not
+        // in a panic or an off-by-one bucket.
+        h.record_duration(Duration::ZERO);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_us(0.01), 0);
+        // Sanity: a normal duration records its microsecond count.
+        h.record_duration(Duration::from_micros(100));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile_us(0.5), 127); // bucket upper bound for 100
     }
 
     #[test]

@@ -56,9 +56,13 @@ run_bench bench_interp
 
 # Serving smoke: bench_serve starts the real HTTP server on an
 # ephemeral loopback port, fires a mixed load (compile/batch/healthz,
-# plus a same-key burst), and exits non-zero unless the run had zero
-# errors, >= 90% cache hit rate, byte-identical responses, exactly one
-# burst search, and a clean drain through the control endpoint.
+# plus a same-key burst), measures keep-alive connection reuse against
+# one-shot connections, and round-trips a warm-cache snapshot into a
+# fresh replica. It exits non-zero unless the run had zero errors,
+# >= 90% cache hit rate, byte-identical responses (one-shot and
+# pipelined), exactly one burst search, the gated reuse ratio
+# (reuse_ok), a warm replica with zero searches (snapshot_warm), and a
+# clean drain through the control endpoint.
 echo "== serve-smoke (bench_serve) =="
 run_bench bench_serve
 

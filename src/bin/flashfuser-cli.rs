@@ -63,11 +63,13 @@ SUBCOMMANDS:
               op-by-op reference on identical inputs, and fail on any
               numeric or traffic divergence (each line names the seed
               that reproduces it)
-    serve     Run the compilation service: HTTP/1.1 + JSON on a fixed
+    serve     Run the compilation service: HTTP/1.1 keep-alive (with
+              pipelining) + JSON, a readiness reactor feeding a fixed
               worker pool behind a bounded admission queue (503 + retry
-              hint when saturated), one shared plan cache and
-              single-flight coalescer across all requests; POST
-              /admin/shutdown drains and exits cleanly
+              hint when saturated, without dropping the connection), one
+              shared plan cache and single-flight coalescer across all
+              requests; POST /admin/snapshot exports the warm cache for
+              --preload, POST /admin/shutdown drains and exits cleanly
 
 SPEC (batch): MxNxKxL with an optional ':gated' suffix,
               e.g. 128x3072x768x768 or 128x11008x4096x4096:gated
@@ -84,6 +86,10 @@ OPTIONS:
     --cache-dir DIR    Persist compiled plans under DIR and reuse them on
                        later runs (content-addressed; invalidates itself
                        when the machine or search config changes)
+    --preload DIR      Serve: import a warm-cache snapshot from DIR before
+                       accepting traffic, so a fresh replica boots hot
+                       (write one with POST /admin/snapshot; /stats then
+                       reports snapshot preload hits)
     --workers N        Batch worker threads, or serve's HTTP worker pool
                        size (default: all cores)
     --repeat R         Compile the batch list R times over (demonstrates
@@ -130,12 +136,14 @@ EXAMPLES:
     flashfuser-cli fuzz --seeds 24 --attention 0.5 --report FUZZ_report.quick.json
     flashfuser-cli serve --port 8080 --workers 4 --queue-depth 64
     flashfuser-cli serve --port 8080 --cache-dir /tmp/ff-plans --a100
+    flashfuser-cli serve --port 8081 --preload /tmp/ff-snapshot
 ";
 
 struct CommonOpts {
     a100: bool,
     machine: Option<String>,
     cache_dir: Option<String>,
+    preload: Option<String>,
     workers: usize,
     repeat: usize,
     gated: bool,
@@ -166,6 +174,7 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
         a100: false,
         machine: None,
         cache_dir: None,
+        preload: None,
         workers: 0,
         repeat: 1,
         gated: false,
@@ -191,8 +200,8 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
             "--conv" => opts.conv = true,
             "--a100" => opts.a100 = true,
             "--dry-run" => opts.dry_run = true,
-            "--machine" | "--cache-dir" | "--workers" | "--repeat" | "--layers" | "--seeds"
-            | "--start" | "--ops" | "--dims" | "--kernel" | "--tol" | "--attention"
+            "--machine" | "--cache-dir" | "--preload" | "--workers" | "--repeat" | "--layers"
+            | "--seeds" | "--start" | "--ops" | "--dims" | "--kernel" | "--tol" | "--attention"
             | "--report" | "--port" | "--queue-depth" => {
                 let flag = args[i].clone();
                 i += 1;
@@ -202,6 +211,7 @@ fn parse_opts(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
                 match flag.as_str() {
                     "--machine" => opts.machine = Some(value.clone()),
                     "--cache-dir" => opts.cache_dir = Some(value.clone()),
+                    "--preload" => opts.preload = Some(value.clone()),
                     "--report" => opts.report = Some(value.clone()),
                     "--workers" => {
                         opts.workers = value
@@ -665,7 +675,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     };
     if opts.dry_run {
         println!(
-            "dry-run: would serve {} on 127.0.0.1:{} ({} worker(s), queue depth {}{})",
+            "dry-run: would serve {} on 127.0.0.1:{} ({} worker(s), queue depth {}{}{})",
             params.name,
             opts.port,
             workers_desc,
@@ -674,6 +684,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 .as_deref()
                 .map(|d| format!(", plans persisted under {d}"))
                 .unwrap_or_default(),
+            opts.preload
+                .as_deref()
+                .map(|d| format!(", preloading snapshot from {d}"))
+                .unwrap_or_default(),
         );
         return ExitCode::SUCCESS;
     }
@@ -681,6 +695,16 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Ok(c) => std::sync::Arc::new(c),
         Err(e) => return usage_error(&e),
     };
+    let mut preloaded = 0usize;
+    if let Some(dir) = &opts.preload {
+        preloaded = match compiler.preload(dir) {
+            Ok(count) => count,
+            Err(e) => {
+                eprintln!("cannot preload snapshot from {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
     let options = flashfuser::serve::ServeOptions {
         workers: opts.workers,
         queue_depth: opts.queue_depth,
@@ -699,8 +723,11 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         "workers:   {workers_desc}, queue depth {}",
         opts.queue_depth
     );
+    if opts.preload.is_some() {
+        println!("preloaded: {preloaded} cached plan(s) from the snapshot");
+    }
     println!(
-        "endpoints: POST /compile, POST /batch, GET /machines, GET /stats, GET /healthz, POST /admin/shutdown"
+        "endpoints: POST /compile, POST /batch, GET /machines, GET /stats, GET /healthz, POST /admin/snapshot, POST /admin/shutdown"
     );
     server.wait();
     println!("shut down cleanly (drained the admission queue)");

@@ -103,7 +103,7 @@ use flashfuser_graph::{ChainSpec, OpGraph};
 use flashfuser_sim::{SimProfiler, UnfusedKernelPricer};
 use std::fmt;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -272,6 +272,10 @@ pub struct Compiler {
     searches: AtomicU64,
     profile_calls: AtomicU64,
     coalesced: AtomicU64,
+    /// Keys imported by [`Compiler::preload`] — so cache hits can be
+    /// attributed to the snapshot in the serving stats.
+    preloaded: std::sync::RwLock<std::collections::HashSet<PlanKey>>,
+    preload_hits: AtomicU64,
 }
 
 impl Compiler {
@@ -314,6 +318,8 @@ impl Compiler {
             searches: AtomicU64::new(0),
             profile_calls: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            preloaded: std::sync::RwLock::new(std::collections::HashSet::new()),
+            preload_hits: AtomicU64::new(0),
         })
     }
 
@@ -355,6 +361,50 @@ impl Compiler {
     /// `searches_run` stays at 1 while this counts the herd.
     pub fn coalesced_waits(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Imports a warm-cache snapshot directory (as written by
+    /// [`Compiler::export_snapshot`]) into the plan cache and returns
+    /// how many records arrived. Subsequent cache hits on imported keys
+    /// are attributed to the snapshot via [`Compiler::preload_hits`] —
+    /// the number a fleet operator watches to confirm a replica really
+    /// booted hot instead of quietly re-searching.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when `dir` is missing or
+    /// unreadable (individual corrupt records are skipped, not fatal).
+    pub fn preload(&self, dir: impl AsRef<Path>) -> io::Result<usize> {
+        let keys = self.cache.preload_from(dir)?;
+        let count = keys.len();
+        self.preloaded
+            .write()
+            .expect("preloaded set poisoned")
+            .extend(keys);
+        Ok(count)
+    }
+
+    /// Exports every in-memory cached plan to `dir` in the snapshot
+    /// format [`Compiler::preload`] reads (which is also the disk-tier
+    /// format, so a snapshot can double as a seed `--cache-dir`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error; snapshot export never partially
+    /// succeeds silently.
+    pub fn export_snapshot(&self, dir: impl AsRef<Path>) -> io::Result<usize> {
+        self.cache.export_to(dir)
+    }
+
+    /// Keys imported by [`Compiler::preload`] so far.
+    pub fn preloaded_keys(&self) -> u64 {
+        self.preloaded.read().expect("preloaded set poisoned").len() as u64
+    }
+
+    /// Cache hits served by records that arrived via
+    /// [`Compiler::preload`] rather than this process's own searches.
+    pub fn preload_hits(&self) -> u64 {
+        self.preload_hits.load(Ordering::Relaxed)
     }
 
     /// Compiles one chain, consulting the cache first.
@@ -575,6 +625,7 @@ impl Compiler {
     ) -> Result<Arc<PlanRecord>, SearchError> {
         let key = PlanKey::derive(chain, engine.params(), config);
         if let Some(hit) = self.cache.get(&key) {
+            self.attribute_hit(&key);
             return Ok(hit);
         }
         let search = || -> Result<Arc<PlanRecord>, SearchError> {
@@ -596,6 +647,14 @@ impl Compiler {
             outcome
         } else {
             search()
+        }
+    }
+
+    /// Credits a cache hit to the snapshot when its key was preloaded.
+    fn attribute_hit(&self, key: &PlanKey) {
+        let preloaded = self.preloaded.read().expect("preloaded set poisoned");
+        if !preloaded.is_empty() && preloaded.contains(key) {
+            self.preload_hits.fetch_add(1, Ordering::Relaxed);
         }
     }
 

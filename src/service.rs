@@ -17,6 +17,7 @@
 //! | `GET /machines`        | —                           | built-in machine registry |
 //! | `GET /stats`           | —                           | counters, cache, latency |
 //! | `GET /healthz`         | —                           | `{"ok": true}` |
+//! | `POST /admin/snapshot` | `{"dir": "/path"}`          | warm-cache export count |
 //! | `POST /admin/shutdown` | —                           | ack, then graceful drain |
 //!
 //! `/compile` and `/batch` bodies may carry an optional `"machine"`
@@ -95,6 +96,7 @@ struct EndpointCounters {
     stats: AtomicU64,
     healthz: AtomicU64,
     shutdown: AtomicU64,
+    snapshot: AtomicU64,
     bad_requests: AtomicU64,
     infeasible: AtomicU64,
 }
@@ -140,6 +142,10 @@ impl Handler for CompileService {
             }
             ("POST", "/compile") => self.compile_endpoint(request),
             ("POST", "/batch") => self.batch_endpoint(request),
+            ("POST", "/admin/snapshot") => {
+                bump(&self.counters.snapshot);
+                self.snapshot_endpoint(request)
+            }
             ("POST", "/admin/shutdown") => {
                 bump(&self.counters.shutdown);
                 let mut response = Response::json(200, "{\"shutting_down\": true}");
@@ -148,7 +154,8 @@ impl Handler for CompileService {
             }
             (
                 _,
-                "/healthz" | "/stats" | "/compile" | "/batch" | "/machines" | "/admin/shutdown",
+                "/healthz" | "/stats" | "/compile" | "/batch" | "/machines" | "/admin/snapshot"
+                | "/admin/shutdown",
             ) => api_error(405, "method not allowed for this route"),
             _ => api_error(404, "no such route"),
         };
@@ -238,13 +245,48 @@ impl CompileService {
         )
     }
 
+    /// `POST /admin/snapshot`: export the warm in-memory plan cache to
+    /// a directory on the *server's* filesystem, in the same format the
+    /// disk tier and `serve --preload` read. This is the fleet-warming
+    /// export: one replica pays for the searches, the snapshot ships to
+    /// every other replica.
+    fn snapshot_endpoint(&self, request: &Request) -> Response {
+        let dir = match parse_untrusted(&request.body) {
+            Ok(doc) => match doc.get("dir").and_then(JsonValue::as_str) {
+                Some(dir) if !dir.is_empty() => dir.to_string(),
+                _ => return api_error(400, "snapshot body must be {\"dir\": \"/path\"}"),
+            },
+            Err(e) => return e.into_response(),
+        };
+        match self.compiler.export_snapshot(&dir) {
+            Ok(exported) => Response::json(
+                200,
+                format!(
+                    "{{\"exported\": {exported}, \"dir\": \"{}\"}}\n",
+                    json::escape(&dir)
+                ),
+            ),
+            Err(e) => api_error(500, &format!("snapshot export failed: {e}")),
+        }
+    }
+
     /// The `GET /stats` document: shell counters + compiler counters +
     /// endpoint counters. Integers only (plus no floats at all), so the
     /// document round-trips through `core::json`'s cache subset — the
     /// load generator parses it with the same parser the server uses.
     fn stats_json(&self) -> String {
         let cache = self.compiler.cache_stats();
-        let hit_permille = (cache.hit_rate() * 1000.0).round() as u64;
+        // `hit_rate()` is hits/lookups: finite by construction today,
+        // but this cast must never be the place a NaN or a rogue value
+        // becomes an arbitrary integer (float→int `as` on NaN is 0 by
+        // saturating-cast rules — rely on an explicit guard, not on
+        // remembering that).
+        let hit_rate = cache.hit_rate();
+        let hit_permille = if hit_rate.is_finite() {
+            (hit_rate.clamp(0.0, 1.0) * 1000.0).round() as u64
+        } else {
+            0
+        };
         let s = &self.serve_stats;
         let c = &self.counters;
         let load = |v: &AtomicU64| v.load(Ordering::Relaxed);
@@ -263,16 +305,19 @@ impl CompileService {
                 "{{\n",
                 "  \"endpoints\": {{\"compile\": {compile}, \"batch\": {batch}, ",
                 "\"graph\": {graph}, \"machines\": {machines}, \"stats\": {stats}, ",
-                "\"healthz\": {healthz}, \"shutdown\": {shutdown}}},\n",
+                "\"healthz\": {healthz}, \"snapshot\": {snapshot}, ",
+                "\"shutdown\": {shutdown}}},\n",
                 "  \"outcomes\": {{\"ok\": {ok}, \"bad_requests\": {bad}, ",
                 "\"infeasible\": {infeasible}, \"dropped\": {dropped}}},\n",
                 "  \"admission\": {{\"accepted\": {accepted}, \"rejected_busy\": {rejected}, ",
-                "\"in_flight\": {in_flight}}},\n",
+                "\"in_flight\": {in_flight}, \"reused\": {reused}}},\n",
                 "  \"compiler\": {{\"searches\": {searches}, \"coalesced\": {coalesced}, ",
                 "\"profile_calls\": {profile_calls}}},\n",
                 "  \"cache\": {{\"mem_hits\": {mem_hits}, \"disk_hits\": {disk_hits}, ",
                 "\"misses\": {misses}, \"inserts\": {inserts}, \"evictions\": {evictions}, ",
                 "\"hit_rate_permille\": {hit_permille}}},\n",
+                "  \"snapshot\": {{\"preloaded\": {preloaded}, ",
+                "\"preload_hits\": {preload_hits}}},\n",
                 "  \"latency_us\": {latency},\n",
                 "  \"queue_wait_us\": {queue_wait},\n",
                 "  \"uptime_ms\": {uptime}\n",
@@ -284,6 +329,7 @@ impl CompileService {
             machines = load(&c.machines),
             stats = load(&c.stats),
             healthz = load(&c.healthz),
+            snapshot = load(&c.snapshot),
             shutdown = load(&c.shutdown),
             ok = load(&s.ok_responses),
             bad = load(&c.bad_requests),
@@ -292,6 +338,7 @@ impl CompileService {
             accepted = load(&s.accepted),
             rejected = load(&s.rejected_busy),
             in_flight = load(&s.in_flight),
+            reused = load(&s.reused),
             searches = self.compiler.searches_run(),
             coalesced = self.compiler.coalesced_waits(),
             profile_calls = self.compiler.profile_calls(),
@@ -301,6 +348,8 @@ impl CompileService {
             inserts = cache.inserts,
             evictions = cache.evictions,
             hit_permille = hit_permille,
+            preloaded = self.compiler.preloaded_keys(),
+            preload_hits = self.compiler.preload_hits(),
             latency = hist(&s.latency),
             queue_wait = hist(&s.queue_wait),
             uptime = self.started.elapsed().as_millis(),
@@ -779,6 +828,53 @@ mod tests {
             Some(0)
         );
         assert!(doc.get("latency_us").unwrap().get("p99").is_some());
-        assert!(doc.get("cache").unwrap().get("hit_rate_permille").is_some());
+        // A cold cache has zero lookups: the guarded permille must be
+        // exactly 0, never a NaN-cast artifact.
+        assert_eq!(
+            doc.get("cache")
+                .unwrap()
+                .get("hit_rate_permille")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+        let snapshot = doc.get("snapshot").unwrap();
+        assert_eq!(snapshot.get("preloaded").unwrap().as_u64(), Some(0));
+        assert_eq!(snapshot.get("preload_hits").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            doc.get("admission")
+                .unwrap()
+                .get("reused")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn snapshot_endpoint_validates_its_body() {
+        let compiler = Arc::new(Compiler::new(MachineDescriptor::h100_sxm()));
+        let service = CompileService::new(compiler, Arc::new(ServeStats::new()));
+        let post = |body: &str| {
+            service.handle(&Request {
+                method: "POST".into(),
+                path: "/admin/snapshot".into(),
+                headers: Default::default(),
+                body: body.as_bytes().to_vec(),
+                keep_alive: true,
+            })
+        };
+        assert_eq!(post("{}").status, 400);
+        assert_eq!(post("{\"dir\": \"\"}").status, 400);
+        assert_eq!(post("{\"dir\": 7}").status, 400);
+        assert_eq!(post("not json").status, 400);
+        // An empty cache exports zero records successfully.
+        let dir = std::env::temp_dir().join(format!("ff-svc-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ok = post(&format!("{{\"dir\": \"{}\"}}", dir.display()));
+        assert_eq!(ok.status, 200);
+        let body = std::str::from_utf8(&ok.body).unwrap();
+        assert!(body.contains("\"exported\": 0"), "{body}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -153,6 +153,9 @@ fn serve_dry_run_covers_every_documented_form() {
         ],
         vec!["serve", "--port", "0"],
         vec!["serve", "--cache-dir", "/tmp/ff-serve-dry", "--a100"],
+        // --preload must *parse* without the directory existing
+        // (dry-run validates arguments, not deployment state).
+        vec!["serve", "--port", "8081", "--preload", "/tmp/ff-snapshot"],
     ] {
         let mut args = args.clone();
         args.push("--dry-run");

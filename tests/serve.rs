@@ -11,6 +11,21 @@
 //! * malformed, oversized and infeasible requests map to typed 4xx
 //!   JSON errors and the server keeps serving afterwards;
 //! * shutdown through the control endpoint drains cleanly.
+//!
+//! The keep-alive conformance suite (ISSUE 9 acceptance):
+//!
+//! * pipelined same-connection bursts are **byte-identical** to the
+//!   one-shot responses of serve v1's close-per-request discipline;
+//! * a client that disconnects mid-stream frees its worker — the
+//!   server keeps answering with `workers: 1`;
+//! * the read deadline re-arms **per request**: a long-lived healthy
+//!   connection is never killed by an idle timer, but a trickling
+//!   second request is;
+//! * a 503 under saturation does not cost a keep-alive client its
+//!   connection;
+//! * `POST /admin/snapshot` → `Compiler::preload` boots a replica that
+//!   answers the same workload byte-identically with **zero** new
+//!   searches.
 
 use flashfuser::prelude::*;
 use flashfuser::serve::{client, ServeOptions};
@@ -434,6 +449,304 @@ fn nonsense_machine_descriptors_map_to_422_with_typed_reasons() {
     assert!(unknown.body_utf8().contains("h100_sxm"));
     // The server keeps serving after every rejection.
     assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+    server.shutdown();
+}
+
+/// Fetches `/stats` and pulls `section.field` as a u64.
+fn stat(addr: SocketAddr, section: &str, field: &str) -> u64 {
+    let body = client::get(addr, "/stats").expect("stats");
+    let doc = json::parse(body.body_utf8()).expect("stats parse");
+    doc.get(section)
+        .and_then(|s| s.get(field))
+        .and_then(json::JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("stats missing {section}.{field}"))
+}
+
+#[test]
+fn pipelined_keep_alive_bursts_are_bit_identical_to_one_shot_responses() {
+    let (server, compiler, addr) = start(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    let body = chain_body(&small_chain());
+    // Reference bytes from the v1 discipline: one connection, one
+    // request, `Connection: close`.
+    let reference = client::post(addr, "/compile", body.as_bytes()).expect("one-shot");
+    assert_eq!(reference.status, 200, "{}", reference.body_utf8());
+
+    // v2 discipline: one connection, a pipelined burst of four.
+    let mut conn = client::Connection::open(addr).expect("keep-alive connection");
+    let items: Vec<(&str, &str, &[u8])> = (0..4)
+        .map(|_| ("POST", "/compile", body.as_bytes()))
+        .collect();
+    let responses = conn.pipeline(&items).expect("pipelined burst");
+    assert_eq!(responses.len(), 4);
+    for response in &responses {
+        assert_eq!(response.status, 200);
+        assert_eq!(
+            response.body, reference.body,
+            "pipelined responses must be byte-identical to one-shot"
+        );
+    }
+    // The burst rode the populated cache: still exactly one search,
+    // and the admission stats show the connection was reused.
+    assert_eq!(compiler.searches_run(), 1);
+    assert!(
+        stat(addr, "admission", "reused") >= 3,
+        "requests 2..4 of the burst count as connection reuse"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn mid_stream_disconnect_frees_the_worker() {
+    let (server, _compiler, addr) = start(ServeOptions {
+        workers: 1,
+        ..ServeOptions::default()
+    });
+    let body = chain_body(&small_chain());
+    // Disconnect after a *complete* request: the single worker runs the
+    // search for a peer that is gone; the completion must not wedge it.
+    {
+        let mut conn = client::Connection::open(addr).expect("connection");
+        conn.send("POST", "/compile", body.as_bytes())
+            .expect("send");
+    } // dropped without reading the response
+      // Disconnect after a *partial* request: the reactor sees EOF with
+      // bytes buffered and must not leak the connection slot.
+    {
+        let mut conn = client::Connection::open(addr).expect("connection");
+        conn.send_raw(b"POST /compile HTTP/1.1\r\nContent-Le")
+            .expect("partial send");
+    }
+    // With `workers: 1`, a wedged worker would hang these forever.
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+    let follow_up = client::post(addr, "/compile", body.as_bytes()).expect("follow-up");
+    assert_eq!(follow_up.status, 200, "{}", follow_up.body_utf8());
+    server.shutdown();
+}
+
+#[test]
+fn read_deadline_rearms_per_request_and_kills_a_trickling_second_request() {
+    let (server, _compiler, addr) = start(ServeOptions {
+        workers: 2,
+        read_timeout: Duration::from_millis(300),
+        ..ServeOptions::default()
+    });
+    let mut conn = client::Connection::open(addr).expect("connection");
+    // Three requests spaced just under the deadline: a per-connection
+    // timer would fire mid-sequence, a per-request timer never does.
+    for _ in 0..3 {
+        std::thread::sleep(Duration::from_millis(150));
+        conn.send("GET", "/healthz", b"").expect("send");
+        let response = conn.recv().expect("keep-alive response");
+        assert_eq!(response.status, 200);
+    }
+    // Now trickle: a partial head that never completes. The re-armed
+    // deadline fires and answers a typed 400 before closing.
+    conn.send_raw(b"POST /compile HTT").expect("trickle");
+    let response = conn.recv().expect("deadline verdict");
+    assert_eq!(response.status, 400);
+    assert!(
+        response.body_utf8().contains("deadline"),
+        "{}",
+        response.body_utf8()
+    );
+    assert!(
+        conn.recv().is_err(),
+        "the connection is closed after the deadline verdict"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn saturation_503_does_not_cost_a_keep_alive_client_its_connection() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let (server, _compiler, addr) = start(ServeOptions {
+        workers: 1,
+        queue_depth: 1,
+        debug_handle_delay: Some(Duration::from_millis(800)),
+        ..ServeOptions::default()
+    });
+    // Two slow holds, staggered so the first is *popped into the
+    // worker* before the second arrives to fill the queue slot (fired
+    // back-to-back on one core, both can race the worker's pop and
+    // bounce, leaving the queue empty).
+    let sent = Arc::new(AtomicUsize::new(0));
+    let holds: Vec<_> = (0..2)
+        .map(|i| {
+            let sent = Arc::clone(&sent);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(120 * i));
+                sent.fetch_add(1, Ordering::SeqCst);
+                client::get(addr, "/healthz")
+            })
+        })
+        .collect();
+    while sent.load(Ordering::SeqCst) < 2 {
+        std::thread::yield_now();
+    }
+    // Let the second hold's bytes cross the loopback into the queue.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut conn = client::Connection::open(addr).expect("keep-alive connection");
+    conn.send("GET", "/healthz", b"")
+        .expect("send into saturation");
+    let rejected = conn.recv().expect("503 must still be answered");
+    assert_eq!(rejected.status, 503);
+    assert_eq!(
+        rejected.headers.get("retry-after").map(String::as_str),
+        Some("1"),
+        "503 carries the retry hint"
+    );
+    // Once the holds drain, the same connection — not a fresh one —
+    // gets served.
+    for hold in holds {
+        hold.join().expect("hold thread").expect("hold response");
+    }
+    conn.send("GET", "/healthz", b"")
+        .expect("retry on same conn");
+    let served = conn.recv().expect("retry response");
+    assert_eq!(
+        served.status, 200,
+        "a 503 must not cost the client its connection"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_export_then_preload_boots_a_replica_answering_warm() {
+    let snap_dir = std::env::temp_dir().join(format!("ff-itest-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+
+    let (origin, origin_compiler, origin_addr) = start(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    // Three distinct plan keys, all known-feasible: the default-machine
+    // FFN, the same FFN on the A100, and a fused attention window.
+    let ffn = chain_body(&small_chain());
+    let a100 = format!(
+        "{{\"chain\": {}, \"machine\": \"a100_sxm\"}}",
+        encode_chain(&small_chain())
+    );
+    let attn = chain_body(&ChainSpec::attention(64, 64, 64, 64, true).named("attn-itest"));
+    let workload = [ffn.as_str(), a100.as_str(), attn.as_str()];
+    let mut origin_bodies = Vec::new();
+    for body in &workload {
+        let response = client::post(origin_addr, "/compile", body.as_bytes()).expect("compile");
+        assert_eq!(response.status, 200, "{}", response.body_utf8());
+        origin_bodies.push(response.body);
+    }
+    assert_eq!(origin_compiler.searches_run(), 3);
+
+    // Export the warm cache over the API.
+    let export_body = format!("{{\"dir\": \"{}\"}}", snap_dir.display());
+    let exported = client::post(origin_addr, "/admin/snapshot", export_body.as_bytes())
+        .expect("snapshot export");
+    assert_eq!(exported.status, 200, "{}", exported.body_utf8());
+    let doc = json::parse(exported.body_utf8()).expect("export response parses");
+    let count = doc
+        .get("exported")
+        .and_then(json::JsonValue::as_u64)
+        .expect("export response counts records");
+    assert!(count >= 3, "all three plans exported, got {count}");
+    origin.shutdown();
+
+    // A fresh replica preloads the snapshot and answers the same
+    // workload byte-identically without running a single search.
+    let replica_compiler = Arc::new(Compiler::new(MachineDescriptor::h100_sxm()));
+    let preloaded = replica_compiler.preload(&snap_dir).expect("preload");
+    assert_eq!(preloaded as u64, count, "preload reads every record");
+    let replica = service::start(
+        Arc::clone(&replica_compiler),
+        ("127.0.0.1", 0),
+        ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("replica binds");
+    let replica_addr = replica.addr();
+    for (body, origin_body) in workload.iter().zip(&origin_bodies) {
+        let response =
+            client::post(replica_addr, "/compile", body.as_bytes()).expect("replica compile");
+        assert_eq!(response.status, 200, "{}", response.body_utf8());
+        assert_eq!(
+            &response.body, origin_body,
+            "replica must answer the origin's exact bytes"
+        );
+    }
+    assert_eq!(
+        replica_compiler.searches_run(),
+        0,
+        "a preloaded replica recompiles nothing"
+    );
+    assert_eq!(stat(replica_addr, "snapshot", "preloaded"), count);
+    assert!(
+        stat(replica_addr, "snapshot", "preload_hits") >= 3,
+        "every replay request is attributed to the snapshot"
+    );
+    assert!(
+        stat(replica_addr, "cache", "hit_rate_permille") >= 900,
+        "snapshot round-trip restores a >=90% hit rate"
+    );
+    replica.shutdown();
+    let _ = std::fs::remove_dir_all(&snap_dir);
+}
+
+#[test]
+fn cold_stats_document_is_pinned() {
+    let (server, _compiler, addr) = start(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    let response = client::get(addr, "/stats").expect("stats");
+    assert_eq!(response.status, 200);
+    let raw = response.body_utf8().to_string();
+    let doc = json::parse(&raw).expect("stats parse");
+    // Only the queue-wait samples of this very request and the uptime
+    // are nondeterministic; everything else is pinned byte-for-byte so
+    // a format or accounting drift fails loudly.
+    let qw = doc.get("queue_wait_us").expect("queue_wait_us");
+    let qv = |field: &str| {
+        qw.get(field)
+            .and_then(json::JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("queue_wait_us.{field}"))
+    };
+    let uptime = doc
+        .get("uptime_ms")
+        .and_then(json::JsonValue::as_u64)
+        .expect("uptime_ms");
+    let expected = format!(
+        concat!(
+            "{{\n",
+            "  \"endpoints\": {{\"compile\": 0, \"batch\": 0, \"graph\": 0, ",
+            "\"machines\": 0, \"stats\": 1, \"healthz\": 0, \"snapshot\": 0, ",
+            "\"shutdown\": 0}},\n",
+            "  \"outcomes\": {{\"ok\": 0, \"bad_requests\": 0, \"infeasible\": 0, ",
+            "\"dropped\": 0}},\n",
+            "  \"admission\": {{\"accepted\": 1, \"rejected_busy\": 0, ",
+            "\"in_flight\": 1, \"reused\": 0}},\n",
+            "  \"compiler\": {{\"searches\": 0, \"coalesced\": 0, ",
+            "\"profile_calls\": 0}},\n",
+            "  \"cache\": {{\"mem_hits\": 0, \"disk_hits\": 0, \"misses\": 0, ",
+            "\"inserts\": 0, \"evictions\": 0, \"hit_rate_permille\": 0}},\n",
+            "  \"snapshot\": {{\"preloaded\": 0, \"preload_hits\": 0}},\n",
+            "  \"latency_us\": {{\"count\": 0, \"p50\": 0, \"p99\": 0, \"max\": 0, ",
+            "\"mean\": 0}},\n",
+            "  \"queue_wait_us\": {{\"count\": 1, \"p50\": {p50}, \"p99\": {p99}, ",
+            "\"max\": {max}, \"mean\": {mean}}},\n",
+            "  \"uptime_ms\": {uptime}\n",
+            "}}\n",
+        ),
+        p50 = qv("p50"),
+        p99 = qv("p99"),
+        max = qv("max"),
+        mean = qv("mean"),
+        uptime = uptime,
+    );
+    assert_eq!(raw, expected, "cold /stats drifted from the pinned shape");
     server.shutdown();
 }
 
